@@ -1,0 +1,21 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark is a single-shot measurement (``benchmark.pedantic`` with one
+round): the quantities of interest are the *model* outputs (cycle counts and
+operations/cycle, reported through ``extra_info``), not the wall-clock time of
+the Python simulation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def single_shot(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def run_once():
+    return single_shot

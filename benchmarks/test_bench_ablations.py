@@ -1,0 +1,39 @@
+"""Benchmark targets for the ablations and design-space sweeps (DESIGN.md Sec. 6).
+
+These go beyond the paper's two design points: PE arrangement sweep,
+register-bank allocation ablation (which brackets the paper's Pvect/Ptree
+gap), subtree-packing ablation and the GPU bank-allocation ablation.
+"""
+
+from repro.experiments import sweeps
+
+
+def test_tree_arrangement_sweep(benchmark, run_once):
+    results = run_once(benchmark, sweeps.tree_arrangement_sweep)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in results.items()})
+    assert all(v > 1.0 for v in results.values())
+
+
+def test_register_allocation_ablation(benchmark, run_once):
+    results = run_once(benchmark, sweeps.allocation_ablation)
+    benchmark.extra_info.update(
+        {f"{alloc}/{cfg}": round(v, 3) for alloc, row in results.items() for cfg, v in row.items()}
+    )
+    # The conflict-minimizing allocation is what makes both configurations fast.
+    assert results["conflict-aware"]["Pvect"] > results["naive"]["Pvect"]
+    assert results["conflict-aware"]["Ptree"] > results["naive"]["Ptree"]
+    # Under the naive allocator the tree arrangement clearly wins (the regime
+    # in which the paper reports its 2x Ptree-over-Pvect advantage).
+    assert results["naive"]["Ptree"] > 1.2 * results["naive"]["Pvect"]
+
+
+def test_subtree_packing_ablation(benchmark, run_once):
+    results = run_once(benchmark, sweeps.packing_ablation)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in results.items()})
+    assert results["packing on"] >= results["packing off"]
+
+
+def test_gpu_bank_allocation_ablation(benchmark, run_once):
+    results = run_once(benchmark, sweeps.gpu_bank_allocation_ablation)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in results.items()})
+    assert results["graph coloring"] >= 0.95 * results["interleaved"]

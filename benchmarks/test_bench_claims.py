@@ -1,0 +1,23 @@
+"""Benchmark target for the headline claims of Sec. V (paper vs measured)."""
+
+from repro.experiments import claims
+
+
+def test_headline_claims(benchmark, run_once):
+    derived = run_once(benchmark, claims.derive_claims)
+    by_name = {c.name: c for c in derived}
+    benchmark.extra_info["claims"] = {
+        c.name: {"paper": c.paper_value, "measured": round(c.measured_value, 3)}
+        for c in derived
+    }
+
+    # CPU and GPU land in the sub-1-op/cycle regime of the paper.
+    assert 0.2 <= by_name["CPU peak ops/cycle"].measured_value <= 1.0
+    assert 0.2 <= by_name["GPU peak ops/cycle"].measured_value <= 2.5
+    # The custom processor reaches an order of magnitude more than either.
+    assert by_name["Ptree peak ops/cycle"].measured_value >= 8.0
+    assert by_name["Ptree speedup over CPU (geomean)"].measured_value >= 12.0
+    assert by_name["Ptree speedup over GPU (geomean)"].measured_value >= 12.0
+    # The Ptree/Pvect ratio is the one claim our stronger register allocator
+    # does not reproduce at its paper value (~2x); see EXPERIMENTS.md.
+    assert by_name["Ptree speedup over Pvect (geomean)"].measured_value >= 0.9

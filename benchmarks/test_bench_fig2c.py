@@ -1,0 +1,37 @@
+"""Benchmark target for Fig. 2(c): CPU vs GPU thread-count sweep.
+
+The series (operations/cycle for the CPU and for GPU blocks of 1/32/64/128/
+256 threads on a Lowd-Davis benchmark SPN) is attached to the benchmark's
+``extra_info``; the assertions lock in the qualitative shape the paper
+reports: a single GPU thread is slower than the CPU and 256 threads scale
+sublinearly.
+"""
+
+import pytest
+
+from repro.experiments import fig2c
+
+
+def test_fig2c_thread_sweep(benchmark, run_once):
+    series = run_once(benchmark, fig2c.run)
+    benchmark.extra_info["series"] = {k: round(v, 4) for k, v in series.items()}
+
+    cpu = series["CPU"]
+    gpu_1 = series["GPU 1 thr"]
+    gpu_256 = series["GPU 256 thr"]
+    # Paper: the single-thread GPU kernel is slower than the CPU.
+    assert gpu_1 < cpu
+    # Paper: 256 threads bring roughly 4x (sublinear) scaling over 1 thread.
+    scaling = gpu_256 / gpu_1
+    assert 1.5 < scaling < 16.0
+    # Paper: the best GPU configuration is in the same ballpark as the CPU
+    # (0.95 vs 0.55 ops/cycle), far from the 256x a linear scaling would give.
+    assert gpu_256 == pytest.approx(cpu, rel=2.0)
+
+
+@pytest.mark.parametrize("threads", [1, 32, 64, 128, 256])
+def test_fig2c_individual_block_sizes(benchmark, run_once, threads):
+    series = run_once(benchmark, fig2c.run, thread_counts=(threads,))
+    value = series[f"GPU {threads} thr"]
+    benchmark.extra_info["ops_per_cycle"] = round(value, 4)
+    assert value > 0.05

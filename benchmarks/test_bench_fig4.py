@@ -1,0 +1,60 @@
+"""Benchmark targets for Fig. 4: throughput of every platform on every benchmark.
+
+One pytest-benchmark item per (benchmark, platform) pair regenerates the full
+grid of the paper's Fig. 4; the measured operations/cycle is attached as
+``extra_info`` so the benchmark report reads like the figure.
+"""
+
+import pytest
+
+from repro.experiments.platforms import (
+    DEFAULT_PLATFORMS,
+    PLATFORM_CPU,
+    PLATFORM_GPU,
+    PLATFORM_PTREE,
+    PLATFORM_PVECT,
+    run_platform,
+)
+from repro.suite.registry import benchmark_names, benchmark_operation_list
+
+#: Expected operations/cycle regime per platform (order-of-magnitude guard
+#: rails, not exact numbers; see EXPERIMENTS.md for the measured values).
+_EXPECTED_RANGE = {
+    PLATFORM_CPU: (0.2, 1.0),
+    PLATFORM_GPU: (0.2, 2.5),
+    PLATFORM_PVECT: (3.0, 20.0),
+    PLATFORM_PTREE: (4.0, 25.0),
+}
+
+
+@pytest.mark.parametrize("platform", DEFAULT_PLATFORMS)
+@pytest.mark.parametrize("name", benchmark_names())
+def test_fig4_throughput(benchmark, run_once, name, platform):
+    ops = benchmark_operation_list(name)
+    result = run_once(benchmark, run_platform, platform, ops, name)
+    benchmark.extra_info["benchmark"] = name
+    benchmark.extra_info["platform"] = platform
+    benchmark.extra_info["ops_per_cycle"] = round(result.ops_per_cycle, 4)
+    benchmark.extra_info["cycles"] = result.cycles
+    low, high = _EXPECTED_RANGE[platform]
+    assert low <= result.ops_per_cycle <= high, (
+        f"{platform} on {name}: {result.ops_per_cycle:.3f} ops/cycle outside "
+        f"the expected range [{low}, {high}]"
+    )
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_fig4_processor_beats_baselines(benchmark, run_once, name):
+    """The headline ordering of Fig. 4: Ptree far above CPU and GPU."""
+    ops = benchmark_operation_list(name)
+
+    def measure():
+        return {
+            platform: run_platform(platform, ops, name).ops_per_cycle
+            for platform in DEFAULT_PLATFORMS
+        }
+
+    values = run_once(benchmark, measure)
+    benchmark.extra_info.update({k: round(v, 4) for k, v in values.items()})
+    assert values[PLATFORM_PTREE] > 5 * values[PLATFORM_CPU]
+    assert values[PLATFORM_PTREE] > 5 * values[PLATFORM_GPU]

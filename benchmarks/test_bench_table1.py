@@ -1,0 +1,18 @@
+"""Benchmark target for Table I: platform compute/memory resources.
+
+Regenerates the resource table of the paper from the same configuration
+objects the models use; the rendered rows are attached as ``extra_info`` so
+the benchmark report itself contains the table.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_resources(benchmark, run_once):
+    rows = run_once(benchmark, table1.rows)
+    assert [r[0] for r in rows] == ["CPU", "GPU", "Ours (Pvect)", "Ours (Ptree)"]
+    benchmark.extra_info["table"] = table1.main()
+    # Headline resource facts from the paper.
+    by_platform = {r[0]: r for r in rows}
+    assert by_platform["Ours (Ptree)"][1] == "30 PEs"
+    assert by_platform["Ours (Pvect)"][1] == "16 PEs"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the SPN processor (an architect's workflow).
+
+The paper fixes two design points (``Ptree``: 2 trees x 4 levels, ``Pvect``:
+16 single PEs).  A hardware architect adopting this library would want to ask
+broader questions before committing to RTL:
+
+* how does throughput change with the PE-tree arrangement?
+* how sensitive is it to the register-file geometry (banks / depth)?
+* how much does the compiler's conflict-aware register allocation contribute?
+
+This script answers those questions for one benchmark of the suite using the
+same compiler and cycle-accurate simulator the headline experiments use.
+"""
+
+from repro.analysis import format_table
+from repro.compiler import ScheduleOptions, compile_operation_list
+from repro.processor import ProcessorConfig
+from repro.suite import benchmark_operation_list
+
+BENCHMARK = "KDDCup2k"
+
+
+def measure(config: ProcessorConfig, options: ScheduleOptions | None = None) -> float:
+    """Compile the benchmark for ``config`` and return verified ops/cycle."""
+    ops = benchmark_operation_list(BENCHMARK)
+    kernel = compile_operation_list(ops, config, options)
+    return kernel.run(None).ops_per_cycle
+
+
+def arrangement_sweep() -> str:
+    rows = []
+    for n_trees, n_levels in ((16, 1), (8, 2), (4, 3), (2, 4)):
+        config = ProcessorConfig(
+            name=f"{n_trees}x{n_levels}", n_trees=n_trees, n_levels=n_levels,
+            n_banks=32, bank_depth=64,
+        )
+        rows.append((f"{n_trees} trees x {n_levels} levels", config.n_pes,
+                     measure(config)))
+    return format_table(
+        ["arrangement", "PEs", "ops/cycle"], rows,
+        title=f"PE arrangement sweep on {BENCHMARK} (32 banks x 64 registers)",
+    )
+
+
+def register_file_sweep() -> str:
+    rows = []
+    for bank_depth in (32, 64, 128):
+        config = ProcessorConfig(
+            name=f"d{bank_depth}", n_trees=2, n_levels=4, n_banks=32,
+            bank_depth=bank_depth,
+        )
+        options = ScheduleOptions(stream_rows=bank_depth // 2)
+        rows.append((f"32 banks x {bank_depth} regs", measure(config, options)))
+    return format_table(
+        ["register file", "ops/cycle"], rows,
+        title=f"Register-file depth sweep on {BENCHMARK} (Ptree arrangement)",
+    )
+
+
+def compiler_sweep() -> str:
+    config = ProcessorConfig(name="Ptree", n_trees=2, n_levels=4, n_banks=32, bank_depth=64)
+    rows = [
+        ("conflict-aware allocation + packing", measure(config)),
+        ("naive allocation", measure(config, ScheduleOptions(conflict_aware_allocation=False))),
+        ("no subtree packing", measure(config, ScheduleOptions(pack_multiple_cones=False))),
+    ]
+    return format_table(
+        ["compiler configuration", "ops/cycle"], rows,
+        title=f"Compiler feature ablation on {BENCHMARK} (Ptree)",
+    )
+
+
+def main() -> None:
+    print(arrangement_sweep())
+    print()
+    print(register_file_sweep())
+    print()
+    print(compiler_sweep())
+
+
+if __name__ == "__main__":
+    main()

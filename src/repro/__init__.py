@@ -1,0 +1,18 @@
+"""repro: reproduction of the DATE 2020 SPN custom-processor paper.
+
+The package is organized as follows:
+
+* :mod:`repro.spn` — sum-product network substrate (data structures, exact
+  evaluation, lowering to operation lists, structure learning, serialization);
+* :mod:`repro.suite` — the benchmark suite used in the paper's evaluation;
+* :mod:`repro.baselines` — CPU and GPU (SIMT) performance models;
+* :mod:`repro.processor` — the proposed VLIW SPN processor: ISA, components
+  and a cycle-accurate simulator;
+* :mod:`repro.compiler` — the SPN-to-VLIW compiler;
+* :mod:`repro.analysis` and :mod:`repro.experiments` — metrics, reporting and
+  one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

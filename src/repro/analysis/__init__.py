@@ -1,0 +1,14 @@
+"""Metrics and plain-text reporting used by the experiment drivers."""
+
+from .metrics import PlatformResult, geometric_mean, normalize, peak, speedup
+from .report import format_bar_chart, format_table
+
+__all__ = [
+    "PlatformResult",
+    "geometric_mean",
+    "normalize",
+    "peak",
+    "speedup",
+    "format_bar_chart",
+    "format_table",
+]

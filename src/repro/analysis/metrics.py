@@ -1,0 +1,68 @@
+"""Throughput metrics and cross-platform comparison helpers.
+
+Everything in the paper's evaluation is expressed in *effective operations
+per cycle*: the number of arithmetic operations of the SPN divided by the
+cycles a platform needs for one evaluation.  This module provides the small
+amount of shared arithmetic (speedups, normalization, peak detection) used by
+the experiment drivers and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["PlatformResult", "speedup", "peak", "geometric_mean", "normalize"]
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """Throughput of one platform on one benchmark."""
+
+    platform: str
+    benchmark: str
+    ops_per_cycle: float
+    cycles: int
+    n_operations: int
+
+    @property
+    def cycles_per_evaluation(self) -> int:
+        return self.cycles
+
+
+def speedup(target: float, baseline: float) -> float:
+    """Ratio ``target / baseline`` guarding against a zero baseline."""
+    if baseline <= 0.0:
+        raise ValueError("baseline throughput must be positive")
+    return target / baseline
+
+
+def peak(values: Iterable[float]) -> float:
+    """Maximum of a non-empty iterable of throughputs."""
+    values = list(values)
+    if not values:
+        raise ValueError("peak() needs at least one value")
+    return max(values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the usual way to average speedups across benchmarks)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean() needs at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean is only defined for positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def normalize(
+    results: Mapping[str, float], reference: str
+) -> Dict[str, float]:
+    """Express every entry of ``results`` relative to ``results[reference]``."""
+    if reference not in results:
+        raise KeyError(f"reference platform {reference!r} missing from results")
+    base = results[reference]
+    return {name: speedup(value, base) for name, value in results.items()}

@@ -1,0 +1,67 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The evaluation is regenerated as ASCII tables and bar charts so the harness
+has no plotting dependencies; every experiment driver in
+:mod:`repro.experiments` uses these helpers for its command-line output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_bar_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` as a fixed-width text table."""
+    rendered_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (used for the figure panels)."""
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    peak_value = max(values.values())
+    label_width = max(len(str(k)) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        bar_length = 0 if peak_value <= 0 else int(round(width * value / peak_value))
+        bar = "#" * bar_length
+        lines.append(f"{str(label).ljust(label_width)}  {value:8.3f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

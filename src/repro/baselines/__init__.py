@@ -1,0 +1,26 @@
+"""CPU and GPU baseline execution models (Sec. III of the paper)."""
+
+from .cpu import CpuConfig, CpuResult, build_microops, simulate_cpu
+from .gpu import GpuConfig, GpuResult, execute_gpu_kernel, simulate_gpu, thread_sweep
+from .gpu_banks import (
+    conflict_graph,
+    count_warp_conflicts,
+    graph_coloring_allocation,
+    interleaved_allocation,
+)
+
+__all__ = [
+    "CpuConfig",
+    "CpuResult",
+    "build_microops",
+    "simulate_cpu",
+    "GpuConfig",
+    "GpuResult",
+    "execute_gpu_kernel",
+    "simulate_gpu",
+    "thread_sweep",
+    "conflict_graph",
+    "count_warp_conflicts",
+    "graph_coloring_allocation",
+    "interleaved_allocation",
+]

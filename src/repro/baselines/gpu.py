@@ -1,0 +1,243 @@
+"""GPU (SIMT) execution model of the CUDA SPN kernel (Sec. III of the paper).
+
+The paper implements SPN inference as a CUDA kernel (Algorithm 3): the
+operation DAG is decomposed into dependence groups, all operations of a group
+run concurrently on the threads of one block, and ``__syncthreads()``
+separates consecutive groups.  Operands live in shared memory, whose 32 banks
+are allocated with a graph-coloring pass to reduce bank conflicts.
+
+No GPU is available in this environment, so the kernel is reproduced in two
+forms:
+
+* a **functional emulation** (:func:`execute_gpu_kernel`) that follows the
+  exact group/wave/warp schedule and is checked against the reference
+  evaluator, and
+* a **timing model** (:func:`simulate_gpu`) that charges, per warp
+  instruction, the costs the paper identifies as the GPU's bottlenecks —
+  instruction issue, shared-memory transactions including bank conflicts,
+  sum/product divergence, exposed read-after-write latency between groups and
+  the ``__syncthreads()`` barrier — and reports effective operations/cycle.
+
+The constants default to estimates for the Jetson TX2 (Pascal) used in the
+paper and are exposed in :class:`GpuConfig` so the thread-count sweep of
+Fig. 2(c) and the suite comparison of Fig. 4 can be regenerated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..spn.linearize import OP_ADD, OperationList
+from .gpu_banks import graph_coloring_allocation, interleaved_allocation
+
+__all__ = ["GpuConfig", "GpuResult", "simulate_gpu", "execute_gpu_kernel", "thread_sweep"]
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Resource and timing parameters of the modelled embedded GPU.
+
+    Defaults approximate the Nvidia Jetson TX2 configuration of Table I:
+    128 CUDA cores fed by a 32-bank shared memory.
+    """
+
+    n_threads: int = 256
+    warp_size: int = 32
+    n_banks: int = 32
+    #: Warp-instructions the whole GPU can issue per cycle.
+    issue_width: int = 2
+    #: Shared-memory warp-transactions serviced per cycle (one 32-bank access).
+    smem_ports: int = 1
+    #: Non-arithmetic instructions per SPN operation: loads of ``O[i]``,
+    #: ``B[i]`` and ``C[i]``, shared-memory address computation and the
+    #: sum/product selection, in addition to the arithmetic itself.
+    overhead_instructions: int = 8
+    #: Cost of a __syncthreads() barrier between dependence groups.
+    sync_cost: int = 35
+    #: Shared-memory read-after-write latency exposed between dependence
+    #: groups, and (scaled by occupancy) inside waves with too few warps to
+    #: hide it.
+    raw_latency: int = 30
+    #: Number of resident warps needed to fully hide the shared-memory latency.
+    latency_hiding_warps: int = 4
+    #: Sustainable instructions per cycle for a single active thread
+    #: (dual-issue in-order pipeline).
+    single_thread_ipc: float = 2.0
+    #: Bank allocation strategy: "coloring" (the paper's) or "interleaved".
+    bank_allocation: str = "coloring"
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        if self.warp_size < 1 or self.n_banks < 1:
+            raise ValueError("warp_size and n_banks must be >= 1")
+        if self.issue_width < 1 or self.smem_ports < 1:
+            raise ValueError("issue_width and smem_ports must be >= 1")
+        if self.latency_hiding_warps < 1:
+            raise ValueError("latency_hiding_warps must be >= 1")
+        if self.bank_allocation not in ("coloring", "interleaved"):
+            raise ValueError("bank_allocation must be 'coloring' or 'interleaved'")
+
+
+@dataclass
+class GpuResult:
+    """Outcome of a GPU model run."""
+
+    cycles: int
+    n_operations: int
+    n_groups: int
+    n_transactions: int
+    n_conflict_transactions: int
+    n_divergent_warps: int
+    config: GpuConfig = field(repr=False, default_factory=GpuConfig)
+
+    @property
+    def ops_per_cycle(self) -> float:
+        """Effective SPN operations per cycle (the paper's throughput metric)."""
+        return self.n_operations / self.cycles if self.cycles else 0.0
+
+
+def _allocate_banks(ops: OperationList, config: GpuConfig) -> List[int]:
+    if config.bank_allocation == "coloring":
+        return graph_coloring_allocation(
+            ops, config.n_threads, config.n_banks, config.warp_size
+        )
+    return interleaved_allocation(ops, config.n_banks)
+
+
+def _warp_chunks(active: Sequence[int], warp_size: int) -> List[Sequence[int]]:
+    return [active[i : i + warp_size] for i in range(0, len(active), warp_size)]
+
+
+def simulate_gpu(ops: OperationList, config: Optional[GpuConfig] = None) -> GpuResult:
+    """Estimate the cycle count of the CUDA kernel for one SPN evaluation."""
+    config = config or GpuConfig()
+    if ops.n_operations == 0:
+        return GpuResult(0, 0, 0, 0, 0, 0, config)
+
+    bank_of = _allocate_banks(ops, config)
+    groups = ops.groups()
+
+    # A single thread executes the whole list serially: throughput is bound by
+    # instruction issue of one thread plus the dependence chains that cross
+    # group boundaries (loads can overlap within a group, not across it).
+    if config.n_threads == 1:
+        instructions = ops.n_operations * (config.overhead_instructions + 1)
+        issue_cycles = instructions / config.single_thread_ipc
+        latency_cycles = len(groups) * config.raw_latency * 0.2
+        cycles = int(math.ceil(issue_cycles + latency_cycles))
+        return GpuResult(cycles, ops.n_operations, len(groups), 0, 0, 0, config)
+
+    total_cycles = 0
+    total_transactions = 0
+    conflict_transactions = 0
+    divergent_warps = 0
+
+    # Input copy phase of Algorithm 3 (each thread copies a strided slice of
+    # IN into shared memory): two instructions and one shared-memory write
+    # per element, spread over the block.
+    copy_iterations = math.ceil(ops.n_inputs / config.n_threads)
+    total_cycles += copy_iterations * 2 + config.sync_cost
+
+    for group in groups:
+        group_cycles = 0.0
+        group_transactions = 0
+        n_waves = math.ceil(len(group) / config.n_threads)
+        for wave in range(n_waves):
+            active = group[wave * config.n_threads : (wave + 1) * config.n_threads]
+            warps = _warp_chunks(active, config.warp_size)
+            wave_instructions = 0
+            wave_transactions = 0
+            for warp_ops in warps:
+                kinds = {ops.operations[j].op for j in warp_ops}
+                passes = len(kinds)
+                if passes > 1:
+                    divergent_warps += 1
+                wave_instructions += config.overhead_instructions + passes
+                # Three access steps per warp instruction: both operand reads
+                # and the result write, each serialized by bank conflicts.
+                for slots in (
+                    [ops.operations[j].arg0 for j in warp_ops],
+                    [ops.operations[j].arg1 for j in warp_ops],
+                    [ops.dest_slot(j) for j in warp_ops],
+                ):
+                    counts: Dict[int, int] = {}
+                    for slot in slots:
+                        counts[bank_of[slot]] = counts.get(bank_of[slot], 0) + 1
+                    transactions = max(counts.values())
+                    wave_transactions += transactions
+                    conflict_transactions += transactions - 1
+            issue_cycles = wave_instructions / config.issue_width
+            smem_cycles = wave_transactions / config.smem_ports
+            # With fewer resident warps than needed to hide the shared-memory
+            # latency, part of that latency is exposed in every wave.
+            occupancy_gap = max(0, config.latency_hiding_warps - len(warps))
+            exposed = config.raw_latency * occupancy_gap / config.latency_hiding_warps
+            group_cycles += max(issue_cycles, smem_cycles) + exposed
+            group_transactions += wave_transactions
+        # The first wave of a group consumes values written at the end of the
+        # previous group, so at least one shared-memory round-trip is exposed
+        # regardless of how little work the group contains.
+        group_cycles = max(group_cycles, config.raw_latency)
+        total_cycles += int(math.ceil(group_cycles)) + config.sync_cost
+        total_transactions += group_transactions
+
+    return GpuResult(
+        cycles=total_cycles,
+        n_operations=ops.n_operations,
+        n_groups=len(groups),
+        n_transactions=total_transactions,
+        n_conflict_transactions=conflict_transactions,
+        n_divergent_warps=divergent_warps,
+        config=config,
+    )
+
+
+def execute_gpu_kernel(
+    ops: OperationList,
+    input_vector: Sequence[float],
+    config: Optional[GpuConfig] = None,
+) -> float:
+    """Functionally emulate Algorithm 3 and return the root value.
+
+    The emulation follows the exact schedule of the timing model (groups,
+    waves, warps) and writes results into a shared-memory image indexed by
+    slot, so it verifies that the group decomposition never reads a value
+    before the group that produces it has executed.
+    """
+    config = config or GpuConfig()
+    shared = np.full(ops.n_slots, np.nan, dtype=np.float64)
+    shared[: ops.n_inputs] = np.asarray(input_vector, dtype=np.float64)
+    for group in ops.groups():
+        # Stage all reads before any write of this group, mirroring the
+        # barrier semantics: within a group no operation may depend on another.
+        staged = []
+        for j in group:
+            op = ops.operations[j]
+            a, b = shared[op.arg0], shared[op.arg1]
+            if math.isnan(a) or math.isnan(b):
+                raise RuntimeError(
+                    f"operation {j} reads a value not yet produced; "
+                    "group decomposition is inconsistent"
+                )
+            staged.append((j, a + b if op.op == OP_ADD else a * b))
+        for j, value in staged:
+            shared[ops.dest_slot(j)] = value
+    return float(shared[ops.root_slot])
+
+
+def thread_sweep(
+    ops: OperationList,
+    thread_counts: Sequence[int] = (1, 32, 64, 128, 256),
+    config: Optional[GpuConfig] = None,
+) -> Dict[int, GpuResult]:
+    """Run the timing model for several block sizes (the sweep of Fig. 2c)."""
+    base = config or GpuConfig()
+    results: Dict[int, GpuResult] = {}
+    for t in thread_counts:
+        results[t] = simulate_gpu(ops, replace(base, n_threads=t))
+    return results

@@ -1,0 +1,150 @@
+"""Shared-memory bank allocation for the GPU kernel (Sec. III.2 of the paper).
+
+When the threads of a warp read their operands from shared memory, accesses
+that map to the same bank are serialized ("bank conflicts").  The paper
+minimizes them with a graph-coloring based allocation: two values conflict
+when threads of the same warp access them in the same kernel step, and the
+allocator tries to give conflicting values different banks (colors).
+
+This module builds that conflict graph from the thread assignment of the
+CUDA kernel and colors it greedily in largest-degree-first order, which is
+the standard heuristic for this problem.  The naive alternative — interleaved
+placement by slot index, which is what the plain ``A[i + j*t]`` layout of
+Algorithm 3 produces — is kept as a baseline for ablation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..spn.linearize import OperationList
+
+__all__ = [
+    "interleaved_allocation",
+    "conflict_graph",
+    "color_banks",
+    "graph_coloring_allocation",
+    "count_warp_conflicts",
+]
+
+
+def interleaved_allocation(ops: OperationList, n_banks: int) -> List[int]:
+    """Slot-index-modulo-banks placement (the layout of Algorithm 3)."""
+    if n_banks < 1:
+        raise ValueError("n_banks must be >= 1")
+    return [slot % n_banks for slot in range(ops.n_slots)]
+
+
+def _warp_accesses(
+    ops: OperationList, n_threads: int, warp_size: int
+) -> Iterable[List[int]]:
+    """Yield the groups of slots accessed together by one warp in one step.
+
+    Operation ``j`` of a dependence group runs on thread ``j % n_threads``
+    during wave ``j // n_threads`` (the schedule of Algorithm 3).  For every
+    (group, wave, warp) the warp reads all first operands together, then all
+    second operands together, then writes all destinations together; each of
+    those three access sets is yielded separately.
+    """
+    for group in ops.groups():
+        n_waves = (len(group) + n_threads - 1) // n_threads
+        for wave in range(n_waves):
+            active = group[wave * n_threads : (wave + 1) * n_threads]
+            for warp_start in range(0, len(active), warp_size):
+                warp_ops = active[warp_start : warp_start + warp_size]
+                if not warp_ops:
+                    continue
+                yield [ops.operations[j].arg0 for j in warp_ops]
+                yield [ops.operations[j].arg1 for j in warp_ops]
+                yield [ops.dest_slot(j) for j in warp_ops]
+
+
+def conflict_graph(
+    ops: OperationList, n_threads: int, warp_size: int = 32
+) -> Dict[int, Set[int]]:
+    """Build the slot conflict graph used by the coloring allocator.
+
+    Two slots are connected when some warp accesses both in the same step, so
+    giving them different banks removes that serialization.
+    """
+    graph: Dict[int, Set[int]] = defaultdict(set)
+    for access in _warp_accesses(ops, n_threads, warp_size):
+        unique = sorted(set(access))
+        for i, a in enumerate(unique):
+            graph.setdefault(a, set())
+            for b in unique[i + 1 :]:
+                graph[a].add(b)
+                graph[b].add(a)
+    return dict(graph)
+
+
+def color_banks(
+    graph: Dict[int, Set[int]], n_slots: int, n_banks: int
+) -> List[int]:
+    """Greedy graph coloring with ``n_banks`` colors, largest degree first.
+
+    When all ``n_banks`` colors are already used by neighbours (the graph is
+    not ``n_banks``-colorable), the least-used color among the neighbours is
+    chosen, which spreads the remaining conflicts evenly.
+    """
+    if n_banks < 1:
+        raise ValueError("n_banks must be >= 1")
+    assignment = [-1] * n_slots
+    order = sorted(graph, key=lambda s: len(graph[s]), reverse=True)
+    usage = [0] * n_banks
+    for slot in order:
+        neighbour_colors = defaultdict(int)
+        for other in graph[slot]:
+            if assignment[other] >= 0:
+                neighbour_colors[assignment[other]] += 1
+        free = [c for c in range(n_banks) if c not in neighbour_colors]
+        if free:
+            # Among the free colors pick the globally least used one to keep
+            # the banks balanced.
+            color = min(free, key=lambda c: usage[c])
+        else:
+            color = min(range(n_banks), key=lambda c: (neighbour_colors[c], usage[c]))
+        assignment[slot] = color
+        usage[color] += 1
+    # Slots never touched by any warp (for example the final result before it
+    # is copied out) are placed round-robin.
+    next_bank = 0
+    for slot in range(n_slots):
+        if assignment[slot] < 0:
+            assignment[slot] = next_bank % n_banks
+            next_bank += 1
+    return assignment
+
+
+def graph_coloring_allocation(
+    ops: OperationList, n_threads: int, n_banks: int, warp_size: int = 32
+) -> List[int]:
+    """Full pipeline: conflict graph construction followed by greedy coloring."""
+    graph = conflict_graph(ops, n_threads, warp_size)
+    return color_banks(graph, ops.n_slots, n_banks)
+
+
+def count_warp_conflicts(
+    ops: OperationList,
+    bank_of: Sequence[int],
+    n_threads: int,
+    n_banks: int,
+    warp_size: int = 32,
+) -> Tuple[int, int]:
+    """Count shared-memory transactions for a given bank allocation.
+
+    Returns ``(n_transactions, n_accesses)``: every warp access step costs as
+    many transactions as the most-loaded bank within that step, so a
+    conflict-free step costs one transaction.  ``n_accesses`` is the number of
+    access steps (the lower bound on transactions).
+    """
+    n_transactions = 0
+    n_accesses = 0
+    for access in _warp_accesses(ops, n_threads, warp_size):
+        counts: Dict[int, int] = defaultdict(int)
+        for slot in access:
+            counts[bank_of[slot]] += 1
+        n_transactions += max(counts.values())
+        n_accesses += 1
+    return n_transactions, n_accesses

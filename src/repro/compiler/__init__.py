@@ -1,0 +1,19 @@
+"""The SPN-to-VLIW compiler (cone extraction, scheduling, register allocation)."""
+
+from .cones import Cone, ConeGraph, ConeOperand, extract_cones
+from .driver import CompiledKernel, compile_operation_list, compile_spn, verify_program
+from .scheduler import CompileStats, ScheduleOptions, Scheduler
+
+__all__ = [
+    "Cone",
+    "ConeGraph",
+    "ConeOperand",
+    "extract_cones",
+    "CompiledKernel",
+    "compile_operation_list",
+    "compile_spn",
+    "verify_program",
+    "CompileStats",
+    "ScheduleOptions",
+    "Scheduler",
+]

@@ -1,0 +1,395 @@
+"""Cone extraction: covering the operation DAG with PE-tree-shaped subtrees.
+
+The datapath executes, per tree and per cycle, a *cone*: a small binary tree
+of operations whose intermediate results travel between PE levels without
+touching the register file ("local reuse of data, avoiding frequent
+writebacks to the register file", Sec. IV).  The compiler therefore first
+covers the binary operation DAG with cones and only then schedules cones onto
+the machine.
+
+Two properties of the target datapath shape the covering:
+
+* PEs at *every* level can write their output back to (a restricted window
+  of) the register file, so a cone may produce several outputs: besides its
+  root, any absorbed operation whose value is also needed by other cones is
+  written out from the PE level where it is computed.  This is what lets the
+  tree advance several levels of a dependence chain per issue even when the
+  intermediate values have fan-out.
+* Within one cone every value must flow strictly upwards through the tree, so
+  an operation cannot be absorbed if one of its operands is itself a member
+  of the cone reached through a different branch (a "diamond") — that operand
+  would have to be read from the register file in the same cycle it is being
+  produced.
+
+Cone height is chosen per root by a density heuristic: a cone of height ``h``
+blocks an aligned group of ``2**h`` leaf PEs, so the extractor picks the
+height with the best operations-per-blocked-leaf ratio (deeper cones win ties
+because they also shorten dependence chains and save register-file traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..spn.linearize import OperationList
+
+__all__ = ["ConeOperand", "Cone", "ConeGraph", "extract_cones"]
+
+
+@dataclass(frozen=True)
+class ConeOperand:
+    """One operand of an operation inside a cone.
+
+    ``internal`` operands refer to another operation *of the same cone* (by
+    operation index); ``external`` operands refer to an operation-list slot
+    that must be read from the register file (an input slot or the output of
+    another cone).
+    """
+
+    kind: str  # "internal" | "external"
+    op_index: int = -1
+    slot: int = -1
+
+    @staticmethod
+    def internal(op_index: int) -> "ConeOperand":
+        return ConeOperand(kind="internal", op_index=op_index)
+
+    @staticmethod
+    def external(slot: int) -> "ConeOperand":
+        return ConeOperand(kind="external", slot=slot)
+
+
+@dataclass
+class Cone:
+    """A cone of operations rooted at ``root_op``.
+
+    Attributes
+    ----------
+    index:
+        Cone id within its :class:`ConeGraph`.
+    root_op:
+        Operation-list index of the root operation.
+    members:
+        Operation indices covered by this cone (including the root).
+    operands:
+        For every member operation, its two operands as :class:`ConeOperand`.
+    depth_from_root:
+        Distance of every member from the root along cone edges; together
+        with the cone height it determines the PE level a member executes on.
+    outputs:
+        Members whose results are written back to the register file: the root
+        plus every member whose value is also consumed outside this cone.
+    """
+
+    index: int
+    root_op: int
+    members: List[int] = field(default_factory=list)
+    operands: Dict[int, Tuple[ConeOperand, ConeOperand]] = field(default_factory=dict)
+    depth_from_root: Dict[int, int] = field(default_factory=dict)
+    outputs: List[int] = field(default_factory=list)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.members)
+
+    @property
+    def height(self) -> int:
+        """Longest root-to-member path (a single operation has height 0)."""
+        return max(self.depth_from_root.values())
+
+    @property
+    def depth(self) -> int:
+        """Number of PE levels the cone occupies (height + 1)."""
+        return self.height + 1
+
+    def embed_level(self, op_index: int) -> int:
+        """PE level a member executes on when the root sits at the cone height."""
+        return self.height - self.depth_from_root[op_index]
+
+    def external_slots(self) -> List[int]:
+        """Slots read from the register file, one entry per operand reference."""
+        slots = []
+        for op_index in self.members:
+            for operand in self.operands[op_index]:
+                if operand.kind == "external":
+                    slots.append(operand.slot)
+        return slots
+
+
+@dataclass
+class ConeGraph:
+    """The cone cover of an operation list plus its dependence structure."""
+
+    ops: OperationList
+    cones: List[Cone]
+    #: Cone producing each operation-result slot that is written to the
+    #: register file.
+    producer: Dict[int, int]
+
+    @property
+    def n_cones(self) -> int:
+        return len(self.cones)
+
+    def predecessors(self, cone: Cone) -> List[int]:
+        """Indices of cones whose outputs this cone reads."""
+        preds = set()
+        for slot in cone.external_slots():
+            producer = self.producer.get(slot)
+            if producer is not None and producer != cone.index:
+                preds.add(producer)
+        return sorted(preds)
+
+    def average_ops_per_cone(self) -> float:
+        return self.ops.n_operations / len(self.cones) if self.cones else 0.0
+
+    def asap_levels(self) -> List[int]:
+        """Earliest dependence level of every cone (sources are level 0).
+
+        Cones in the same level are mutually independent.  The levels are a
+        cheap proxy for the order in which the scheduler will issue cones and
+        are used to lay out the input stream in the data memory.
+        """
+        levels = [0] * len(self.cones)
+        # Creation order is reverse-topological (consumers before producers),
+        # so iterating in reverse visits producers before consumers.
+        for cone in reversed(self.cones):
+            preds = self.predecessors(cone)
+            levels[cone.index] = 1 + max((levels[p] for p in preds), default=-1)
+        return levels
+
+    def critical_path_priorities(self) -> List[int]:
+        """Priority of each cone: length of the longest cone chain it heads.
+
+        Used by the list scheduler: cones on long dependence chains are
+        scheduled first so the chain latency is overlapped with independent
+        work.
+        """
+        consumers: Dict[int, List[int]] = {c.index: [] for c in self.cones}
+        for cone in self.cones:
+            for pred in self.predecessors(cone):
+                consumers[pred].append(cone.index)
+        priority = [0] * len(self.cones)
+        # Cones are created in reverse topological order of their roots, so
+        # iterating in creation order visits consumers before producers.
+        for cone in self.cones:
+            out = consumers[cone.index]
+            priority[cone.index] = 1 + max((priority[c] for c in out), default=0)
+        return priority
+
+
+class _Extractor:
+    """Implements the greedy covering described in the module docstring."""
+
+    def __init__(
+        self,
+        ops: OperationList,
+        max_depth: int,
+        min_density: float,
+        slack_threshold: int,
+    ) -> None:
+        self._ops = ops
+        self._max_height = max_depth - 1
+        self._min_density = min_density
+        self._slack_threshold = slack_threshold
+        self._fanout = ops.fanout()
+        self._covered = [False] * ops.n_operations
+        self._cones: List[Cone] = []
+        self._producer: Dict[int, int] = {}
+        self._consumers: List[List[int]] = [[] for _ in range(ops.n_operations)]
+        for op in ops.operations:
+            for arg in (op.arg0, op.arg1):
+                if arg >= ops.n_inputs:
+                    self._consumers[arg - ops.n_inputs].append(op.index)
+        self._slack = self._compute_slack()
+
+    def _compute_slack(self) -> List[int]:
+        """Scheduling slack of every operation (0 = on the critical path).
+
+        Operations with little slack determine the overall latency, so the
+        extractor covers them with the deepest possible cones even when those
+        cones are sparse; for everything else leaf-PE density wins.
+        """
+        ops = self._ops
+        levels = ops.levels()
+        if not levels:
+            return []
+        critical = max(levels)
+        # Longest chain starting at each operation (in operations, inclusive).
+        consumers: List[List[int]] = [[] for _ in range(ops.n_operations)]
+        for op in ops.operations:
+            for arg in (op.arg0, op.arg1):
+                if arg >= ops.n_inputs:
+                    consumers[arg - ops.n_inputs].append(op.index)
+        down = [1] * ops.n_operations
+        for op_index in range(ops.n_operations - 1, -1, -1):
+            if consumers[op_index]:
+                down[op_index] = 1 + max(down[c] for c in consumers[op_index])
+        return [critical - (levels[i] - 1) - down[i] for i in range(ops.n_operations)]
+
+    # -- growth ---------------------------------------------------------- #
+    def _absorbable(self, op_index: int, members: set) -> bool:
+        """May ``op_index`` be absorbed into a cone with the given members?
+
+        Two rules keep the cover schedulable:
+
+        * *convexity* — every consumer of the candidate must already be a
+          member.  Otherwise a value could leave the cone, pass through
+          another cone and feed back into this one, creating a cyclic
+          dependence between cones.  (For single-consumer operations this is
+          simply the classic fanout-free rule.)
+        * *no diamonds* — none of the candidate's operands may already be a
+          member, because a value produced inside the cone cannot be read
+          back through the crossbar in the same cycle.
+        """
+        if self._covered[op_index]:
+            return False
+        if any(consumer not in members for consumer in self._consumers[op_index]):
+            return False
+        operation = self._ops.operations[op_index]
+        for arg in (operation.arg0, operation.arg1):
+            if arg >= self._ops.n_inputs and (arg - self._ops.n_inputs) in members:
+                return False
+        return True
+
+    def _count_ops(self, op_index: int, budget: int, members: set) -> int:
+        """Operations a greedy absorb of ``op_index`` with ``budget`` levels covers."""
+        members = set(members)
+        return self._simulate_grow(op_index, budget, members)
+
+    def _simulate_grow(self, op_index: int, budget: int, members: set) -> int:
+        members.add(op_index)
+        total = 1
+        if budget == 0:
+            return total
+        operation = self._ops.operations[op_index]
+        # An operation whose two operands are the same value (x + x, x * x)
+        # must read it from the register file: absorbing it under one edge
+        # would leave the other edge reading a value produced in this very
+        # cycle, which the datapath cannot do.
+        if operation.arg0 == operation.arg1:
+            return total
+        for arg in (operation.arg0, operation.arg1):
+            if arg < self._ops.n_inputs:
+                continue
+            child = arg - self._ops.n_inputs
+            if self._absorbable(child, members):
+                total += self._simulate_grow(child, budget - 1, members)
+        return total
+
+    def _best_height(self, op_index: int) -> int:
+        """Pick the cone height for the cone rooted at ``op_index``.
+
+        Roots with little scheduling slack take the deepest cone the covering
+        rules allow — every absorbed level removes one register-file
+        round-trip from the dependence chain.  Everything else is covered for
+        leaf-PE density.
+        """
+        if self._slack[op_index] <= self._slack_threshold:
+            best = 0
+            for height in range(1, self._max_height + 1):
+                if self._count_ops(op_index, height, set()) > self._count_ops(
+                    op_index, best, set()
+                ):
+                    best = height
+            return best
+        best = 0
+        best_score = 1.0  # height 0: one op on one leaf PE
+        for height in range(1, self._max_height + 1):
+            n_ops = self._count_ops(op_index, height, set())
+            density = n_ops / float(2 ** height)
+            if n_ops > 1 and density >= self._min_density and density >= best_score:
+                best = height
+                best_score = density
+        return best
+
+    def _grow(self, cone: Cone, op_index: int, depth: int, budget: int) -> None:
+        """Absorb ``op_index`` at ``depth`` below the root, then grow downwards."""
+        ops = self._ops
+        self._covered[op_index] = True
+        cone.members.append(op_index)
+        cone.depth_from_root[op_index] = depth
+        members = set(cone.members)
+        operation = ops.operations[op_index]
+        # Same-operand operations (x + x, x * x) keep both references external;
+        # see _simulate_grow for the rationale.
+        may_absorb = budget > 0 and operation.arg0 != operation.arg1
+        already_external = {
+            operand.slot
+            for specs in cone.operands.values()
+            for operand in specs
+            if operand.kind == "external"
+        }
+        specs: List[ConeOperand] = []
+        for arg in (operation.arg0, operation.arg1):
+            absorbed = False
+            if arg >= ops.n_inputs and may_absorb and arg not in already_external:
+                # If an earlier member already reads this value from the
+                # register file, producing it inside the cone would leave that
+                # read dangling in the same cycle, so keep it external.
+                child = arg - ops.n_inputs
+                if self._absorbable(child, members):
+                    self._grow(cone, child, depth + 1, budget - 1)
+                    members = set(cone.members)
+                    specs.append(ConeOperand.internal(child))
+                    absorbed = True
+            if not absorbed:
+                specs.append(ConeOperand.external(arg))
+        cone.operands[op_index] = (specs[0], specs[1])
+
+    # -- driver ----------------------------------------------------------- #
+    def run(self) -> ConeGraph:
+        ops = self._ops
+        for op_index in range(ops.n_operations - 1, -1, -1):
+            if self._covered[op_index]:
+                continue
+            cone = Cone(index=len(self._cones), root_op=op_index)
+            height = self._best_height(op_index) if self._max_height > 0 else 0
+            self._grow(cone, op_index, depth=0, budget=height)
+            self._finalize(cone)
+            self._cones.append(cone)
+        return ConeGraph(ops=ops, cones=self._cones, producer=self._producer)
+
+    def _finalize(self, cone: Cone) -> None:
+        """Determine which members must write their value to the register file."""
+        ops = self._ops
+        produced = {ops.dest_slot(member) for member in cone.members}
+        for slot in cone.external_slots():
+            if slot in produced:
+                raise ValueError(
+                    f"internal error: cone {cone.index} reads slot {slot} from the "
+                    "register file although it produces that value itself"
+                )
+        internal_uses: Dict[int, int] = {}
+        for op_index in cone.members:
+            for operand in cone.operands[op_index]:
+                if operand.kind == "internal":
+                    internal_uses[operand.op_index] = internal_uses.get(operand.op_index, 0) + 1
+        for op_index in cone.members:
+            slot = ops.dest_slot(op_index)
+            external_uses = self._fanout[slot] - internal_uses.get(op_index, 0)
+            if op_index == cone.root_op or external_uses > 0:
+                cone.outputs.append(op_index)
+                self._producer[slot] = cone.index
+
+
+def extract_cones(
+    ops: OperationList,
+    max_depth: int,
+    min_density: float = 1.0,
+    slack_threshold: int = 2,
+) -> ConeGraph:
+    """Cover ``ops`` with cones of at most ``max_depth`` PE levels.
+
+    ``max_depth`` is the number of PE levels of the target tree
+    (``ProcessorConfig.n_levels``): 4 for ``Ptree`` (cones of up to 15
+    operations), 1 for ``Pvect`` (single-operation cones).  ``min_density``
+    is the minimum operations-per-blocked-leaf-PE ratio accepted for
+    multi-level cones, and ``slack_threshold`` the scheduling slack below
+    which a root is covered latency-first (see the module docstring).
+    """
+    if max_depth < 1:
+        raise ValueError("max_depth must be >= 1")
+    if min_density <= 0:
+        raise ValueError("min_density must be positive")
+    return _Extractor(ops, max_depth, min_density, slack_threshold).run()

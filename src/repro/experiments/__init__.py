@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per table/figure of the paper plus sweeps.
+
+* :mod:`repro.experiments.fig2c` — CPU vs GPU thread-count sweep (Fig. 2c);
+* :mod:`repro.experiments.table1` — platform resource table (Table I);
+* :mod:`repro.experiments.fig4` — suite-wide throughput comparison (Fig. 4);
+* :mod:`repro.experiments.claims` — the headline claims of Sec. V;
+* :mod:`repro.experiments.sweeps` — ablations and design-space sweeps.
+
+Each module exposes ``run()`` returning structured data and ``main()``
+returning the rendered text, and can be executed with
+``python -m repro.experiments.<name>``.
+"""
+
+from . import claims, fig2c, fig4, platforms, sweeps, table1
+from .platforms import (
+    DEFAULT_PLATFORMS,
+    PLATFORM_CPU,
+    PLATFORM_GPU,
+    PLATFORM_PTREE,
+    PLATFORM_PVECT,
+    run_benchmark,
+    run_platform,
+    run_suite,
+)
+
+__all__ = [
+    "claims",
+    "fig2c",
+    "fig4",
+    "platforms",
+    "sweeps",
+    "table1",
+    "DEFAULT_PLATFORMS",
+    "PLATFORM_CPU",
+    "PLATFORM_GPU",
+    "PLATFORM_PTREE",
+    "PLATFORM_PVECT",
+    "run_benchmark",
+    "run_platform",
+    "run_suite",
+]

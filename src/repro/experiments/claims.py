@@ -1,0 +1,85 @@
+"""Headline claims of the paper (Sec. V text), derived from the Fig. 4 data.
+
+The paper summarizes its evaluation with a handful of scalar claims:
+
+* CPU peak throughput is about 0.55 operations/cycle;
+* GPU peak throughput is about 0.95 operations/cycle;
+* ``Ptree`` reaches a peak of 11.6 operations/cycle;
+* ``Ptree`` is at least 12x faster than both the CPU and the GPU;
+* ``Ptree`` is about 2x faster than ``Pvect``.
+
+This module recomputes each claim from the reproduction's own Fig. 4 data so
+that EXPERIMENTS.md (and the claims benchmark) can report paper-vs-measured
+side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.metrics import PlatformResult, geometric_mean, peak, speedup
+from ..analysis.report import format_table
+from .platforms import PLATFORM_CPU, PLATFORM_GPU, PLATFORM_PTREE, PLATFORM_PVECT
+from . import fig4
+
+__all__ = ["Claim", "derive_claims", "main"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One headline claim with the paper's value and the measured value."""
+
+    name: str
+    paper_value: float
+    measured_value: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured_value / self.paper_value if self.paper_value else float("nan")
+
+
+def derive_claims(
+    results: Optional[Dict[str, Dict[str, PlatformResult]]] = None,
+    names: Optional[Iterable[str]] = None,
+) -> List[Claim]:
+    """Compute the five headline claims from Fig. 4 data (running it if needed)."""
+    if results is None:
+        results = fig4.run(names)
+    cpu = [r[PLATFORM_CPU].ops_per_cycle for r in results.values()]
+    gpu = [r[PLATFORM_GPU].ops_per_cycle for r in results.values()]
+    pvect = [r[PLATFORM_PVECT].ops_per_cycle for r in results.values()]
+    ptree = [r[PLATFORM_PTREE].ops_per_cycle for r in results.values()]
+
+    speedup_vs_cpu = geometric_mean(
+        [speedup(t, c) for t, c in zip(ptree, cpu)]
+    )
+    speedup_vs_gpu = geometric_mean(
+        [speedup(t, g) for t, g in zip(ptree, gpu)]
+    )
+    speedup_vs_pvect = geometric_mean(
+        [speedup(t, v) for t, v in zip(ptree, pvect)]
+    )
+    return [
+        Claim("CPU peak ops/cycle", 0.55, peak(cpu)),
+        Claim("GPU peak ops/cycle", 0.95, peak(gpu)),
+        Claim("Ptree peak ops/cycle", 11.6, peak(ptree)),
+        Claim("Ptree speedup over CPU (geomean)", 12.0, speedup_vs_cpu),
+        Claim("Ptree speedup over GPU (geomean)", 12.0, speedup_vs_gpu),
+        Claim("Ptree speedup over Pvect (geomean)", 2.0, speedup_vs_pvect),
+    ]
+
+
+def main(names: Optional[Iterable[str]] = None) -> str:
+    """Render the paper-vs-measured claims table."""
+    claims = derive_claims(names=names)
+    rows = [(c.name, c.paper_value, c.measured_value, c.ratio) for c in claims]
+    return format_table(
+        ["claim", "paper", "measured", "measured/paper"],
+        rows,
+        title="Headline claims (Sec. V) - paper vs this reproduction",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(main())

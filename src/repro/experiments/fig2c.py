@@ -1,0 +1,59 @@
+"""Figure 2(c): CPU vs GPU throughput for different thread-block sizes.
+
+The paper measures a CPU implementation and CUDA kernels with 1, 32, 64, 128
+and 256 threads on one SPN trained on a benchmark of the Lowd-Davis suite [7]
+and reports (a) that a single GPU thread is slower than the CPU, and (b) that
+256 threads only bring a ~4.1x improvement over one thread — sublinear
+scaling caused by synchronization overhead, shared-memory bandwidth and
+divergence.  This driver regenerates the same series using the Audio
+benchmark (a Lowd-Davis dataset) as the representative SPN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..analysis.report import format_bar_chart, format_table
+from ..baselines.cpu import simulate_cpu
+from ..baselines.gpu import GpuConfig, thread_sweep
+from ..suite.registry import benchmark_operation_list
+
+__all__ = ["THREAD_COUNTS", "DEFAULT_BENCHMARK", "run", "main"]
+
+THREAD_COUNTS: Sequence[int] = (1, 32, 64, 128, 256)
+#: Lowd-Davis benchmark used as "an SPN trained on a benchmark in [7]".
+DEFAULT_BENCHMARK = "Audio"
+
+
+def run(
+    benchmark: str = DEFAULT_BENCHMARK,
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+    gpu_config: Optional[GpuConfig] = None,
+) -> Dict[str, float]:
+    """Return the Fig. 2(c) series: CPU plus one entry per GPU block size."""
+    ops = benchmark_operation_list(benchmark)
+    series: Dict[str, float] = {"CPU": simulate_cpu(ops).ops_per_cycle}
+    for threads, result in thread_sweep(ops, thread_counts, gpu_config).items():
+        series[f"GPU {threads} thr"] = result.ops_per_cycle
+    return series
+
+
+def main(benchmark: str = DEFAULT_BENCHMARK) -> str:
+    """Render Fig. 2(c) as a table plus bar chart and return the text."""
+    series = run(benchmark)
+    scaling = series[f"GPU {THREAD_COUNTS[-1]} thr"] / series["GPU 1 thr"]
+    table = format_table(
+        ["configuration", "ops/cycle"],
+        [(name, value) for name, value in series.items()],
+        title=f"Fig. 2(c) reproduction - benchmark: {benchmark}",
+    )
+    chart = format_bar_chart(series, title="throughput (operations/cycle)")
+    footer = (
+        f"GPU {THREAD_COUNTS[-1]}-thread speedup over 1 thread: {scaling:.1f}x "
+        "(paper reports 4.1x)"
+    )
+    return "\n\n".join([table, chart, footer])
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(main())

@@ -1,0 +1,132 @@
+"""Shared helpers to evaluate one SPN on all four platforms of the paper.
+
+Every experiment (Fig. 2c, Fig. 4, the headline claims and the ablation
+sweeps) funnels through :func:`run_platform`, so the CPU model, the GPU model
+and the custom-processor flow are always exercised with the same operation
+list and the same throughput metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..analysis.metrics import PlatformResult
+from ..baselines.cpu import CpuConfig, simulate_cpu
+from ..baselines.gpu import GpuConfig, simulate_gpu
+from ..compiler.driver import compile_operation_list
+from ..compiler.scheduler import ScheduleOptions
+from ..processor.config import ProcessorConfig, ptree_config, pvect_config
+from ..spn.linearize import OperationList
+from ..suite.registry import benchmark_names, benchmark_operation_list
+
+__all__ = [
+    "PLATFORM_CPU",
+    "PLATFORM_GPU",
+    "PLATFORM_PVECT",
+    "PLATFORM_PTREE",
+    "DEFAULT_PLATFORMS",
+    "run_cpu",
+    "run_gpu",
+    "run_processor",
+    "run_platform",
+    "run_benchmark",
+    "run_suite",
+]
+
+PLATFORM_CPU = "CPU"
+PLATFORM_GPU = "GPU"
+PLATFORM_PVECT = "Pvect"
+PLATFORM_PTREE = "Ptree"
+DEFAULT_PLATFORMS = (PLATFORM_CPU, PLATFORM_GPU, PLATFORM_PVECT, PLATFORM_PTREE)
+
+
+def run_cpu(
+    ops: OperationList, benchmark: str = "", config: Optional[CpuConfig] = None
+) -> PlatformResult:
+    """Throughput of the CPU model (Sec. III) on ``ops``."""
+    result = simulate_cpu(ops, config)
+    return PlatformResult(
+        platform=PLATFORM_CPU,
+        benchmark=benchmark,
+        ops_per_cycle=result.ops_per_cycle,
+        cycles=result.cycles,
+        n_operations=result.n_operations,
+    )
+
+
+def run_gpu(
+    ops: OperationList, benchmark: str = "", config: Optional[GpuConfig] = None
+) -> PlatformResult:
+    """Throughput of the GPU (SIMT) model on ``ops``."""
+    result = simulate_gpu(ops, config)
+    return PlatformResult(
+        platform=PLATFORM_GPU,
+        benchmark=benchmark,
+        ops_per_cycle=result.ops_per_cycle,
+        cycles=result.cycles,
+        n_operations=result.n_operations,
+    )
+
+
+def run_processor(
+    ops: OperationList,
+    config: ProcessorConfig,
+    benchmark: str = "",
+    options: Optional[ScheduleOptions] = None,
+    verify: bool = True,
+) -> PlatformResult:
+    """Compile ``ops`` for ``config`` and measure it on the cycle-accurate simulator.
+
+    With ``verify`` enabled (the default) the run uses strict mode, so every
+    value transported through the register file is checked against the
+    reference evaluation — throughput numbers are only reported for programs
+    that compute the right answer.
+    """
+    kernel = compile_operation_list(ops, config, options)
+    result = kernel.run(evidence=None, strict=verify)
+    return PlatformResult(
+        platform=config.name,
+        benchmark=benchmark,
+        ops_per_cycle=result.ops_per_cycle,
+        cycles=result.cycles,
+        n_operations=result.n_operations,
+    )
+
+
+def run_platform(
+    platform: str,
+    ops: OperationList,
+    benchmark: str = "",
+    options: Optional[ScheduleOptions] = None,
+) -> PlatformResult:
+    """Run ``ops`` on one of the four named platforms of the paper."""
+    if platform == PLATFORM_CPU:
+        return run_cpu(ops, benchmark)
+    if platform == PLATFORM_GPU:
+        return run_gpu(ops, benchmark)
+    if platform == PLATFORM_PVECT:
+        return run_processor(ops, pvect_config(), benchmark, options)
+    if platform == PLATFORM_PTREE:
+        return run_processor(ops, ptree_config(), benchmark, options)
+    raise ValueError(f"unknown platform {platform!r}; expected one of {DEFAULT_PLATFORMS}")
+
+
+def run_benchmark(
+    name: str,
+    platforms: Iterable[str] = DEFAULT_PLATFORMS,
+    options: Optional[ScheduleOptions] = None,
+) -> Dict[str, PlatformResult]:
+    """Evaluate one suite benchmark on the requested platforms."""
+    ops = benchmark_operation_list(name)
+    return {p: run_platform(p, ops, benchmark=name, options=options) for p in platforms}
+
+
+def run_suite(
+    names: Optional[Iterable[str]] = None,
+    platforms: Iterable[str] = DEFAULT_PLATFORMS,
+    options: Optional[ScheduleOptions] = None,
+) -> Dict[str, Dict[str, PlatformResult]]:
+    """Evaluate several (by default all nine) suite benchmarks."""
+    names = list(names) if names is not None else benchmark_names()
+    return {name: run_benchmark(name, platforms, options) for name in names}

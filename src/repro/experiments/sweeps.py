@@ -1,0 +1,146 @@
+"""Ablation and design-space sweeps beyond the paper's two configurations.
+
+The paper evaluates exactly two design points (``Ptree`` and ``Pvect``).
+These sweeps explore the surrounding design space and the compiler features
+DESIGN.md calls out, so that the contribution of each architectural and
+compiler ingredient can be quantified:
+
+* number of PE trees and tree depth (at a fixed 32-bank register file);
+* conflict-aware vs naive register-bank allocation;
+* subtree packing (several cones per tree per cycle) on vs off;
+* GPU shared-memory bank allocation: graph coloring vs plain interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.report import format_table
+from ..baselines.gpu import GpuConfig, simulate_gpu
+from ..compiler.scheduler import ScheduleOptions
+from ..processor.config import ProcessorConfig
+from ..spn.linearize import OperationList
+from ..suite.registry import benchmark_operation_list
+from .platforms import run_processor
+
+__all__ = [
+    "tree_arrangement_sweep",
+    "allocation_ablation",
+    "packing_ablation",
+    "gpu_bank_allocation_ablation",
+    "main",
+]
+
+#: Benchmark used by default for the sweeps (mid-sized, Lowd-Davis suite).
+DEFAULT_BENCHMARK = "KDDCup2k"
+
+#: (name, n_trees, n_levels) points sharing the 32-bank register file.
+TREE_ARRANGEMENTS: Tuple[Tuple[str, int, int], ...] = (
+    ("16 trees x 1 level (Pvect)", 16, 1),
+    ("8 trees x 2 levels", 8, 2),
+    ("4 trees x 3 levels", 4, 3),
+    ("2 trees x 4 levels (Ptree)", 2, 4),
+)
+
+
+def _ops(benchmark: str) -> OperationList:
+    return benchmark_operation_list(benchmark)
+
+
+def tree_arrangement_sweep(
+    benchmark: str = DEFAULT_BENCHMARK,
+    arrangements: Iterable[Tuple[str, int, int]] = TREE_ARRANGEMENTS,
+) -> Dict[str, float]:
+    """Throughput for several PE-tree arrangements with the same register file."""
+    ops = _ops(benchmark)
+    results: Dict[str, float] = {}
+    for name, n_trees, n_levels in arrangements:
+        config = ProcessorConfig(
+            name=name, n_trees=n_trees, n_levels=n_levels, n_banks=32, bank_depth=64
+        )
+        results[name] = run_processor(ops, config, benchmark).ops_per_cycle
+    return results
+
+
+def allocation_ablation(benchmark: str = DEFAULT_BENCHMARK) -> Dict[str, Dict[str, float]]:
+    """Conflict-aware vs naive register-bank allocation for Ptree and Pvect."""
+    from ..processor.config import ptree_config, pvect_config
+
+    ops = _ops(benchmark)
+    out: Dict[str, Dict[str, float]] = {}
+    for label, options in (
+        ("conflict-aware", ScheduleOptions(conflict_aware_allocation=True)),
+        ("naive", ScheduleOptions(conflict_aware_allocation=False)),
+    ):
+        out[label] = {
+            config.name: run_processor(ops, config, benchmark, options).ops_per_cycle
+            for config in (pvect_config(), ptree_config())
+        }
+    return out
+
+
+def packing_ablation(benchmark: str = DEFAULT_BENCHMARK) -> Dict[str, float]:
+    """Effect of packing several cones per tree per cycle (Ptree only)."""
+    from ..processor.config import ptree_config
+
+    ops = _ops(benchmark)
+    return {
+        "packing on": run_processor(
+            ops, ptree_config(), benchmark, ScheduleOptions(pack_multiple_cones=True)
+        ).ops_per_cycle,
+        "packing off": run_processor(
+            ops, ptree_config(), benchmark, ScheduleOptions(pack_multiple_cones=False)
+        ).ops_per_cycle,
+    }
+
+
+def gpu_bank_allocation_ablation(benchmark: str = DEFAULT_BENCHMARK) -> Dict[str, float]:
+    """GPU shared-memory bank allocation: graph coloring vs interleaved layout."""
+    ops = _ops(benchmark)
+    return {
+        "graph coloring": simulate_gpu(ops, GpuConfig(bank_allocation="coloring")).ops_per_cycle,
+        "interleaved": simulate_gpu(ops, GpuConfig(bank_allocation="interleaved")).ops_per_cycle,
+    }
+
+
+def main(benchmark: str = DEFAULT_BENCHMARK) -> str:
+    """Render all sweeps for one benchmark."""
+    sections: List[str] = []
+    sections.append(
+        format_table(
+            ["arrangement", "ops/cycle"],
+            list(tree_arrangement_sweep(benchmark).items()),
+            title=f"PE arrangement sweep ({benchmark})",
+        )
+    )
+    allocation = allocation_ablation(benchmark)
+    rows = [
+        (label, values["Pvect"], values["Ptree"])
+        for label, values in allocation.items()
+    ]
+    sections.append(
+        format_table(
+            ["register allocation", "Pvect", "Ptree"],
+            rows,
+            title=f"Register-bank allocation ablation ({benchmark})",
+        )
+    )
+    sections.append(
+        format_table(
+            ["scheduler", "ops/cycle"],
+            list(packing_ablation(benchmark).items()),
+            title=f"Subtree packing ablation ({benchmark})",
+        )
+    )
+    sections.append(
+        format_table(
+            ["GPU bank allocation", "ops/cycle"],
+            list(gpu_bank_allocation_ablation(benchmark).items()),
+            title=f"GPU shared-memory bank allocation ({benchmark})",
+        )
+    )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(main())

@@ -1,0 +1,42 @@
+"""Exception types raised by the processor simulator and the compiler."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ProcessorError",
+    "StructuralHazardError",
+    "UninitializedReadError",
+    "VerificationError",
+    "CompilationError",
+    "ResourceError",
+]
+
+
+class ProcessorError(RuntimeError):
+    """Base class for all simulator- and compiler-side errors."""
+
+
+class StructuralHazardError(ProcessorError):
+    """A program violated a structural constraint of the machine.
+
+    Examples: two reads of the same bank in one cycle, a PE writing to a bank
+    outside its allowed window, two writes committing to the same bank in the
+    same cycle, out-of-range register or data-memory indices.
+    """
+
+
+class UninitializedReadError(ProcessorError):
+    """A program read a register or fed a PE before any value was available."""
+
+
+class VerificationError(ProcessorError):
+    """Strict-mode check failed: a transported value does not match the
+    reference evaluation of the operation list."""
+
+
+class CompilationError(ProcessorError):
+    """The compiler could not produce a valid program."""
+
+
+class ResourceError(CompilationError):
+    """The SPN does not fit the machine (register file or data memory overflow)."""

@@ -1,0 +1,93 @@
+"""Sum-product network substrate: data structures, evaluation, lowering, learning."""
+
+from .nodes import (
+    IndicatorLeaf,
+    LeafNode,
+    Node,
+    NodeId,
+    ParameterLeaf,
+    ProductNode,
+    SumNode,
+    is_internal,
+    is_leaf,
+)
+from .graph import SPN, SPNStats, StructureError
+from .evaluate import (
+    MARGINALIZED,
+    evaluate,
+    evaluate_batch,
+    evaluate_log,
+    evaluate_nodes,
+    partition_function,
+)
+from .linearize import (
+    OP_ADD,
+    OP_MUL,
+    InputSlot,
+    Operation,
+    OperationList,
+    VectorProgram,
+    linearize,
+)
+from .generate import (
+    GeneratorConfig,
+    RatSpnConfig,
+    generate_rat_spn,
+    generate_spn,
+    random_evidence,
+)
+from .learn import LearnConfig, learn_spn, pairwise_mutual_information
+from .datasets import DatasetSpec, generate_dataset, train_test_split
+from .queries import (
+    conditional,
+    log_likelihood,
+    log_marginal,
+    marginal,
+    most_probable_explanation,
+)
+from . import io
+
+__all__ = [
+    "SPN",
+    "SPNStats",
+    "StructureError",
+    "Node",
+    "NodeId",
+    "LeafNode",
+    "IndicatorLeaf",
+    "ParameterLeaf",
+    "SumNode",
+    "ProductNode",
+    "is_leaf",
+    "is_internal",
+    "MARGINALIZED",
+    "evaluate",
+    "evaluate_log",
+    "evaluate_batch",
+    "evaluate_nodes",
+    "partition_function",
+    "OP_ADD",
+    "OP_MUL",
+    "InputSlot",
+    "Operation",
+    "OperationList",
+    "VectorProgram",
+    "linearize",
+    "GeneratorConfig",
+    "RatSpnConfig",
+    "generate_spn",
+    "generate_rat_spn",
+    "random_evidence",
+    "LearnConfig",
+    "learn_spn",
+    "pairwise_mutual_information",
+    "DatasetSpec",
+    "generate_dataset",
+    "train_test_split",
+    "conditional",
+    "log_likelihood",
+    "log_marginal",
+    "marginal",
+    "most_probable_explanation",
+    "io",
+]

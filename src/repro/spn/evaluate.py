@@ -1,0 +1,167 @@
+"""Exact evaluation of SPNs (reference implementation).
+
+These routines are the functional ground truth that every execution backend
+in the repository (operation lists, the GPU kernel model, the custom
+processor simulator) is checked against.
+
+Evidence is a mapping ``{variable_index: value}``; variables that are not
+present are marginalized out, i.e. all of their indicator leaves evaluate to
+one.  Batched evaluation takes an integer array where the sentinel value
+``-1`` marks an unobserved variable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .graph import SPN
+from .nodes import IndicatorLeaf, ParameterLeaf, ProductNode, SumNode
+
+__all__ = [
+    "MARGINALIZED",
+    "evaluate",
+    "evaluate_log",
+    "evaluate_batch",
+    "evaluate_nodes",
+    "partition_function",
+]
+
+#: Sentinel used in batched evidence arrays for "variable not observed".
+MARGINALIZED = -1
+
+
+def _indicator_value(leaf: IndicatorLeaf, evidence: Mapping[int, int]) -> float:
+    observed = evidence.get(leaf.var)
+    if observed is None or observed == MARGINALIZED:
+        return 1.0
+    return 1.0 if observed == leaf.value else 0.0
+
+
+def evaluate_nodes(spn: SPN, evidence: Optional[Mapping[int, int]] = None) -> Dict[int, float]:
+    """Evaluate every reachable node bottom-up and return ``{node_id: value}``."""
+    evidence = evidence or {}
+    values: Dict[int, float] = {}
+    for nid in spn.topological_order():
+        node = spn.node(nid)
+        if isinstance(node, IndicatorLeaf):
+            values[nid] = _indicator_value(node, evidence)
+        elif isinstance(node, ParameterLeaf):
+            values[nid] = node.prob
+        elif isinstance(node, SumNode):
+            if node.is_weighted:
+                assert node.weights is not None
+                values[nid] = sum(
+                    w * values[c] for w, c in zip(node.weights, node.children)
+                )
+            else:
+                values[nid] = sum(values[c] for c in node.children)
+        elif isinstance(node, ProductNode):
+            acc = 1.0
+            for c in node.children:
+                acc *= values[c]
+            values[nid] = acc
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type {type(node)!r}")
+    return values
+
+
+def evaluate(spn: SPN, evidence: Optional[Mapping[int, int]] = None) -> float:
+    """Evaluate the SPN at the root in the linear domain."""
+    return evaluate_nodes(spn, evidence)[spn.root]
+
+
+def evaluate_log(spn: SPN, evidence: Optional[Mapping[int, int]] = None) -> float:
+    """Evaluate the SPN in the log domain (numerically robust for deep networks).
+
+    Returns ``-inf`` when the evidence has probability zero.
+    """
+    evidence = evidence or {}
+    log_values: Dict[int, float] = {}
+    for nid in spn.topological_order():
+        node = spn.node(nid)
+        if isinstance(node, IndicatorLeaf):
+            v = _indicator_value(node, evidence)
+            log_values[nid] = 0.0 if v > 0.0 else -math.inf
+        elif isinstance(node, ParameterLeaf):
+            log_values[nid] = math.log(node.prob) if node.prob > 0.0 else -math.inf
+        elif isinstance(node, SumNode):
+            children = node.children
+            if node.is_weighted:
+                assert node.weights is not None
+                terms = [
+                    (math.log(w) if w > 0.0 else -math.inf) + log_values[c]
+                    for w, c in zip(node.weights, children)
+                ]
+            else:
+                terms = [log_values[c] for c in children]
+            m = max(terms)
+            if m == -math.inf:
+                log_values[nid] = -math.inf
+            else:
+                log_values[nid] = m + math.log(sum(math.exp(t - m) for t in terms))
+        elif isinstance(node, ProductNode):
+            log_values[nid] = sum(log_values[c] for c in node.children)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type {type(node)!r}")
+    return log_values[spn.root]
+
+
+def evaluate_batch(spn: SPN, data: np.ndarray) -> np.ndarray:
+    """Evaluate the SPN on a batch of samples.
+
+    Parameters
+    ----------
+    data:
+        Integer array of shape ``(n_samples, n_vars)``.  Column ``v`` holds the
+        observed value of variable ``v``; use :data:`MARGINALIZED` (-1) for
+        unobserved variables.  Variables whose index exceeds the number of
+        columns are treated as unobserved.
+
+    Returns
+    -------
+    numpy.ndarray
+        Vector of root values, shape ``(n_samples,)``.
+    """
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
+    n_samples, n_cols = data.shape
+    values: Dict[int, np.ndarray] = {}
+    for nid in spn.topological_order():
+        node = spn.node(nid)
+        if isinstance(node, IndicatorLeaf):
+            if node.var >= n_cols:
+                values[nid] = np.ones(n_samples)
+            else:
+                col = data[:, node.var]
+                values[nid] = np.where(
+                    (col == MARGINALIZED) | (col == node.value), 1.0, 0.0
+                )
+        elif isinstance(node, ParameterLeaf):
+            values[nid] = np.full(n_samples, node.prob)
+        elif isinstance(node, SumNode):
+            acc = np.zeros(n_samples)
+            if node.is_weighted:
+                assert node.weights is not None
+                for w, c in zip(node.weights, node.children):
+                    acc = acc + w * values[c]
+            else:
+                for c in node.children:
+                    acc = acc + values[c]
+            values[nid] = acc
+        elif isinstance(node, ProductNode):
+            acc = np.ones(n_samples)
+            for c in node.children:
+                acc = acc * values[c]
+            values[nid] = acc
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type {type(node)!r}")
+    return values[spn.root]
+
+
+def partition_function(spn: SPN) -> float:
+    """Value of the network with all variables marginalized (the normalizer Z)."""
+    return evaluate(spn, {})

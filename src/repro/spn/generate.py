@@ -1,0 +1,339 @@
+"""Deterministic random generation of valid SPN structures.
+
+The benchmark SPNs used in the paper were learned with LearnPSDD on the UCI
+and Lowd-Davis dataset suites; neither the datasets nor the toolchain are
+available offline, so the suite (:mod:`repro.suite`) instead instantiates
+structures from this generator with per-benchmark shape profiles.  Throughput
+in operations/cycle depends on the *shape* of the operation DAG (size, depth,
+fan-out and data reuse), which the generator controls explicitly, rather than
+on the learned parameters.
+
+The generator follows the usual region-graph recipe: a scope of variables is
+recursively split into disjoint parts (product nodes) and alternative splits
+are mixed (sum nodes), which yields smooth and decomposable networks by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .graph import SPN
+from .nodes import normalized_weights
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_spn",
+    "RatSpnConfig",
+    "generate_rat_spn",
+    "random_evidence",
+]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape parameters for :func:`generate_spn`.
+
+    Attributes
+    ----------
+    n_vars:
+        Number of (binary, unless ``n_values`` says otherwise) random variables.
+    n_values:
+        Number of values per variable (2 for the benchmark datasets).
+    sum_children:
+        Number of alternative decompositions mixed at every sum node.
+    product_parts:
+        Number of scope parts at every product node.
+    max_depth:
+        Maximum recursion depth before scopes are forced into leaf mixtures.
+    leaf_components:
+        Number of mixture components for a single-variable leaf region.
+    reuse_probability:
+        Probability of reusing an already-generated node for a repeated
+        (scope, depth) region instead of generating a fresh one.  Higher
+        values increase fan-out (data reuse), which stresses the register
+        file and crossbar of the processor model.
+    seed:
+        Seed for the underlying PRNG, making the structure deterministic.
+    """
+
+    n_vars: int
+    n_values: int = 2
+    sum_children: int = 2
+    product_parts: int = 2
+    max_depth: int = 16
+    leaf_components: int = 2
+    reuse_probability: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_vars < 1:
+            raise ValueError("n_vars must be >= 1")
+        if self.n_values < 2:
+            raise ValueError("n_values must be >= 2")
+        if self.sum_children < 1 or self.product_parts < 2:
+            raise ValueError("sum_children must be >= 1 and product_parts >= 2")
+        if not 0.0 <= self.reuse_probability <= 1.0:
+            raise ValueError("reuse_probability must be in [0, 1]")
+
+
+class _Generator:
+    def __init__(self, config: GeneratorConfig) -> None:
+        self._cfg = config
+        self._rng = np.random.default_rng(config.seed)
+        self._spn = SPN()
+        # Cache of generated region roots, keyed by (scope tuple, depth band).
+        self._region_cache: Dict[Tuple[Tuple[int, ...], int], List[int]] = {}
+        # One shared set of indicators per variable keeps the input layer compact.
+        self._indicators: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    def _indicator(self, var: int, value: int) -> int:
+        key = (var, value)
+        if key not in self._indicators:
+            self._indicators[key] = self._spn.add_indicator(var, value)
+        return self._indicators[key]
+
+    def _leaf_mixture(self, var: int) -> int:
+        """A categorical distribution over one variable as a weighted sum."""
+        cfg = self._cfg
+        children = [self._indicator(var, v) for v in range(cfg.n_values)]
+        raw = self._rng.dirichlet(np.ones(cfg.n_values))
+        return self._spn.add_sum(children, weights=normalized_weights(raw.tolist()))
+
+    def _split_scope(self, scope: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+        """Randomly partition ``scope`` into ``product_parts`` non-empty parts."""
+        cfg = self._cfg
+        vars_ = list(scope)
+        self._rng.shuffle(vars_)
+        n_parts = min(cfg.product_parts, len(vars_))
+        parts: List[List[int]] = [[] for _ in range(n_parts)]
+        # Guarantee every part is non-empty, then spread the rest uniformly.
+        for i in range(n_parts):
+            parts[i].append(vars_[i])
+        for v in vars_[n_parts:]:
+            parts[int(self._rng.integers(0, n_parts))].append(v)
+        return [tuple(sorted(p)) for p in parts]
+
+    def _region(self, scope: Tuple[int, ...], depth: int) -> int:
+        """Generate (or reuse) a node whose scope is exactly ``scope``."""
+        cfg = self._cfg
+        key = (scope, depth)
+        cached = self._region_cache.get(key)
+        if cached and self._rng.random() < cfg.reuse_probability:
+            return cached[int(self._rng.integers(0, len(cached)))]
+
+        if len(scope) == 1:
+            var = scope[0]
+            if cfg.leaf_components <= 1:
+                node = self._leaf_mixture(var)
+            else:
+                components = [self._leaf_mixture(var) for _ in range(cfg.leaf_components)]
+                raw = self._rng.dirichlet(np.ones(len(components)))
+                node = self._spn.add_sum(components, weights=normalized_weights(raw.tolist()))
+        elif depth >= cfg.max_depth:
+            # Fully factorized fallback keeps the recursion bounded.
+            parts = [self._region((v,), depth + 1) for v in scope]
+            node = self._spn.add_product(parts)
+        else:
+            alternatives: List[int] = []
+            for _ in range(cfg.sum_children):
+                parts = self._split_scope(scope)
+                children = [self._region(p, depth + 1) for p in parts]
+                if len(children) == 1:
+                    alternatives.append(children[0])
+                else:
+                    alternatives.append(self._spn.add_product(children))
+            if len(alternatives) == 1:
+                node = alternatives[0]
+            else:
+                raw = self._rng.dirichlet(np.ones(len(alternatives)))
+                node = self._spn.add_sum(
+                    alternatives, weights=normalized_weights(raw.tolist())
+                )
+
+        self._region_cache.setdefault(key, []).append(node)
+        return node
+
+    def run(self) -> SPN:
+        scope = tuple(range(self._cfg.n_vars))
+        root = self._region(scope, depth=0)
+        self._spn.set_root(root)
+        return self._spn
+
+
+def generate_spn(config: GeneratorConfig) -> SPN:
+    """Generate a smooth, decomposable SPN according to ``config``.
+
+    The same configuration always produces the same network.
+    """
+    spn = _Generator(config).run()
+    spn.check_valid()
+    return spn
+
+
+@dataclass(frozen=True)
+class RatSpnConfig:
+    """Shape parameters for :func:`generate_rat_spn` (random tensorized SPNs).
+
+    The construction follows the region-graph recipe of random sum-product
+    networks (Peharz et al., UAI 2019, cited in the paper's introduction):
+    the variable set is recursively split into two random parts down to
+    ``depth`` levels, ``repetitions`` times with different random splits;
+    every internal region holds ``n_sums`` sum nodes whose children are
+    cross-products of the child regions' nodes, and every leaf region holds
+    ``n_leaf_components`` factorized leaf distributions.
+
+    The resulting network size is approximately
+    ``repetitions * n_regions * n_sums**3`` internal operations plus
+    ``n_vars * n_leaf_components`` leaf operations, which gives direct
+    control over benchmark sizes.
+
+    ``split_balance`` controls the shape of the variable decomposition
+    ("vtree"): ``0.5`` yields balanced splits (shallow, wide networks), while
+    small values (e.g. ``0.1``) yield right-linear splits like the vtrees
+    LearnPSDD tends to learn, producing the deep, narrow operation DAGs whose
+    limited per-level parallelism is responsible for the GPU's sublinear
+    thread scaling in the paper.  With unbalanced splits the recursion runs
+    until scopes become singletons, so ``depth`` acts as an upper bound only
+    for balanced splits.
+    """
+
+    n_vars: int
+    depth: int = 3
+    repetitions: int = 2
+    n_sums: int = 2
+    n_leaf_components: int = 2
+    n_values: int = 2
+    split_balance: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_vars < 2:
+            raise ValueError("n_vars must be >= 2")
+        if self.depth < 1 or self.repetitions < 1:
+            raise ValueError("depth and repetitions must be >= 1")
+        if self.n_sums < 1 or self.n_leaf_components < 1:
+            raise ValueError("n_sums and n_leaf_components must be >= 1")
+        if self.n_values < 2:
+            raise ValueError("n_values must be >= 2")
+        if not 0.0 < self.split_balance <= 0.5:
+            raise ValueError("split_balance must be in (0, 0.5]")
+
+
+class _RatGenerator:
+    """Builds a random tensorized SPN over a region graph."""
+
+    def __init__(self, config: RatSpnConfig) -> None:
+        self._cfg = config
+        self._rng = np.random.default_rng(config.seed)
+        self._spn = SPN()
+        self._indicators: Dict[Tuple[int, int], int] = {}
+        # Leaf mixtures are cached per (variable, component) so repetitions
+        # share the input layer, creating realistic fan-out at the leaves.
+        self._leaf_cache: Dict[Tuple[int, int], int] = {}
+
+    def _indicator(self, var: int, value: int) -> int:
+        key = (var, value)
+        if key not in self._indicators:
+            self._indicators[key] = self._spn.add_indicator(var, value)
+        return self._indicators[key]
+
+    def _leaf_mixture(self, var: int, component: int) -> int:
+        key = (var, component)
+        if key not in self._leaf_cache:
+            cfg = self._cfg
+            children = [self._indicator(var, v) for v in range(cfg.n_values)]
+            raw = self._rng.dirichlet(np.ones(cfg.n_values))
+            self._leaf_cache[key] = self._spn.add_sum(
+                children, weights=normalized_weights(raw.tolist())
+            )
+        return self._leaf_cache[key]
+
+    def _leaf_region(self, scope: Tuple[int, ...]) -> List[int]:
+        """Return ``n_leaf_components`` factorized distributions over ``scope``."""
+        cfg = self._cfg
+        nodes = []
+        for component in range(cfg.n_leaf_components):
+            factors = [self._leaf_mixture(v, component) for v in scope]
+            if len(factors) == 1:
+                nodes.append(factors[0])
+            else:
+                nodes.append(self._spn.add_product(factors))
+        return nodes
+
+    def _region(self, scope: Tuple[int, ...], depth: int) -> List[int]:
+        cfg = self._cfg
+        if len(scope) == 1 or depth >= cfg.depth:
+            return self._leaf_region(scope)
+        # Random split into two non-empty parts; split_balance sets the
+        # fraction of variables sent to the left part (0.5 = balanced).
+        vars_ = list(scope)
+        self._rng.shuffle(vars_)
+        left_size = int(round(cfg.split_balance * len(vars_)))
+        left_size = min(max(1, left_size), len(vars_) - 1)
+        left = tuple(sorted(vars_[:left_size]))
+        right = tuple(sorted(vars_[left_size:]))
+        left_nodes = self._region(left, depth + 1)
+        right_nodes = self._region(right, depth + 1)
+        products = [
+            self._spn.add_product([a, b]) for a in left_nodes for b in right_nodes
+        ]
+        sums = []
+        for _ in range(cfg.n_sums):
+            raw = self._rng.dirichlet(np.ones(len(products)))
+            sums.append(self._spn.add_sum(products, weights=normalized_weights(raw.tolist())))
+        return sums
+
+    def run(self) -> SPN:
+        cfg = self._cfg
+        scope = tuple(range(cfg.n_vars))
+        roots: List[int] = []
+        for _ in range(cfg.repetitions):
+            roots.extend(self._region(scope, depth=0))
+        if len(roots) == 1:
+            self._spn.set_root(roots[0])
+        else:
+            raw = self._rng.dirichlet(np.ones(len(roots)))
+            root = self._spn.add_sum(roots, weights=normalized_weights(raw.tolist()))
+            self._spn.set_root(root)
+        return self._spn
+
+
+def generate_rat_spn(config: RatSpnConfig) -> SPN:
+    """Generate a random tensorized SPN (RAT-SPN style region graph).
+
+    The same configuration always produces the same network; the result is
+    smooth, decomposable and normalized.
+    """
+    spn = _RatGenerator(config).run()
+    spn.check_valid()
+    return spn
+
+
+def random_evidence(
+    n_vars: int,
+    n_values: int = 2,
+    observed_fraction: float = 1.0,
+    seed: int = 0,
+    n_samples: Optional[int] = None,
+) -> np.ndarray:
+    """Draw random evidence rows for ``n_vars`` variables.
+
+    Returns an integer array of shape ``(n_samples, n_vars)``; unobserved
+    entries (chosen independently with probability ``1 - observed_fraction``)
+    hold the sentinel ``-1``.  With ``n_samples=None`` a single row is
+    returned as a 2-D array of shape ``(1, n_vars)``.
+    """
+    if not 0.0 <= observed_fraction <= 1.0:
+        raise ValueError("observed_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    rows = 1 if n_samples is None else int(n_samples)
+    data = rng.integers(0, n_values, size=(rows, n_vars))
+    if observed_fraction < 1.0:
+        mask = rng.random(size=data.shape) >= observed_fraction
+        data = np.where(mask, -1, data)
+    return data

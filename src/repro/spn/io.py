@@ -1,0 +1,189 @@
+"""Serialization of SPNs.
+
+Two formats are supported:
+
+* a line-oriented text format (``.spn``) close to the arithmetic-circuit
+  files emitted by PSDD/AC toolchains, which is what the paper's compiler
+  consumes ("the compiler directly takes as input the SPNs generated from
+  tools like [5]");
+* JSON, convenient for interchange with other Python tooling.
+
+Text format, one node per line, children must appear before parents::
+
+    spn 1
+    ind <id> <var> <value>
+    par <id> <prob>
+    sum <id> <k> <child_0> <weight_0> ... <child_{k-1}> <weight_{k-1}>
+    usum <id> <k> <child_0> ... <child_{k-1}>
+    prod <id> <k> <child_0> ... <child_{k-1}>
+    root <id>
+
+Node ids in a file are arbitrary non-negative integers; they are remapped to
+dense ids on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .graph import SPN, StructureError
+from .nodes import IndicatorLeaf, ParameterLeaf, ProductNode, SumNode
+
+__all__ = ["dumps", "loads", "save", "load", "to_json", "from_json", "save_json", "load_json"]
+
+_HEADER = "spn 1"
+
+
+def dumps(spn: SPN) -> str:
+    """Serialize ``spn`` to the text format (reachable nodes only)."""
+    lines: List[str] = [_HEADER]
+    for nid in spn.topological_order():
+        node = spn.node(nid)
+        if isinstance(node, IndicatorLeaf):
+            lines.append(f"ind {nid} {node.var} {node.value}")
+        elif isinstance(node, ParameterLeaf):
+            lines.append(f"par {nid} {node.prob!r}")
+        elif isinstance(node, SumNode):
+            if node.is_weighted:
+                assert node.weights is not None
+                parts = " ".join(
+                    f"{c} {w!r}" for c, w in zip(node.child_ids, node.weights)
+                )
+                lines.append(f"sum {nid} {len(node.child_ids)} {parts}")
+            else:
+                parts = " ".join(str(c) for c in node.child_ids)
+                lines.append(f"usum {nid} {len(node.child_ids)} {parts}")
+        elif isinstance(node, ProductNode):
+            parts = " ".join(str(c) for c in node.child_ids)
+            lines.append(f"prod {nid} {len(node.child_ids)} {parts}")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node type {type(node)!r}")
+    lines.append(f"root {spn.root}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> SPN:
+    """Parse the text format produced by :func:`dumps`."""
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip() and not ln.startswith("#")]
+    if not lines or lines[0] != _HEADER:
+        raise StructureError(f"missing or unsupported header; expected {_HEADER!r}")
+    spn = SPN()
+    id_map: Dict[int, int] = {}
+    root_declared = False
+
+    def mapped(old: str) -> int:
+        key = int(old)
+        if key not in id_map:
+            raise StructureError(f"node {key} referenced before definition")
+        return id_map[key]
+
+    for line in lines[1:]:
+        tokens = line.split()
+        tag = tokens[0]
+        if tag == "root":
+            spn.set_root(mapped(tokens[1]))
+            root_declared = True
+            continue
+        old_id = int(tokens[1])
+        if old_id in id_map:
+            raise StructureError(f"node id {old_id} defined twice")
+        if tag == "ind":
+            new_id = spn.add_indicator(int(tokens[2]), int(tokens[3]))
+        elif tag == "par":
+            new_id = spn.add_parameter(float(tokens[2]))
+        elif tag == "sum":
+            k = int(tokens[2])
+            rest = tokens[3:]
+            if len(rest) != 2 * k:
+                raise StructureError(f"sum node {old_id}: expected {2 * k} fields, got {len(rest)}")
+            children = [mapped(rest[2 * i]) for i in range(k)]
+            weights = [float(rest[2 * i + 1]) for i in range(k)]
+            new_id = spn.add_sum(children, weights=weights)
+        elif tag == "usum":
+            k = int(tokens[2])
+            rest = tokens[3:]
+            if len(rest) != k:
+                raise StructureError(f"usum node {old_id}: expected {k} children, got {len(rest)}")
+            new_id = spn.add_sum([mapped(t) for t in rest])
+        elif tag == "prod":
+            k = int(tokens[2])
+            rest = tokens[3:]
+            if len(rest) != k:
+                raise StructureError(f"prod node {old_id}: expected {k} children, got {len(rest)}")
+            new_id = spn.add_product([mapped(t) for t in rest])
+        else:
+            raise StructureError(f"unknown record type {tag!r}")
+        id_map[old_id] = new_id
+
+    if not root_declared:
+        raise StructureError("file has no root declaration")
+    return spn
+
+
+def save(spn: SPN, path: Union[str, Path]) -> None:
+    """Write the text format to ``path``."""
+    Path(path).write_text(dumps(spn), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> SPN:
+    """Read the text format from ``path``."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def to_json(spn: SPN) -> dict:
+    """Serialize ``spn`` to a JSON-compatible dictionary."""
+    nodes = []
+    for nid in spn.topological_order():
+        node = spn.node(nid)
+        if isinstance(node, IndicatorLeaf):
+            nodes.append({"id": nid, "type": "indicator", "var": node.var, "value": node.value})
+        elif isinstance(node, ParameterLeaf):
+            nodes.append({"id": nid, "type": "parameter", "prob": node.prob})
+        elif isinstance(node, SumNode):
+            record = {"id": nid, "type": "sum", "children": list(node.child_ids)}
+            if node.is_weighted:
+                assert node.weights is not None
+                record["weights"] = list(node.weights)
+            nodes.append(record)
+        elif isinstance(node, ProductNode):
+            nodes.append({"id": nid, "type": "product", "children": list(node.child_ids)})
+    return {"format": "repro-spn", "version": 1, "root": spn.root, "nodes": nodes}
+
+
+def from_json(payload: dict) -> SPN:
+    """Deserialize the dictionary produced by :func:`to_json`."""
+    if payload.get("format") != "repro-spn":
+        raise StructureError("not a repro-spn JSON document")
+    spn = SPN()
+    id_map: Dict[int, int] = {}
+    for record in payload["nodes"]:
+        kind = record["type"]
+        old_id = int(record["id"])
+        if kind == "indicator":
+            new_id = spn.add_indicator(int(record["var"]), int(record["value"]))
+        elif kind == "parameter":
+            new_id = spn.add_parameter(float(record["prob"]))
+        elif kind == "sum":
+            children = [id_map[int(c)] for c in record["children"]]
+            weights = record.get("weights")
+            new_id = spn.add_sum(children, weights=weights)
+        elif kind == "product":
+            children = [id_map[int(c)] for c in record["children"]]
+            new_id = spn.add_product(children)
+        else:
+            raise StructureError(f"unknown node type {kind!r}")
+        id_map[old_id] = new_id
+    spn.set_root(id_map[int(payload["root"])])
+    return spn
+
+
+def save_json(spn: SPN, path: Union[str, Path]) -> None:
+    """Write the JSON format to ``path``."""
+    Path(path).write_text(json.dumps(to_json(spn)), encoding="utf-8")
+
+
+def load_json(path: Union[str, Path]) -> SPN:
+    """Read the JSON format from ``path``."""
+    return from_json(json.loads(Path(path).read_text(encoding="utf-8")))

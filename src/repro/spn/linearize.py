@@ -1,0 +1,378 @@
+"""Lowering of an SPN into the flat forms used by all execution backends.
+
+The paper executes SPNs in two equivalent low-level forms:
+
+* **Algorithm 1** — a list of binary operations (``r0 = IN[0] * IN[1]``, ...),
+  represented here by :class:`OperationList`;
+* **Algorithm 2** — a for-loop over vectors ``O`` (op selector), ``B`` and
+  ``C`` (operand pointers), represented here by :class:`VectorProgram`.
+
+Both are produced by :func:`linearize`, which also performs *binarization*:
+k-ary sums and products are decomposed into balanced (or chain) trees of
+two-operand additions and multiplications, and sum weights are materialized
+as constant input slots — exactly the shape the GPU kernel and the custom
+processor consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .graph import SPN, StructureError
+from .nodes import IndicatorLeaf, ParameterLeaf, ProductNode, SumNode
+
+__all__ = [
+    "OP_ADD",
+    "OP_MUL",
+    "InputSlot",
+    "Operation",
+    "OperationList",
+    "VectorProgram",
+    "linearize",
+]
+
+OP_ADD = "add"
+OP_MUL = "mul"
+
+
+@dataclass(frozen=True)
+class InputSlot:
+    """Description of one entry of the input vector ``IN``.
+
+    ``kind`` is one of ``"indicator"``, ``"parameter"`` or ``"weight"``.
+    Indicator slots carry ``var``/``value``; parameter and weight slots carry
+    a constant ``prob``.
+    """
+
+    index: int
+    kind: str
+    var: int = -1
+    value: int = -1
+    prob: float = 1.0
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One binary arithmetic operation ``dest = arg0 (op) arg1``.
+
+    Slot indices ``< n_inputs`` refer to the input vector; larger indices
+    refer to results of earlier operations (operation ``i`` writes slot
+    ``n_inputs + i``).
+    """
+
+    index: int
+    op: str
+    arg0: int
+    arg1: int
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_ADD, OP_MUL):
+            raise ValueError(f"unknown opcode {self.op!r}")
+
+    @property
+    def is_add(self) -> bool:
+        return self.op == OP_ADD
+
+    @property
+    def is_mul(self) -> bool:
+        return self.op == OP_MUL
+
+
+@dataclass
+class OperationList:
+    """Algorithm 1: an SPN lowered to a topologically ordered list of binary ops."""
+
+    inputs: List[InputSlot]
+    operations: List[Operation]
+    root_slot: int
+    #: Maps SPN node id -> slot holding that node's value (for reachable nodes).
+    node_slot: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_operations(self) -> int:
+        return len(self.operations)
+
+    @property
+    def n_slots(self) -> int:
+        return self.n_inputs + self.n_operations
+
+    def dest_slot(self, op_index: int) -> int:
+        """Slot written by operation ``op_index``."""
+        return self.n_inputs + op_index
+
+    def op_counts(self) -> Tuple[int, int]:
+        """Return ``(n_additions, n_multiplications)``."""
+        adds = sum(1 for op in self.operations if op.is_add)
+        return adds, self.n_operations - adds
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def input_vector(self, evidence: Optional[Mapping[int, int]] = None) -> np.ndarray:
+        """Build the ``IN`` vector for the given evidence.
+
+        Unobserved variables marginalize to 1.0 in their indicator slots.
+        """
+        evidence = evidence or {}
+        vec = np.empty(self.n_inputs, dtype=np.float64)
+        for slot in self.inputs:
+            if slot.kind == "indicator":
+                observed = evidence.get(slot.var)
+                if observed is None or observed < 0:
+                    vec[slot.index] = 1.0
+                else:
+                    vec[slot.index] = 1.0 if observed == slot.value else 0.0
+            else:
+                vec[slot.index] = slot.prob
+        return vec
+
+    def execute_values(self, input_vector: Sequence[float]) -> np.ndarray:
+        """Run the operation list on an explicit input vector.
+
+        Returns the full slot array ``A`` of length :attr:`n_slots`.
+        """
+        if len(input_vector) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} input values, got {len(input_vector)}"
+            )
+        slots = np.empty(self.n_slots, dtype=np.float64)
+        slots[: self.n_inputs] = np.asarray(input_vector, dtype=np.float64)
+        base = self.n_inputs
+        for op in self.operations:
+            a = slots[op.arg0]
+            b = slots[op.arg1]
+            slots[base + op.index] = a + b if op.is_add else a * b
+        return slots
+
+    def execute(self, evidence: Optional[Mapping[int, int]] = None) -> float:
+        """Evaluate the SPN for the given evidence and return the root value."""
+        slots = self.execute_values(self.input_vector(evidence))
+        return float(slots[self.root_slot])
+
+    # ------------------------------------------------------------------ #
+    # Graph-shape queries used by the performance models and the compiler
+    # ------------------------------------------------------------------ #
+    def levels(self) -> List[int]:
+        """ASAP level of every operation (inputs are level 0).
+
+        Operations in the same level are mutually independent; this is the
+        "group" decomposition of Fig. 2(a) used by the GPU implementation.
+        """
+        level = [0] * self.n_slots
+        base = self.n_inputs
+        for op in self.operations:
+            level[base + op.index] = 1 + max(level[op.arg0], level[op.arg1])
+        return [level[base + i] for i in range(self.n_operations)]
+
+    def groups(self) -> List[List[int]]:
+        """Operations grouped by ASAP level (list of lists of operation indices)."""
+        levels = self.levels()
+        if not levels:
+            return []
+        grouped: List[List[int]] = [[] for _ in range(max(levels))]
+        for op_index, lvl in enumerate(levels):
+            grouped[lvl - 1].append(op_index)
+        return grouped
+
+    def depth(self) -> int:
+        """Longest dependency chain, in operations."""
+        levels = self.levels()
+        return max(levels) if levels else 0
+
+    def fanout(self) -> List[int]:
+        """Number of consumers of every slot (inputs and operation results)."""
+        counts = [0] * self.n_slots
+        for op in self.operations:
+            counts[op.arg0] += 1
+            counts[op.arg1] += 1
+        return counts
+
+    def average_parallelism(self) -> float:
+        """Mean number of operations per dependency level."""
+        d = self.depth()
+        return self.n_operations / d if d else 0.0
+
+    def to_vector_program(self) -> "VectorProgram":
+        """Convert to the Algorithm 2 (for-loop over vectors) form."""
+        o = np.array([0 if op.is_add else 1 for op in self.operations], dtype=np.int64)
+        b = np.array([op.arg0 for op in self.operations], dtype=np.int64)
+        c = np.array([op.arg1 for op in self.operations], dtype=np.int64)
+        return VectorProgram(
+            inputs=list(self.inputs),
+            op_select=o,
+            operand_b=b,
+            operand_c=c,
+            root_slot=self.root_slot,
+        )
+
+
+@dataclass
+class VectorProgram:
+    """Algorithm 2: the SPN as a for-loop over index vectors.
+
+    ``op_select[i] == 0`` selects a sum, ``1`` selects a product; ``operand_b``
+    and ``operand_c`` hold the operand slot indices of operation ``i``.
+    """
+
+    inputs: List[InputSlot]
+    op_select: np.ndarray
+    operand_b: np.ndarray
+    operand_c: np.ndarray
+    root_slot: int
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_operations(self) -> int:
+        return int(self.op_select.shape[0])
+
+    def input_vector(self, evidence: Optional[Mapping[int, int]] = None) -> np.ndarray:
+        helper = OperationList(
+            inputs=list(self.inputs), operations=[], root_slot=self.root_slot
+        )
+        return helper.input_vector(evidence)
+
+    def execute(self, evidence: Optional[Mapping[int, int]] = None) -> float:
+        """Interpret the vector program exactly as Algorithm 2 does."""
+        vec = self.input_vector(evidence)
+        m, n = self.n_inputs, self.n_operations
+        slots = np.empty(m + n, dtype=np.float64)
+        slots[:m] = vec
+        for i in range(n):
+            a = slots[self.operand_b[i]]
+            b = slots[self.operand_c[i]]
+            slots[m + i] = a + b if self.op_select[i] == 0 else a * b
+        return float(slots[self.root_slot])
+
+
+class _Lowerer:
+    """Stateful helper turning an SPN into an :class:`OperationList`."""
+
+    def __init__(self, spn: SPN, decompose: str) -> None:
+        if decompose not in ("balanced", "chain"):
+            raise ValueError(f"decompose must be 'balanced' or 'chain', got {decompose!r}")
+        self._spn = spn
+        self._decompose = decompose
+        self._inputs: List[InputSlot] = []
+        self._operations: List[Operation] = []
+        self._node_slot: Dict[int, int] = {}
+
+    # -- input slot helpers ------------------------------------------------
+    def _add_input(self, **kwargs) -> int:
+        index = len(self._inputs)
+        self._inputs.append(InputSlot(index=index, **kwargs))
+        return index
+
+    # -- operation helpers ---------------------------------------------------
+    def _emit(self, op: str, arg0: int, arg1: int) -> int:
+        index = len(self._operations)
+        self._operations.append(Operation(index=index, op=op, arg0=arg0, arg1=arg1))
+        return index  # dest slot computed later as n_inputs + index
+
+    def run(self) -> OperationList:
+        spn = self._spn
+        order = spn.topological_order()
+
+        # First pass: create one input slot per reachable leaf, in id order,
+        # so that the input vector layout is deterministic.
+        for nid in sorted(order):
+            node = spn.node(nid)
+            if isinstance(node, IndicatorLeaf):
+                self._node_slot[nid] = self._add_input(
+                    kind="indicator", var=node.var, value=node.value
+                )
+            elif isinstance(node, ParameterLeaf):
+                self._node_slot[nid] = self._add_input(kind="parameter", prob=node.prob)
+
+        # Weight slots are appended per sum node (in topological order) so the
+        # layout only depends on the graph.
+        weight_slot: Dict[Tuple[int, int], int] = {}
+        for nid in order:
+            node = spn.node(nid)
+            if isinstance(node, SumNode) and node.is_weighted:
+                assert node.weights is not None
+                for pos, w in enumerate(node.weights):
+                    weight_slot[(nid, pos)] = self._add_input(kind="weight", prob=w)
+
+        n_inputs = len(self._inputs)
+
+        def emit(op: str, a: int, b: int) -> int:
+            idx = self._emit(op, a, b)
+            return n_inputs + idx
+
+        def reduce_slots(op: str, slots: List[int]) -> int:
+            if not slots:
+                raise StructureError("cannot reduce an empty operand list")
+            if len(slots) == 1:
+                return slots[0]
+            if self._decompose == "chain":
+                acc = slots[0]
+                for s in slots[1:]:
+                    acc = emit(op, acc, s)
+                return acc
+            # Balanced reduction: repeatedly pair adjacent operands.  This
+            # minimizes the dependency depth, which matters for every backend.
+            current = list(slots)
+            while len(current) > 1:
+                nxt: List[int] = []
+                for i in range(0, len(current) - 1, 2):
+                    nxt.append(emit(op, current[i], current[i + 1]))
+                if len(current) % 2 == 1:
+                    nxt.append(current[-1])
+                current = nxt
+            return current[0]
+
+        # Second pass: lower internal nodes bottom-up.
+        for nid in order:
+            node = spn.node(nid)
+            if isinstance(node, (IndicatorLeaf, ParameterLeaf)):
+                continue
+            if isinstance(node, ProductNode):
+                child_slots = [self._node_slot[c] for c in node.children]
+                self._node_slot[nid] = reduce_slots(OP_MUL, child_slots)
+            elif isinstance(node, SumNode):
+                if node.is_weighted:
+                    terms = []
+                    for pos, c in enumerate(node.children):
+                        w_slot = weight_slot[(nid, pos)]
+                        terms.append(emit(OP_MUL, w_slot, self._node_slot[c]))
+                else:
+                    terms = [self._node_slot[c] for c in node.children]
+                self._node_slot[nid] = reduce_slots(OP_ADD, terms)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown node type {type(node)!r}")
+
+        root_slot = self._node_slot[spn.root]
+        return OperationList(
+            inputs=self._inputs,
+            operations=self._operations,
+            root_slot=root_slot,
+            node_slot=dict(self._node_slot),
+        )
+
+
+def linearize(spn: SPN, decompose: str = "balanced") -> OperationList:
+    """Lower an SPN into an :class:`OperationList` (Algorithm 1 form).
+
+    Parameters
+    ----------
+    spn:
+        The network to lower.  Must have a root.
+    decompose:
+        How k-ary nodes are decomposed into binary operations: ``"balanced"``
+        (default, minimizes dependency depth) or ``"chain"`` (maximizes it;
+        useful for ablations on the effect of graph depth).
+    """
+    return _Lowerer(spn, decompose).run()

@@ -1,0 +1,188 @@
+"""Node types of a Sum-Product Network (SPN).
+
+An SPN (also called an arithmetic circuit) is a rooted directed acyclic graph
+whose internal nodes are sums and products and whose leaves are either
+*indicator* variables (lambda_{X=x}, set from the evidence at query time) or
+*parameter* leaves (constants such as edge weights or leaf probabilities).
+
+The classes in this module are intentionally small value objects.  All graph
+level behaviour (scopes, validity, evaluation, linearization) lives in
+:mod:`repro.spn.graph` and its sibling modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "NodeId",
+    "Node",
+    "LeafNode",
+    "IndicatorLeaf",
+    "ParameterLeaf",
+    "SumNode",
+    "ProductNode",
+    "is_leaf",
+    "is_internal",
+]
+
+# Node identifiers are plain integers; the SPN class assigns them densely.
+NodeId = int
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for all SPN nodes.
+
+    Attributes
+    ----------
+    id:
+        Integer identifier, unique within one :class:`~repro.spn.graph.SPN`.
+    """
+
+    id: NodeId
+
+    @property
+    def kind(self) -> str:
+        """Short lowercase tag identifying the node type."""
+        raise NotImplementedError
+
+    @property
+    def children(self) -> Tuple[NodeId, ...]:
+        """Identifiers of the child nodes (empty for leaves)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class LeafNode(Node):
+    """Common base class for leaf nodes (no children)."""
+
+    @property
+    def children(self) -> Tuple[NodeId, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class IndicatorLeaf(LeafNode):
+    """Indicator leaf lambda_{var = value}.
+
+    During evaluation the leaf takes value ``1.0`` when the evidence assigns
+    ``value`` to ``var`` (or when ``var`` is unobserved and the query is a
+    marginal), and ``0.0`` otherwise.
+    """
+
+    var: int = 0
+    value: int = 0
+
+    @property
+    def kind(self) -> str:
+        return "indicator"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"I{self.id}[x{self.var}={self.value}]"
+
+
+@dataclass(frozen=True)
+class ParameterLeaf(LeafNode):
+    """Constant-valued leaf (a model parameter).
+
+    Parameter leaves hold probabilities or weights that were moved into the
+    leaf layer so that the internal nodes form a pure +/x computation graph,
+    exactly as the processor and the GPU kernel expect.
+    """
+
+    prob: float = 1.0
+
+    @property
+    def kind(self) -> str:
+        return "parameter"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"P{self.id}[{self.prob:.4g}]"
+
+
+@dataclass(frozen=True)
+class SumNode(Node):
+    """Weighted sum node.
+
+    ``weights`` may be ``None`` for an unweighted sum (arithmetic-circuit
+    style, where the weights already appear as :class:`ParameterLeaf`
+    children of product nodes underneath).  When present, ``weights`` must
+    have the same length as ``child_ids``.
+    """
+
+    child_ids: Tuple[NodeId, ...] = field(default_factory=tuple)
+    weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.weights is not None and len(self.weights) != len(self.child_ids):
+            raise ValueError(
+                f"sum node {self.id}: {len(self.child_ids)} children but "
+                f"{len(self.weights)} weights"
+            )
+        if len(self.child_ids) == 0:
+            raise ValueError(f"sum node {self.id} has no children")
+
+    @property
+    def kind(self) -> str:
+        return "sum"
+
+    @property
+    def children(self) -> Tuple[NodeId, ...]:
+        return self.child_ids
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weights is not None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"S{self.id}({len(self.child_ids)})"
+
+
+@dataclass(frozen=True)
+class ProductNode(Node):
+    """Product node over two or more children with disjoint scopes."""
+
+    child_ids: Tuple[NodeId, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.child_ids) == 0:
+            raise ValueError(f"product node {self.id} has no children")
+
+    @property
+    def kind(self) -> str:
+        return "product"
+
+    @property
+    def children(self) -> Tuple[NodeId, ...]:
+        return self.child_ids
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"P{self.id}({len(self.child_ids)})"
+
+
+def is_leaf(node: Node) -> bool:
+    """Return ``True`` when ``node`` is an indicator or parameter leaf."""
+    return isinstance(node, LeafNode)
+
+
+def is_internal(node: Node) -> bool:
+    """Return ``True`` when ``node`` is a sum or product node."""
+    return isinstance(node, (SumNode, ProductNode))
+
+
+def normalized_weights(weights: Sequence[float]) -> Tuple[float, ...]:
+    """Return ``weights`` rescaled to sum to one.
+
+    Raises
+    ------
+    ValueError
+        If any weight is negative or all weights are zero.
+    """
+    if any(w < 0 for w in weights):
+        raise ValueError("sum-node weights must be non-negative")
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("sum-node weights must not all be zero")
+    return tuple(float(w) / total for w in weights)

@@ -1,0 +1,133 @@
+"""Probabilistic queries on SPNs: marginals, conditionals and MPE.
+
+These are the inference primitives a downstream user of the processor would
+actually issue; all of them reduce to (repeated) bottom-up evaluations of the
+network, which is exactly the kernel the paper accelerates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from .evaluate import evaluate, evaluate_log
+from .graph import SPN
+from .nodes import IndicatorLeaf, ParameterLeaf, ProductNode, SumNode
+
+__all__ = [
+    "marginal",
+    "log_marginal",
+    "conditional",
+    "log_likelihood",
+    "most_probable_explanation",
+]
+
+
+def marginal(spn: SPN, evidence: Optional[Mapping[int, int]] = None) -> float:
+    """Unnormalized marginal probability of the evidence, P(e) * Z.
+
+    For normalized networks (partition function 1) this is exactly P(e).
+    """
+    return evaluate(spn, evidence)
+
+
+def log_marginal(spn: SPN, evidence: Optional[Mapping[int, int]] = None) -> float:
+    """Log-domain version of :func:`marginal`."""
+    return evaluate_log(spn, evidence)
+
+
+def conditional(
+    spn: SPN, query: Mapping[int, int], evidence: Optional[Mapping[int, int]] = None
+) -> float:
+    """Conditional probability P(query | evidence).
+
+    ``query`` and ``evidence`` must not assign conflicting values to the same
+    variable.
+    """
+    evidence = dict(evidence or {})
+    for var, value in query.items():
+        if var in evidence and evidence[var] != value:
+            raise ValueError(f"query and evidence disagree on variable {var}")
+    joint = dict(evidence)
+    joint.update(query)
+    denominator = marginal(spn, evidence)
+    if denominator == 0.0:
+        raise ZeroDivisionError("evidence has probability zero")
+    return marginal(spn, joint) / denominator
+
+
+def log_likelihood(spn: SPN, data, normalize: bool = True) -> float:
+    """Average log-likelihood of fully observed rows in ``data``.
+
+    ``data`` is an integer array of shape ``(n_rows, n_vars)``.  When
+    ``normalize`` is true the partition function is subtracted so the result
+    is a proper average log-probability even for unnormalized networks.
+    """
+    rows = [dict(enumerate(int(v) for v in row)) for row in data]
+    if not rows:
+        raise ValueError("data must contain at least one row")
+    log_z = evaluate_log(spn, {}) if normalize else 0.0
+    total = 0.0
+    for row in rows:
+        total += evaluate_log(spn, row) - log_z
+    return total / len(rows)
+
+
+def most_probable_explanation(
+    spn: SPN, evidence: Optional[Mapping[int, int]] = None
+) -> Dict[int, int]:
+    """Approximate MPE assignment via the standard max-product upper pass.
+
+    The upper pass replaces every sum with a (weighted) max; the downward
+    pass follows, at every sum node, the child that achieved the max, and at
+    every product node all children.  Variables fixed by the evidence keep
+    their observed value.  For selective networks this is the exact MPE; for
+    general SPNs it is the usual MPE approximation.
+    """
+    evidence = dict(evidence or {})
+    max_log: Dict[int, float] = {}
+    best_child: Dict[int, int] = {}
+
+    for nid in spn.topological_order():
+        node = spn.node(nid)
+        if isinstance(node, IndicatorLeaf):
+            observed = evidence.get(node.var)
+            if observed is None or observed < 0 or observed == node.value:
+                max_log[nid] = 0.0
+            else:
+                max_log[nid] = -math.inf
+        elif isinstance(node, ParameterLeaf):
+            max_log[nid] = math.log(node.prob) if node.prob > 0.0 else -math.inf
+        elif isinstance(node, SumNode):
+            best_value = -math.inf
+            best = node.children[0]
+            weights = node.weights if node.is_weighted else [1.0] * len(node.children)
+            assert weights is not None
+            for w, c in zip(weights, node.children):
+                term = (math.log(w) if w > 0.0 else -math.inf) + max_log[c]
+                if term > best_value:
+                    best_value = term
+                    best = c
+            max_log[nid] = best_value
+            best_child[nid] = best
+        elif isinstance(node, ProductNode):
+            max_log[nid] = sum(max_log[c] for c in node.children)
+
+    assignment: Dict[int, int] = dict(evidence)
+    stack = [spn.root]
+    visited = set()
+    while stack:
+        nid = stack.pop()
+        if nid in visited:
+            continue
+        visited.add(nid)
+        node = spn.node(nid)
+        if isinstance(node, IndicatorLeaf):
+            if node.var not in assignment or assignment[node.var] < 0:
+                assignment[node.var] = node.value
+        elif isinstance(node, SumNode):
+            stack.append(best_child[nid])
+        elif isinstance(node, ProductNode):
+            stack.extend(node.children)
+    # Drop any marginalization sentinels that leaked in from the evidence.
+    return {var: value for var, value in assignment.items() if value >= 0}

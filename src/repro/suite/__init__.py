@@ -1,0 +1,21 @@
+"""Benchmark suite used by the paper's evaluation (Fig. 4)."""
+
+from .registry import (
+    BENCHMARKS,
+    BenchmarkProfile,
+    benchmark_names,
+    benchmark_operation_list,
+    build_benchmark,
+    get_profile,
+    suite_summary,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "benchmark_names",
+    "benchmark_operation_list",
+    "build_benchmark",
+    "get_profile",
+    "suite_summary",
+]

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite: small deterministic SPNs and machines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.processor.config import ptree_config, pvect_config
+from repro.spn.generate import GeneratorConfig, RatSpnConfig, generate_rat_spn, generate_spn
+from repro.spn.graph import SPN
+from repro.spn.linearize import linearize
+
+
+@pytest.fixture()
+def tiny_spn() -> SPN:
+    """A hand-built two-variable SPN with known probabilities.
+
+    P(X0, X1) with X0 ~ Bernoulli(0.3) and X1 ~ Bernoulli(0.8), independent.
+    """
+    spn = SPN()
+    x0_0 = spn.add_indicator(0, 0)
+    x0_1 = spn.add_indicator(0, 1)
+    x1_0 = spn.add_indicator(1, 0)
+    x1_1 = spn.add_indicator(1, 1)
+    d0 = spn.add_sum([x0_0, x0_1], weights=[0.7, 0.3])
+    d1 = spn.add_sum([x1_0, x1_1], weights=[0.2, 0.8])
+    root = spn.add_product([d0, d1])
+    spn.set_root(root)
+    return spn
+
+
+@pytest.fixture()
+def mixture_spn() -> SPN:
+    """A two-component mixture over two binary variables (not factorized)."""
+    spn = SPN()
+    x0_0 = spn.add_indicator(0, 0)
+    x0_1 = spn.add_indicator(0, 1)
+    x1_0 = spn.add_indicator(1, 0)
+    x1_1 = spn.add_indicator(1, 1)
+    c0 = spn.add_product(
+        [spn.add_sum([x0_0, x0_1], weights=[0.9, 0.1]),
+         spn.add_sum([x1_0, x1_1], weights=[0.9, 0.1])]
+    )
+    c1 = spn.add_product(
+        [spn.add_sum([x0_0, x0_1], weights=[0.1, 0.9]),
+         spn.add_sum([x1_0, x1_1], weights=[0.1, 0.9])]
+    )
+    root = spn.add_sum([c0, c1], weights=[0.4, 0.6])
+    spn.set_root(root)
+    return spn
+
+
+@pytest.fixture()
+def small_random_spn() -> SPN:
+    """A deterministic recursive random SPN over 8 variables."""
+    return generate_spn(GeneratorConfig(n_vars=8, max_depth=6, seed=7))
+
+
+@pytest.fixture()
+def small_rat_spn() -> SPN:
+    """A deterministic region-graph SPN over 10 variables (vtree-shaped)."""
+    return generate_rat_spn(
+        RatSpnConfig(n_vars=10, depth=10, repetitions=2, n_sums=2, split_balance=0.2, seed=3)
+    )
+
+
+@pytest.fixture()
+def small_rat_ops(small_rat_spn):
+    """The small RAT SPN lowered to an operation list."""
+    return linearize(small_rat_spn)
+
+
+@pytest.fixture()
+def ptree():
+    """The paper's Ptree configuration."""
+    return ptree_config()
+
+
+@pytest.fixture()
+def pvect():
+    """The paper's Pvect configuration."""
+    return pvect_config()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

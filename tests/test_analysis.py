@@ -1,0 +1,71 @@
+"""Tests for the metrics and plain-text reporting helpers."""
+
+import pytest
+
+from repro.analysis.metrics import PlatformResult, geometric_mean, normalize, peak, speedup
+from repro.analysis.report import format_bar_chart, format_table
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_speedup_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_peak(self):
+        assert peak([0.3, 1.2, 0.9]) == pytest.approx(1.2)
+
+    def test_peak_empty(self):
+        with pytest.raises(ValueError):
+            peak([])
+
+    def test_geometric_mean_of_equal_values(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalize(self):
+        values = {"CPU": 0.5, "Ptree": 10.0}
+        normalized = normalize(values, "CPU")
+        assert normalized == {"CPU": 1.0, "Ptree": 20.0}
+
+    def test_normalize_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalize({"CPU": 1.0}, "GPU")
+
+    def test_platform_result_properties(self):
+        result = PlatformResult("CPU", "MSNBC", ops_per_cycle=0.5, cycles=100, n_operations=50)
+        assert result.cycles_per_evaluation == 100
+
+
+class TestReport:
+    def test_table_contains_all_cells(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bb", 2)], title="T")
+        assert "T" in text and "name" in text and "a" in text and "1.500" in text and "2" in text
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_table_alignment(self):
+        text = format_table(["x"], [("longer-cell",)])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("longer-cell")
+
+    def test_bar_chart_scales_to_peak(self):
+        text = format_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = {ln.split()[0]: ln for ln in text.splitlines()}
+        assert lines["b"].count("#") == 10
+        assert lines["a"].count("#") == 5
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({})
+
+    def test_bar_chart_zero_values(self):
+        text = format_bar_chart({"a": 0.0})
+        assert "#" not in text

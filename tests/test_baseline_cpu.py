@@ -1,0 +1,109 @@
+"""Tests for the CPU execution model (Sec. III)."""
+
+import pytest
+
+from repro.baselines.cpu import CpuConfig, build_microops, simulate_cpu
+from repro.spn.linearize import linearize
+from repro.suite.registry import benchmark_operation_list
+
+
+class TestCpuConfig:
+    def test_defaults_are_valid(self):
+        CpuConfig()
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            CpuConfig(fp_ports=0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            CpuConfig(window_size=0)
+
+    def test_invalid_frontend(self):
+        with pytest.raises(ValueError):
+            CpuConfig(frontend_bytes_per_cycle=0.0)
+
+
+class TestMicroops:
+    def test_every_operation_has_an_arith_uop(self, small_rat_ops):
+        trace = build_microops(small_rat_ops)
+        arith = [u for u in trace if u.kind == "arith"]
+        assert len(arith) == small_rat_ops.n_operations
+
+    def test_loads_for_leaf_inputs(self, mixture_spn):
+        ops = linearize(mixture_spn)
+        trace = build_microops(ops)
+        loads = [u for u in trace if u.kind == "load"]
+        assert loads, "leaf inputs must be loaded from memory"
+
+    def test_distant_values_are_stored(self, small_rat_ops):
+        config = CpuConfig(register_window=4)
+        trace = build_microops(small_rat_ops, config)
+        stores = [u for u in trace if u.kind == "store"]
+        assert stores, "a tiny register window must force spills"
+
+    def test_larger_register_window_means_fewer_loads(self, small_rat_ops):
+        small = build_microops(small_rat_ops, CpuConfig(register_window=4))
+        large = build_microops(small_rat_ops, CpuConfig(register_window=64))
+        n_loads = lambda t: sum(1 for u in t if u.kind == "load")  # noqa: E731
+        assert n_loads(large) < n_loads(small)
+
+    def test_indexed_loop_adds_overhead(self, small_rat_ops):
+        flat = build_microops(small_rat_ops, CpuConfig(indexed_loop=False))
+        loop = build_microops(small_rat_ops, CpuConfig(indexed_loop=True))
+        assert len(loop) > len(flat)
+
+    def test_dependencies_point_backwards(self, small_rat_ops):
+        trace = build_microops(small_rat_ops)
+        for uop in trace:
+            for dep in uop.deps:
+                assert dep < uop.index
+
+
+class TestCpuSimulation:
+    def test_empty_program(self, tiny_spn):
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        spn.set_root(spn.add_indicator(0, 1))
+        result = simulate_cpu(linearize(spn))
+        assert result.cycles == 0
+        assert result.ops_per_cycle == 0.0
+
+    def test_all_microops_complete(self, small_rat_ops):
+        result = simulate_cpu(small_rat_ops)
+        assert result.cycles > 0
+        assert result.n_operations == small_rat_ops.n_operations
+
+    def test_throughput_in_paper_regime(self):
+        """The model must land near the paper's measured ~0.55 ops/cycle."""
+        for name in ("MSNBC", "Banknote"):
+            result = simulate_cpu(benchmark_operation_list(name))
+            assert 0.3 <= result.ops_per_cycle <= 0.8
+
+    def test_operation_list_beats_indexed_loop(self, small_rat_ops):
+        """The paper observes Algorithm 1 is consistently faster than Algorithm 2."""
+        flat = simulate_cpu(small_rat_ops, CpuConfig(indexed_loop=False))
+        loop = simulate_cpu(small_rat_ops, CpuConfig(indexed_loop=True))
+        assert flat.ops_per_cycle > loop.ops_per_cycle
+
+    def test_wider_issue_is_not_slower(self, small_rat_ops):
+        narrow = simulate_cpu(small_rat_ops, CpuConfig(issue_width=2))
+        wide = simulate_cpu(small_rat_ops, CpuConfig(issue_width=8))
+        assert wide.cycles <= narrow.cycles
+
+    def test_faster_frontend_is_not_slower(self, small_rat_ops):
+        slow = simulate_cpu(small_rat_ops, CpuConfig(frontend_bytes_per_cycle=4.0))
+        fast = simulate_cpu(small_rat_ops, CpuConfig(frontend_bytes_per_cycle=32.0))
+        assert fast.cycles <= slow.cycles
+
+    def test_ipc_below_issue_width(self, small_rat_ops):
+        config = CpuConfig()
+        result = simulate_cpu(small_rat_ops, config)
+        assert result.ipc <= config.issue_width + 1e-9
+
+    def test_result_accounting(self, small_rat_ops):
+        result = simulate_cpu(small_rat_ops)
+        assert result.n_microops == (
+            result.n_operations + result.n_loads + result.n_stores + result.n_overhead
+        )

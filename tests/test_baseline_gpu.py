@@ -1,0 +1,107 @@
+"""Tests for the GPU (SIMT) execution model and its functional emulation."""
+
+import pytest
+
+from repro.baselines.gpu import GpuConfig, execute_gpu_kernel, simulate_gpu, thread_sweep
+from repro.spn.evaluate import evaluate
+from repro.spn.linearize import linearize
+from repro.suite.registry import benchmark_operation_list, build_benchmark
+
+
+class TestGpuConfig:
+    def test_defaults_are_valid(self):
+        GpuConfig()
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            GpuConfig(n_threads=0)
+
+    def test_invalid_allocation(self):
+        with pytest.raises(ValueError):
+            GpuConfig(bank_allocation="random")
+
+    def test_invalid_hiding_warps(self):
+        with pytest.raises(ValueError):
+            GpuConfig(latency_hiding_warps=0)
+
+
+class TestFunctionalKernel:
+    def test_matches_reference_on_fixture(self, mixture_spn):
+        ops = linearize(mixture_spn)
+        for evidence in ({}, {0: 1}, {0: 0, 1: 1}):
+            expected = evaluate(mixture_spn, evidence)
+            got = execute_gpu_kernel(ops, ops.input_vector(evidence))
+            assert got == pytest.approx(expected)
+
+    def test_matches_reference_on_benchmark(self, rng):
+        spn = build_benchmark("Banknote")
+        ops = benchmark_operation_list("Banknote")
+        for _ in range(3):
+            evidence = {v: int(rng.integers(0, 2)) for v in spn.variables()}
+            got = execute_gpu_kernel(ops, ops.input_vector(evidence))
+            assert got == pytest.approx(evaluate(spn, evidence))
+
+    def test_thread_count_does_not_change_result(self, small_rat_ops):
+        vec = small_rat_ops.input_vector({0: 1, 1: 0})
+        results = {
+            t: execute_gpu_kernel(small_rat_ops, vec, GpuConfig(n_threads=t))
+            for t in (1, 32, 256)
+        }
+        assert len({round(v, 12) for v in results.values()}) == 1
+
+
+class TestGpuTiming:
+    def test_empty_operation_list(self):
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        spn.set_root(spn.add_indicator(0, 1))
+        result = simulate_gpu(linearize(spn))
+        assert result.cycles == 0
+
+    def test_multithread_beats_single_thread(self):
+        # Use a benchmark-sized SPN: on very small networks the per-group
+        # synchronization overhead makes a 256-thread block slower than a
+        # single thread, which is consistent with the model's assumptions.
+        ops = benchmark_operation_list("MSNBC")
+        single = simulate_gpu(ops, GpuConfig(n_threads=1))
+        block = simulate_gpu(ops, GpuConfig(n_threads=256))
+        assert block.ops_per_cycle > single.ops_per_cycle
+
+    def test_sublinear_scaling(self):
+        """256 threads must NOT be 256x faster than one thread (Fig. 2c)."""
+        ops = benchmark_operation_list("MSNBC")
+        sweep = thread_sweep(ops, (1, 256))
+        scaling = sweep[256].ops_per_cycle / sweep[1].ops_per_cycle
+        assert 1.5 < scaling < 20.0
+
+    def test_thread_sweep_monotone_on_wide_benchmark(self):
+        ops = benchmark_operation_list("Audio")
+        sweep = thread_sweep(ops)
+        values = [sweep[t].ops_per_cycle for t in (1, 32, 64, 128, 256)]
+        assert all(b >= a * 0.95 for a, b in zip(values, values[1:]))
+
+    def test_throughput_in_paper_regime(self):
+        """GPU peak throughput is of order one operation per cycle."""
+        result = simulate_gpu(benchmark_operation_list("Audio"))
+        assert 0.2 <= result.ops_per_cycle <= 2.5
+
+    def test_divergent_warps_counted(self, small_rat_ops):
+        result = simulate_gpu(small_rat_ops)
+        assert result.n_divergent_warps >= 0
+        assert result.n_transactions > 0
+
+    def test_coloring_not_worse_than_interleaved(self):
+        ops = benchmark_operation_list("Banknote")
+        colored = simulate_gpu(ops, GpuConfig(bank_allocation="coloring"))
+        interleaved = simulate_gpu(ops, GpuConfig(bank_allocation="interleaved"))
+        assert colored.n_conflict_transactions <= interleaved.n_conflict_transactions
+
+    def test_higher_sync_cost_is_slower(self, small_rat_ops):
+        cheap = simulate_gpu(small_rat_ops, GpuConfig(sync_cost=5))
+        expensive = simulate_gpu(small_rat_ops, GpuConfig(sync_cost=100))
+        assert expensive.cycles > cheap.cycles
+
+    def test_groups_reported(self, small_rat_ops):
+        result = simulate_gpu(small_rat_ops)
+        assert result.n_groups == small_rat_ops.depth()

@@ -1,0 +1,126 @@
+"""End-to-end compiler tests: compile, simulate in strict mode, verify."""
+
+import pytest
+
+from repro.compiler.driver import compile_operation_list, compile_spn, verify_program
+from repro.compiler.scheduler import ScheduleOptions
+from repro.processor.config import ProcessorConfig, ptree_config, pvect_config
+from repro.processor.errors import ResourceError
+from repro.spn.evaluate import evaluate
+from repro.spn.generate import RatSpnConfig, generate_rat_spn
+from repro.spn.linearize import linearize
+from repro.suite.registry import benchmark_operation_list
+
+
+@pytest.fixture(params=["Ptree", "Pvect"])
+def machine(request):
+    return ptree_config() if request.param == "Ptree" else pvect_config()
+
+
+class TestEndToEnd:
+    def test_tiny_spn(self, tiny_spn, machine):
+        kernel = compile_spn(tiny_spn, machine)
+        assert verify_program(kernel, [None, {0: 1}, {0: 0, 1: 1}, {0: 1, 1: 0}])
+
+    def test_mixture_spn(self, mixture_spn, machine):
+        kernel = compile_spn(mixture_spn, machine)
+        assert verify_program(kernel, [None, {0: 0, 1: 0}, {0: 1, 1: 1}])
+
+    def test_random_rat_spn(self, small_rat_spn, machine, rng):
+        kernel = compile_spn(small_rat_spn, machine)
+        samples = [
+            {v: int(rng.integers(0, 2)) for v in small_rat_spn.variables()} for _ in range(3)
+        ]
+        assert verify_program(kernel, [None] + samples)
+
+    def test_recursive_random_spn(self, small_random_spn, machine):
+        kernel = compile_spn(small_random_spn, machine)
+        assert verify_program(kernel, [None, {0: 1, 1: 0, 2: 1}])
+
+    def test_benchmark_banknote(self, machine):
+        ops = benchmark_operation_list("Banknote")
+        kernel = compile_operation_list(ops, machine)
+        result = kernel.run({0: 1, 1: 0, 2: 1, 3: 1})
+        assert result.value == pytest.approx(ops.execute({0: 1, 1: 0, 2: 1, 3: 1}))
+        assert result.ops_per_cycle > 1.0
+
+    def test_leaf_root_spn(self, machine):
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        spn.set_root(spn.add_indicator(0, 1))
+        kernel = compile_spn(spn, machine)
+        assert kernel.program.n_instructions == 0
+        assert kernel.run({0: 1}).value == pytest.approx(1.0)
+        assert kernel.run({0: 0}).value == pytest.approx(0.0)
+
+    def test_marginal_queries_match(self, small_rat_spn, machine):
+        kernel = compile_spn(small_rat_spn, machine)
+        # Partial evidence (marginal inference) exercises indicator handling.
+        assert kernel.run({0: 1}).value == pytest.approx(evaluate(small_rat_spn, {0: 1}))
+        assert kernel.run({}).value == pytest.approx(1.0)
+
+
+class TestStatsAndDefaults:
+    def test_default_config_is_ptree(self, mixture_spn):
+        kernel = compile_spn(mixture_spn)
+        assert kernel.config.name == "Ptree"
+
+    def test_stats_are_consistent(self, small_rat_spn):
+        kernel = compile_spn(small_rat_spn, ptree_config())
+        stats = kernel.stats
+        assert stats.n_operations == kernel.ops.n_operations
+        assert stats.n_instructions == kernel.program.n_instructions
+        assert stats.n_cones == kernel.cone_graph.n_cones
+        assert stats.n_loads == kernel.program.n_loads
+        assert stats.avg_ops_per_cone == pytest.approx(
+            kernel.cone_graph.average_ops_per_cone()
+        )
+
+    def test_program_arith_ops_match_source(self, small_rat_spn, machine):
+        kernel = compile_spn(small_rat_spn, machine)
+        assert kernel.program.n_arith_ops == kernel.ops.n_operations
+
+    def test_ptree_beats_baseline_regime(self):
+        """The custom processor is roughly an order of magnitude above 1 op/cycle."""
+        ops = benchmark_operation_list("Banknote")
+        kernel = compile_operation_list(ops, ptree_config())
+        assert kernel.run(None).ops_per_cycle > 4.0
+
+    def test_chain_decomposition_also_compiles(self, mixture_spn, machine):
+        kernel = compile_spn(mixture_spn, machine, decompose="chain")
+        assert verify_program(kernel, [None, {0: 1, 1: 1}])
+
+
+class TestSchedulerOptions:
+    def test_naive_allocation_is_slower_but_correct(self):
+        ops = benchmark_operation_list("Banknote")
+        aware = compile_operation_list(ops, ptree_config())
+        naive = compile_operation_list(
+            ops, ptree_config(), ScheduleOptions(conflict_aware_allocation=False)
+        )
+        assert verify_program(naive, [None])
+        assert naive.run(None).cycles >= aware.run(None).cycles
+
+    def test_packing_disabled_is_slower_but_correct(self):
+        ops = benchmark_operation_list("Banknote")
+        packed = compile_operation_list(ops, ptree_config())
+        unpacked = compile_operation_list(
+            ops, ptree_config(), ScheduleOptions(pack_multiple_cones=False)
+        )
+        assert verify_program(unpacked, [None])
+        assert unpacked.run(None).cycles >= packed.run(None).cycles
+
+    def test_stream_rows_must_leave_intermediate_space(self, mixture_spn):
+        with pytest.raises(ResourceError):
+            compile_spn(mixture_spn, ptree_config(), ScheduleOptions(stream_rows=64))
+
+    def test_too_small_data_memory_detected(self, small_rat_spn):
+        tiny_dmem = ptree_config(dmem_rows=1)
+        with pytest.raises(ResourceError):
+            compile_spn(small_rat_spn, tiny_dmem)
+
+    def test_custom_arrangement_compiles(self, small_rat_spn):
+        config = ProcessorConfig(name="P8x2", n_trees=8, n_levels=2, n_banks=32, bank_depth=64)
+        kernel = compile_spn(small_rat_spn, config)
+        assert verify_program(kernel, [None, {0: 1}])

@@ -1,0 +1,81 @@
+"""Tests for the shared-memory bank allocation (graph coloring) of the GPU kernel."""
+
+import pytest
+
+from repro.baselines.gpu_banks import (
+    color_banks,
+    conflict_graph,
+    count_warp_conflicts,
+    graph_coloring_allocation,
+    interleaved_allocation,
+)
+from repro.suite.registry import benchmark_operation_list
+
+
+@pytest.fixture(scope="module")
+def ops():
+    return benchmark_operation_list("Banknote")
+
+
+class TestInterleaved:
+    def test_covers_all_slots(self, ops):
+        allocation = interleaved_allocation(ops, 32)
+        assert len(allocation) == ops.n_slots
+        assert set(allocation) <= set(range(32))
+
+    def test_modulo_layout(self, ops):
+        allocation = interleaved_allocation(ops, 8)
+        assert allocation[:10] == [i % 8 for i in range(10)]
+
+    def test_invalid_banks(self, ops):
+        with pytest.raises(ValueError):
+            interleaved_allocation(ops, 0)
+
+
+class TestConflictGraph:
+    def test_symmetric(self, ops):
+        graph = conflict_graph(ops, n_threads=256)
+        for node, neighbours in graph.items():
+            for other in neighbours:
+                assert node in graph[other]
+
+    def test_no_self_edges(self, ops):
+        graph = conflict_graph(ops, n_threads=256)
+        for node, neighbours in graph.items():
+            assert node not in neighbours
+
+    def test_more_threads_more_conflict_edges(self, ops):
+        few = conflict_graph(ops, n_threads=32)
+        many = conflict_graph(ops, n_threads=256)
+        n_edges = lambda g: sum(len(v) for v in g.values())  # noqa: E731
+        assert n_edges(many) >= n_edges(few)
+
+
+class TestColoring:
+    def test_all_slots_assigned(self, ops):
+        allocation = graph_coloring_allocation(ops, n_threads=256, n_banks=32)
+        assert len(allocation) == ops.n_slots
+        assert min(allocation) >= 0
+        assert max(allocation) < 32
+
+    def test_respects_colorable_graph(self):
+        graph = {0: {1}, 1: {0}, 2: set()}
+        colors = color_banks(graph, n_slots=3, n_banks=2)
+        assert colors[0] != colors[1]
+
+    def test_invalid_banks(self):
+        with pytest.raises(ValueError):
+            color_banks({}, n_slots=1, n_banks=0)
+
+    def test_coloring_reduces_transactions(self, ops):
+        colored = graph_coloring_allocation(ops, n_threads=256, n_banks=32)
+        interleaved = interleaved_allocation(ops, 32)
+        t_colored, accesses = count_warp_conflicts(ops, colored, 256, 32)
+        t_interleaved, _ = count_warp_conflicts(ops, interleaved, 256, 32)
+        assert t_colored <= t_interleaved
+        assert t_colored >= accesses  # at least one transaction per access step
+
+    def test_conflict_free_lower_bound(self, ops):
+        allocation = graph_coloring_allocation(ops, n_threads=32, n_banks=32)
+        transactions, accesses = count_warp_conflicts(ops, allocation, 32, 32)
+        assert transactions >= accesses

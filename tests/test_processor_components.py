@@ -1,0 +1,127 @@
+"""Tests for the register file, data memory and tree datapath components."""
+
+import pytest
+
+from repro.processor.components import DataMemory, PEValue, RegisterFile, TreeDatapath
+from repro.processor.config import ptree_config
+from repro.processor.errors import StructuralHazardError, UninitializedReadError
+from repro.processor.isa import OP_ADD, OP_MUL, OP_PASS_A, OP_PASS_B, Instruction
+
+
+@pytest.fixture()
+def config():
+    return ptree_config()
+
+
+class TestRegisterFile:
+    def test_write_becomes_visible_at_commit_cycle(self, config):
+        rf = RegisterFile(config)
+        rf.schedule_write(0, 0, 1.5, readable_cycle=3)
+        rf.commit_due(2)
+        assert rf.read(0, 0) == (None, None)
+        rf.commit_due(3)
+        assert rf.read(0, 0)[0] == pytest.approx(1.5)
+
+    def test_write_port_conflict_detected(self, config):
+        rf = RegisterFile(config)
+        rf.schedule_write(0, 0, 1.0, readable_cycle=3)
+        with pytest.raises(StructuralHazardError):
+            rf.schedule_write(0, 1, 2.0, readable_cycle=3)
+
+    def test_memory_port_does_not_conflict(self, config):
+        rf = RegisterFile(config)
+        rf.schedule_write(0, 0, 1.0, readable_cycle=3)
+        rf.schedule_write(0, 1, 2.0, readable_cycle=3, from_memory_port=True)
+
+    def test_different_cycles_do_not_conflict(self, config):
+        rf = RegisterFile(config)
+        rf.schedule_write(0, 0, 1.0, readable_cycle=3)
+        rf.schedule_write(0, 1, 2.0, readable_cycle=4)
+
+    def test_out_of_range_detected(self, config):
+        rf = RegisterFile(config)
+        with pytest.raises(StructuralHazardError):
+            rf.read(config.n_banks, 0)
+        with pytest.raises(StructuralHazardError):
+            rf.schedule_write(0, config.bank_depth, 0.0, readable_cycle=0)
+
+    def test_drain_returns_last_cycle(self, config):
+        rf = RegisterFile(config)
+        rf.schedule_write(1, 1, 9.0, readable_cycle=7)
+        assert rf.drain() == 7
+        assert rf.read(1, 1)[0] == pytest.approx(9.0)
+
+    def test_slot_shadow(self, config):
+        rf = RegisterFile(config)
+        rf.schedule_write(2, 3, 0.5, readable_cycle=1, slot=42)
+        rf.commit_due(1)
+        assert rf.read(2, 3) == (0.5, 42)
+
+
+class TestDataMemory:
+    def test_row_round_trip(self, config):
+        dmem = DataMemory(config)
+        row = [float(i) for i in range(config.n_banks)]
+        dmem.write_row(3, row)
+        assert dmem.read_row(3) == row
+        assert dmem.read_lane(3, 5) == pytest.approx(5.0)
+
+    def test_row_bounds(self, config):
+        dmem = DataMemory(config)
+        with pytest.raises(StructuralHazardError):
+            dmem.read_row(config.dmem_rows)
+
+    def test_row_width_checked(self, config):
+        dmem = DataMemory(config)
+        with pytest.raises(StructuralHazardError):
+            dmem.write_row(0, [1.0, 2.0])
+
+
+class TestTreeDatapath:
+    def _ports(self, values):
+        return {(0, i): PEValue(v) for i, v in enumerate(values)}
+
+    def test_leaf_level_add_and_mul(self, config):
+        datapath = TreeDatapath(config)
+        instr = Instruction(pe_ops={(0, 0, 0): OP_ADD, (0, 0, 1): OP_MUL})
+        out = datapath.evaluate(instr, self._ports([1.0, 2.0, 3.0, 4.0]))
+        assert out[(0, 0, 0)].value == pytest.approx(3.0)
+        assert out[(0, 0, 1)].value == pytest.approx(12.0)
+
+    def test_two_level_cone(self, config):
+        datapath = TreeDatapath(config)
+        instr = Instruction(
+            pe_ops={(0, 0, 0): OP_MUL, (0, 0, 1): OP_MUL, (0, 1, 0): OP_ADD}
+        )
+        out = datapath.evaluate(instr, self._ports([2.0, 3.0, 4.0, 5.0]))
+        assert out[(0, 1, 0)].value == pytest.approx(26.0)
+
+    def test_pass_a_and_pass_b(self, config):
+        datapath = TreeDatapath(config)
+        instr = Instruction(pe_ops={(0, 0, 0): OP_PASS_A, (0, 0, 1): OP_PASS_B})
+        out = datapath.evaluate(instr, self._ports([1.0, 2.0, 3.0, 4.0]))
+        assert out[(0, 0, 0)].value == pytest.approx(1.0)
+        assert out[(0, 0, 1)].value == pytest.approx(4.0)
+
+    def test_pass_preserves_slot(self, config):
+        datapath = TreeDatapath(config)
+        instr = Instruction(pe_ops={(0, 0, 0): OP_PASS_A})
+        out = datapath.evaluate(instr, {(0, 0): PEValue(1.0, slot=17)})
+        assert out[(0, 0, 0)].slot == 17
+
+    def test_missing_operand_detected(self, config):
+        datapath = TreeDatapath(config)
+        instr = Instruction(pe_ops={(0, 0, 0): OP_ADD})
+        with pytest.raises(UninitializedReadError):
+            datapath.evaluate(instr, {(0, 0): PEValue(1.0)})
+
+    def test_missing_child_output_detected(self, config):
+        datapath = TreeDatapath(config)
+        instr = Instruction(pe_ops={(0, 1, 0): OP_ADD})
+        with pytest.raises(UninitializedReadError):
+            datapath.evaluate(instr, {})
+
+    def test_nop_produces_no_output(self, config):
+        datapath = TreeDatapath(config)
+        instr = Instruction(pe_ops={(0, 0, 0): "nop"})
+        assert datapath.evaluate(instr, self._ports([1.0, 2.0])) == {}

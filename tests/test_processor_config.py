@@ -1,0 +1,133 @@
+"""Tests for the processor machine description."""
+
+import pytest
+
+from repro.processor.config import ProcessorConfig, ptree_config, pvect_config
+
+
+class TestPaperConfigurations:
+    def test_ptree_matches_table1(self):
+        config = ptree_config()
+        assert config.n_pes == 30
+        assert config.n_trees == 2
+        assert config.n_levels == 4
+        assert config.n_banks == 32
+        assert config.bank_depth == 64
+        assert config.n_registers == 2048  # "2K 32b registers"
+
+    def test_pvect_matches_table1(self):
+        config = pvect_config()
+        assert config.n_pes == 16
+        assert config.n_levels == 1
+        assert config.n_banks == 32
+        assert config.n_registers == 2048
+
+    def test_both_have_32_crossbar_ports(self):
+        assert ptree_config().n_input_ports == 32
+        assert pvect_config().n_input_ports == 32
+
+    def test_data_memory_is_64_kb(self):
+        config = ptree_config()
+        assert config.dmem_rows * config.n_banks * 4 == 64 * 1024
+
+    def test_overrides(self):
+        config = ptree_config(bank_depth=16)
+        assert config.bank_depth == 16
+        assert config.name == "Ptree"
+
+
+class TestValidation:
+    def test_banks_divisible_by_trees(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(n_trees=3, n_levels=2, n_banks=32)
+
+    def test_enough_banks_per_tree(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(n_trees=2, n_levels=5, n_banks=32)  # 16 leaf PEs need 32 banks/tree
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(pe_latency=0)
+
+    def test_invalid_bank_depth(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(bank_depth=1)
+
+
+class TestStructure:
+    def test_pes_per_level(self):
+        config = ptree_config()
+        assert [config.pes_at_level(l) for l in range(4)] == [8, 4, 2, 1]
+
+    def test_pes_per_tree(self):
+        assert ptree_config().pes_per_tree == 15
+        assert pvect_config().pes_per_tree == 1
+
+    def test_tree_bank_ranges_partition_banks(self):
+        config = ptree_config()
+        covered = []
+        for tree in range(config.n_trees):
+            lo, hi = config.tree_bank_range(tree)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(config.n_banks))
+
+    def test_invalid_tree_index(self):
+        with pytest.raises(ValueError):
+            ptree_config().tree_bank_range(5)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            ptree_config().pes_at_level(9)
+
+
+class TestWriteWindows:
+    def test_leaf_pes_write_two_banks(self):
+        config = ptree_config()
+        for pos in range(8):
+            banks = config.allowed_write_banks(0, 0, pos)
+            assert len(banks) == 2
+
+    def test_window_doubles_per_level(self):
+        config = ptree_config()
+        assert len(config.allowed_write_banks(0, 1, 0)) == 4
+        assert len(config.allowed_write_banks(0, 2, 0)) == 8
+        assert len(config.allowed_write_banks(0, 3, 0)) == 16
+
+    def test_windows_stay_in_private_slice(self):
+        config = ptree_config()
+        for tree in range(config.n_trees):
+            lo, hi = config.tree_bank_range(tree)
+            for level in range(config.n_levels):
+                for pos in range(config.pes_at_level(level)):
+                    banks = config.allowed_write_banks(tree, level, pos)
+                    assert all(lo <= b < hi for b in banks)
+
+    def test_leaf_windows_cover_every_bank(self):
+        """Union of all leaf-PE write windows must cover the register file."""
+        for config in (ptree_config(), pvect_config()):
+            covered = set()
+            for tree in range(config.n_trees):
+                for pos in range(config.leaf_pes_per_tree):
+                    covered.update(config.allowed_write_banks(tree, 0, pos))
+            assert covered == set(range(config.n_banks))
+
+    def test_invalid_position(self):
+        with pytest.raises(ValueError):
+            ptree_config().allowed_write_banks(0, 0, 8)
+
+
+class TestLatency:
+    def test_result_latency_grows_with_depth(self):
+        config = ptree_config()
+        latencies = [config.result_latency(d) for d in range(1, 5)]
+        assert latencies == sorted(latencies)
+        assert latencies[0] == config.pe_latency
+
+    def test_result_latency_bounds(self):
+        with pytest.raises(ValueError):
+            ptree_config().result_latency(0)
+        with pytest.raises(ValueError):
+            ptree_config().result_latency(5)
+
+    def test_summary_mentions_name(self):
+        assert "Ptree" in ptree_config().summary()

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import geometric_mean, normalize, speedup
+from repro.baselines.gpu import GpuConfig, execute_gpu_kernel
+from repro.spn import io
+from repro.spn.evaluate import evaluate, evaluate_batch, evaluate_log, partition_function
+from repro.spn.generate import RatSpnConfig, generate_rat_spn, random_evidence
+from repro.spn.linearize import linearize
+from repro.spn.queries import most_probable_explanation
+
+# Keep hypothesis fast and deterministic for CI-style runs.
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+rat_configs = st.builds(
+    RatSpnConfig,
+    n_vars=st.integers(min_value=2, max_value=10),
+    depth=st.integers(min_value=1, max_value=6),
+    repetitions=st.integers(min_value=1, max_value=2),
+    n_sums=st.integers(min_value=1, max_value=3),
+    n_leaf_components=st.integers(min_value=1, max_value=2),
+    split_balance=st.sampled_from([0.1, 0.3, 0.5]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+def _full_evidence(spn, seed):
+    rng = np.random.default_rng(seed)
+    return {v: int(rng.integers(0, 2)) for v in spn.variables()}
+
+
+# --------------------------------------------------------------------------- #
+# SPN semantics
+# --------------------------------------------------------------------------- #
+class TestSpnProperties:
+    @_SETTINGS
+    @given(config=rat_configs)
+    def test_generated_networks_are_valid_and_normalized(self, config):
+        spn = generate_rat_spn(config)
+        spn.check_valid()
+        assert partition_function(spn) == pytest.approx(1.0)
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_probabilities_are_in_unit_interval(self, config, seed):
+        spn = generate_rat_spn(config)
+        value = evaluate(spn, _full_evidence(spn, seed))
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_log_and_linear_evaluation_agree(self, config, seed):
+        spn = generate_rat_spn(config)
+        evidence = _full_evidence(spn, seed)
+        value = evaluate(spn, evidence)
+        log_value = evaluate_log(spn, evidence)
+        if value > 0:
+            assert log_value == pytest.approx(math.log(value))
+        else:
+            assert log_value == -math.inf
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_marginalizing_one_variable_sums_both_values(self, config, seed):
+        spn = generate_rat_spn(config)
+        evidence = _full_evidence(spn, seed)
+        var = spn.variables()[seed % len(spn.variables())]
+        partial = {k: v for k, v in evidence.items() if k != var}
+        total = sum(evaluate(spn, {**partial, var: value}) for value in (0, 1))
+        assert evaluate(spn, partial) == pytest.approx(total)
+
+    @_SETTINGS
+    @given(config=rat_configs)
+    def test_full_joint_sums_to_one_over_sampled_subsets(self, config):
+        spn = generate_rat_spn(config)
+        # Summing the joint over all assignments of the first two variables,
+        # marginalizing the rest, must equal the partition function.
+        total = sum(
+            evaluate(spn, {0: a, 1: b}) for a in (0, 1) for b in (0, 1)
+        )
+        assert total == pytest.approx(partition_function(spn))
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_mpe_is_no_worse_than_a_random_assignment(self, config, seed):
+        spn = generate_rat_spn(config)
+        assignment = most_probable_explanation(spn)
+        random_assignment = _full_evidence(spn, seed)
+        assert evaluate(spn, assignment) >= evaluate(spn, random_assignment) - 1e-12
+
+    @_SETTINGS
+    @given(config=rat_configs)
+    def test_serialization_round_trip_preserves_semantics(self, config):
+        spn = generate_rat_spn(config)
+        restored = io.loads(io.dumps(spn))
+        evidence = _full_evidence(spn, config.seed)
+        assert evaluate(restored, evidence) == pytest.approx(evaluate(spn, evidence))
+
+
+# --------------------------------------------------------------------------- #
+# Lowering and kernel equivalence
+# --------------------------------------------------------------------------- #
+class TestLoweringProperties:
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_operation_list_equals_reference(self, config, seed):
+        spn = generate_rat_spn(config)
+        ops = linearize(spn)
+        evidence = _full_evidence(spn, seed)
+        assert ops.execute(evidence) == pytest.approx(evaluate(spn, evidence))
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_vector_program_equals_operation_list(self, config, seed):
+        spn = generate_rat_spn(config)
+        ops = linearize(spn)
+        evidence = _full_evidence(spn, seed)
+        assert ops.to_vector_program().execute(evidence) == pytest.approx(ops.execute(evidence))
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000), threads=st.sampled_from([1, 32, 256]))
+    def test_gpu_kernel_emulation_equals_reference(self, config, seed, threads):
+        spn = generate_rat_spn(config)
+        ops = linearize(spn)
+        evidence = _full_evidence(spn, seed)
+        value = execute_gpu_kernel(ops, ops.input_vector(evidence), GpuConfig(n_threads=threads))
+        assert value == pytest.approx(evaluate(spn, evidence))
+
+    @_SETTINGS
+    @given(config=rat_configs, n_samples=st.integers(1, 8), seed=st.integers(0, 1000))
+    def test_batch_evaluation_matches_scalar(self, config, n_samples, seed):
+        spn = generate_rat_spn(config)
+        data = random_evidence(config.n_vars, n_samples=n_samples, observed_fraction=0.7, seed=seed)
+        batch = evaluate_batch(spn, data)
+        for row, value in zip(data, batch):
+            evidence = {i: int(v) for i, v in enumerate(row) if v >= 0}
+            assert value == pytest.approx(evaluate(spn, evidence))
+
+    @_SETTINGS
+    @given(config=rat_configs)
+    def test_group_decomposition_is_a_topological_partition(self, config):
+        ops = linearize(generate_rat_spn(config))
+        groups = ops.groups()
+        seen = set()
+        for group in groups:
+            for op_index in group:
+                op = ops.operations[op_index]
+                for arg in (op.arg0, op.arg1):
+                    if arg >= ops.n_inputs:
+                        assert (arg - ops.n_inputs) in seen
+            seen.update(group)
+        assert len(seen) == ops.n_operations
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+class TestMetricProperties:
+    @_SETTINGS
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=10))
+    def test_geometric_mean_between_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @_SETTINGS
+    @given(
+        st.dictionaries(
+            st.sampled_from(["CPU", "GPU", "Pvect", "Ptree"]),
+            st.floats(min_value=0.01, max_value=50.0),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_normalize_sets_reference_to_one(self, values):
+        reference = sorted(values)[0]
+        normalized = normalize(values, reference)
+        assert normalized[reference] == pytest.approx(1.0)
+        for key in values:
+            assert normalized[key] == pytest.approx(speedup(values[key], values[reference]))

@@ -1,0 +1,106 @@
+"""Tests for exact SPN evaluation (linear, log, batched)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spn.evaluate import (
+    MARGINALIZED,
+    evaluate,
+    evaluate_batch,
+    evaluate_log,
+    evaluate_nodes,
+    partition_function,
+)
+
+
+class TestTinySpn:
+    """The tiny fixture factorizes as P(X0) * P(X1) with known parameters."""
+
+    def test_joint_probability(self, tiny_spn):
+        assert evaluate(tiny_spn, {0: 1, 1: 1}) == pytest.approx(0.3 * 0.8)
+        assert evaluate(tiny_spn, {0: 0, 1: 0}) == pytest.approx(0.7 * 0.2)
+
+    def test_marginal_by_omission(self, tiny_spn):
+        assert evaluate(tiny_spn, {0: 1}) == pytest.approx(0.3)
+        assert evaluate(tiny_spn, {1: 0}) == pytest.approx(0.2)
+
+    def test_marginal_sentinel(self, tiny_spn):
+        assert evaluate(tiny_spn, {0: 1, 1: MARGINALIZED}) == pytest.approx(0.3)
+
+    def test_partition_function_is_one(self, tiny_spn):
+        assert partition_function(tiny_spn) == pytest.approx(1.0)
+
+    def test_evaluate_nodes_includes_all_reachable(self, tiny_spn):
+        values = evaluate_nodes(tiny_spn, {0: 1, 1: 1})
+        assert set(values) == set(tiny_spn.topological_order())
+        assert values[tiny_spn.root] == pytest.approx(0.24)
+
+
+class TestMixture:
+    def test_mixture_probability(self, mixture_spn):
+        # P(0,0) = 0.4*0.81 + 0.6*0.01
+        assert evaluate(mixture_spn, {0: 0, 1: 0}) == pytest.approx(0.4 * 0.81 + 0.6 * 0.01)
+
+    def test_all_assignments_sum_to_one(self, mixture_spn):
+        total = sum(
+            evaluate(mixture_spn, {0: a, 1: b}) for a in (0, 1) for b in (0, 1)
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestLogDomain:
+    def test_matches_linear(self, mixture_spn):
+        for evidence in ({0: 0}, {0: 1, 1: 1}, {}):
+            linear = evaluate(mixture_spn, evidence)
+            assert evaluate_log(mixture_spn, evidence) == pytest.approx(math.log(linear))
+
+    def test_zero_probability_is_minus_inf(self):
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        i = spn.add_indicator(0, 1)
+        root = spn.add_sum([i], weights=[1.0])
+        spn.set_root(root)
+        assert evaluate_log(spn, {0: 0}) == -math.inf
+
+    def test_deep_network_does_not_underflow(self):
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        leaves = [SPN.bernoulli_leaf(spn, v, 0.001) for v in range(300)]
+        root = spn.add_product(leaves)
+        spn.set_root(root)
+        evidence = {v: 1 for v in range(300)}
+        assert evaluate(spn, evidence) == pytest.approx(0.0)
+        assert evaluate_log(spn, evidence) == pytest.approx(300 * math.log(0.001))
+
+    def test_random_spn_log_matches_linear(self, small_random_spn):
+        value = evaluate(small_random_spn, {0: 1, 3: 0})
+        assert evaluate_log(small_random_spn, {0: 1, 3: 0}) == pytest.approx(math.log(value))
+
+
+class TestBatchEvaluation:
+    def test_matches_scalar(self, mixture_spn, rng):
+        data = rng.integers(0, 2, size=(16, 2))
+        batch = evaluate_batch(mixture_spn, data)
+        for row, value in zip(data, batch):
+            assert value == pytest.approx(evaluate(mixture_spn, dict(enumerate(row))))
+
+    def test_marginalized_entries(self, mixture_spn):
+        data = np.array([[MARGINALIZED, 1], [0, MARGINALIZED], [MARGINALIZED, MARGINALIZED]])
+        batch = evaluate_batch(mixture_spn, data)
+        assert batch[0] == pytest.approx(evaluate(mixture_spn, {1: 1}))
+        assert batch[1] == pytest.approx(evaluate(mixture_spn, {0: 0}))
+        assert batch[2] == pytest.approx(1.0)
+
+    def test_missing_columns_marginalize(self, small_random_spn):
+        data = np.zeros((3, 2), dtype=int)  # fewer columns than variables
+        batch = evaluate_batch(small_random_spn, data)
+        for row, value in zip(data, batch):
+            assert value == pytest.approx(evaluate(small_random_spn, dict(enumerate(row))))
+
+    def test_requires_2d_input(self, mixture_spn):
+        with pytest.raises(ValueError):
+            evaluate_batch(mixture_spn, np.zeros(4, dtype=int))

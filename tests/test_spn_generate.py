@@ -1,0 +1,128 @@
+"""Tests for the SPN structure generators and evidence sampling."""
+
+import numpy as np
+import pytest
+
+from repro.spn.evaluate import evaluate, partition_function
+from repro.spn.generate import (
+    GeneratorConfig,
+    RatSpnConfig,
+    generate_rat_spn,
+    generate_spn,
+    random_evidence,
+)
+
+
+class TestGeneratorConfig:
+    def test_invalid_n_vars(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_vars=0)
+
+    def test_invalid_reuse_probability(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_vars=4, reuse_probability=1.5)
+
+    def test_invalid_product_parts(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_vars=4, product_parts=1)
+
+
+class TestRecursiveGenerator:
+    def test_deterministic(self):
+        a = generate_spn(GeneratorConfig(n_vars=6, seed=5))
+        b = generate_spn(GeneratorConfig(n_vars=6, seed=5))
+        assert len(a) == len(b)
+        assert evaluate(a, {0: 1, 1: 0}) == pytest.approx(evaluate(b, {0: 1, 1: 0}))
+
+    def test_different_seeds_differ(self):
+        a = generate_spn(GeneratorConfig(n_vars=6, seed=1))
+        b = generate_spn(GeneratorConfig(n_vars=6, seed=2))
+        assert len(a) != len(b) or evaluate(a, {0: 1}) != pytest.approx(evaluate(b, {0: 1}))
+
+    def test_covers_all_variables(self):
+        spn = generate_spn(GeneratorConfig(n_vars=9, seed=3))
+        assert spn.variables() == list(range(9))
+
+    def test_normalized(self):
+        spn = generate_spn(GeneratorConfig(n_vars=7, seed=11))
+        assert partition_function(spn) == pytest.approx(1.0)
+
+    def test_valid_structure(self):
+        generate_spn(GeneratorConfig(n_vars=5, seed=0)).check_valid()
+
+
+class TestRatSpnConfig:
+    def test_invalid_split_balance(self):
+        with pytest.raises(ValueError):
+            RatSpnConfig(n_vars=8, split_balance=0.0)
+        with pytest.raises(ValueError):
+            RatSpnConfig(n_vars=8, split_balance=0.7)
+
+    def test_requires_two_variables(self):
+        with pytest.raises(ValueError):
+            RatSpnConfig(n_vars=1)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            RatSpnConfig(n_vars=8, n_sums=0)
+        with pytest.raises(ValueError):
+            RatSpnConfig(n_vars=8, repetitions=0)
+
+
+class TestRatGenerator:
+    def test_deterministic(self):
+        cfg = RatSpnConfig(n_vars=10, depth=10, repetitions=2, seed=4)
+        a = generate_rat_spn(cfg)
+        b = generate_rat_spn(cfg)
+        assert len(a) == len(b)
+        assert evaluate(a, {0: 1, 5: 0}) == pytest.approx(evaluate(b, {0: 1, 5: 0}))
+
+    def test_normalized(self, small_rat_spn):
+        assert partition_function(small_rat_spn) == pytest.approx(1.0)
+
+    def test_covers_all_variables(self, small_rat_spn):
+        assert small_rat_spn.variables() == list(range(10))
+
+    def test_unbalanced_split_is_deeper(self):
+        balanced = generate_rat_spn(
+            RatSpnConfig(n_vars=16, depth=4, repetitions=1, split_balance=0.5, seed=9)
+        )
+        linear = generate_rat_spn(
+            RatSpnConfig(n_vars=16, depth=16, repetitions=1, split_balance=0.1, seed=9)
+        )
+        assert linear.depth() > balanced.depth()
+
+    def test_repetitions_increase_size(self):
+        one = generate_rat_spn(RatSpnConfig(n_vars=12, depth=12, repetitions=1, seed=2))
+        three = generate_rat_spn(RatSpnConfig(n_vars=12, depth=12, repetitions=3, seed=2))
+        assert len(three) > len(one)
+
+    def test_more_sums_increase_size(self):
+        small = generate_rat_spn(RatSpnConfig(n_vars=12, depth=4, n_sums=1, seed=2))
+        large = generate_rat_spn(RatSpnConfig(n_vars=12, depth=4, n_sums=3, seed=2))
+        assert len(large) > len(small)
+
+
+class TestRandomEvidence:
+    def test_shape_and_range(self):
+        data = random_evidence(10, n_samples=20, seed=0)
+        assert data.shape == (20, 10)
+        assert data.min() >= 0
+        assert data.max() <= 1
+
+    def test_single_row_default(self):
+        data = random_evidence(5, seed=0)
+        assert data.shape == (1, 5)
+
+    def test_observed_fraction_zero_marginalizes_everything(self):
+        data = random_evidence(6, observed_fraction=0.0, n_samples=4, seed=1)
+        assert np.all(data == -1)
+
+    def test_observed_fraction_validation(self):
+        with pytest.raises(ValueError):
+            random_evidence(4, observed_fraction=2.0)
+
+    def test_deterministic(self):
+        a = random_evidence(8, n_samples=5, seed=3)
+        b = random_evidence(8, n_samples=5, seed=3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,90 @@
+"""Round-trip and error-handling tests for SPN serialization."""
+
+import pytest
+
+from repro.spn import io
+from repro.spn.evaluate import evaluate
+from repro.spn.graph import SPN, StructureError
+
+
+def _assert_equivalent(original, restored, evidence_list):
+    for evidence in evidence_list:
+        assert evaluate(restored, evidence) == pytest.approx(evaluate(original, evidence))
+
+
+class TestTextFormat:
+    def test_round_trip_tiny(self, tiny_spn):
+        restored = io.loads(io.dumps(tiny_spn))
+        _assert_equivalent(tiny_spn, restored, [{}, {0: 1}, {0: 1, 1: 0}])
+
+    def test_round_trip_random(self, small_random_spn):
+        restored = io.loads(io.dumps(small_random_spn))
+        restored.check_valid()
+        _assert_equivalent(small_random_spn, restored, [{}, {0: 1, 2: 0, 4: 1}])
+
+    def test_file_round_trip(self, tmp_path, mixture_spn):
+        path = tmp_path / "model.spn"
+        io.save(mixture_spn, path)
+        restored = io.load(path)
+        _assert_equivalent(mixture_spn, restored, [{0: 0, 1: 0}, {0: 1}])
+
+    def test_unweighted_sum_round_trip(self):
+        spn = SPN()
+        p = spn.add_parameter(0.4)
+        i = spn.add_indicator(0, 1)
+        term = spn.add_product([p, i])
+        other = spn.add_product([spn.add_parameter(0.6), spn.add_indicator(0, 0)])
+        root = spn.add_sum([term, other])  # unweighted, AC style
+        spn.set_root(root)
+        restored = io.loads(io.dumps(spn))
+        _assert_equivalent(spn, restored, [{0: 0}, {0: 1}, {}])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(StructureError):
+            io.loads("ind 0 0 1\nroot 0\n")
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(StructureError):
+            io.loads("spn 1\nind 0 0 1\n")
+
+    def test_forward_reference_rejected(self):
+        text = "spn 1\nusum 0 1 5\nind 5 0 1\nroot 0\n"
+        with pytest.raises(StructureError):
+            io.loads(text)
+
+    def test_duplicate_id_rejected(self):
+        text = "spn 1\nind 0 0 1\nind 0 0 0\nroot 0\n"
+        with pytest.raises(StructureError):
+            io.loads(text)
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(StructureError):
+            io.loads("spn 1\nblob 0 1 2\nroot 0\n")
+
+    def test_comments_and_blank_lines_ignored(self, tiny_spn):
+        text = io.dumps(tiny_spn)
+        noisy = "# a comment\n\n" + text.replace("\n", "\n# interleaved\n\n", 1)
+        restored = io.loads(noisy)
+        _assert_equivalent(tiny_spn, restored, [{0: 1, 1: 1}])
+
+
+class TestJsonFormat:
+    def test_round_trip(self, mixture_spn):
+        restored = io.from_json(io.to_json(mixture_spn))
+        _assert_equivalent(mixture_spn, restored, [{}, {0: 0, 1: 1}])
+
+    def test_file_round_trip(self, tmp_path, small_random_spn):
+        path = tmp_path / "model.json"
+        io.save_json(small_random_spn, path)
+        restored = io.load_json(path)
+        _assert_equivalent(small_random_spn, restored, [{}, {1: 1, 3: 0}])
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(StructureError):
+            io.from_json({"format": "not-an-spn"})
+
+    def test_document_shape(self, tiny_spn):
+        payload = io.to_json(tiny_spn)
+        assert payload["format"] == "repro-spn"
+        assert payload["root"] == tiny_spn.root
+        assert len(payload["nodes"]) == len(tiny_spn.topological_order())

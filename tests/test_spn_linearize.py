@@ -1,0 +1,140 @@
+"""Tests for lowering SPNs to operation lists and vector programs."""
+
+import numpy as np
+import pytest
+
+from repro.spn.evaluate import evaluate
+from repro.spn.linearize import OP_ADD, OP_MUL, Operation, linearize
+
+
+class TestOperationBasics:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(index=0, op="div", arg0=0, arg1=1)
+
+    def test_op_predicates(self):
+        add = Operation(index=0, op=OP_ADD, arg0=0, arg1=1)
+        mul = Operation(index=1, op=OP_MUL, arg0=0, arg1=1)
+        assert add.is_add and not add.is_mul
+        assert mul.is_mul and not mul.is_add
+
+
+class TestLowering:
+    def test_execute_matches_reference(self, mixture_spn):
+        ops = linearize(mixture_spn)
+        for evidence in ({}, {0: 0}, {0: 1, 1: 0}, {0: 1, 1: 1}):
+            assert ops.execute(evidence) == pytest.approx(evaluate(mixture_spn, evidence))
+
+    def test_execute_matches_reference_random(self, small_random_spn, rng):
+        ops = linearize(small_random_spn)
+        for _ in range(10):
+            evidence = {v: int(rng.integers(0, 2)) for v in small_random_spn.variables()}
+            assert ops.execute(evidence) == pytest.approx(evaluate(small_random_spn, evidence))
+
+    def test_rat_spn_matches_reference(self, small_rat_spn, small_rat_ops, rng):
+        for _ in range(5):
+            evidence = {v: int(rng.integers(0, 2)) for v in small_rat_spn.variables()}
+            assert small_rat_ops.execute(evidence) == pytest.approx(
+                evaluate(small_rat_spn, evidence)
+            )
+
+    def test_binary_op_count_matches_stats(self, mixture_spn):
+        ops = linearize(mixture_spn)
+        assert ops.n_operations == mixture_spn.stats().n_binary_ops
+
+    def test_all_operations_are_binary_and_ordered(self, small_rat_ops):
+        n_inputs = small_rat_ops.n_inputs
+        for op in small_rat_ops.operations:
+            assert op.arg0 < n_inputs + op.index
+            assert op.arg1 < n_inputs + op.index
+
+    def test_chain_decomposition_is_deeper(self, small_rat_spn):
+        balanced = linearize(small_rat_spn, decompose="balanced")
+        chain = linearize(small_rat_spn, decompose="chain")
+        assert chain.n_operations == balanced.n_operations
+        assert chain.depth() >= balanced.depth()
+        assert chain.execute({0: 1}) == pytest.approx(balanced.execute({0: 1}))
+
+    def test_unknown_decomposition_rejected(self, tiny_spn):
+        with pytest.raises(ValueError):
+            linearize(tiny_spn, decompose="magic")
+
+    def test_leaf_only_spn(self):
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        leaf = spn.add_indicator(0, 1)
+        spn.set_root(leaf)
+        ops = linearize(spn)
+        assert ops.n_operations == 0
+        assert ops.execute({0: 1}) == pytest.approx(1.0)
+        assert ops.execute({0: 0}) == pytest.approx(0.0)
+
+    def test_input_vector_layout_deterministic(self, mixture_spn):
+        first = linearize(mixture_spn)
+        second = linearize(mixture_spn)
+        assert [s.kind for s in first.inputs] == [s.kind for s in second.inputs]
+        assert np.allclose(first.input_vector({0: 1}), second.input_vector({0: 1}))
+
+    def test_wrong_input_vector_length_rejected(self, mixture_spn):
+        ops = linearize(mixture_spn)
+        with pytest.raises(ValueError):
+            ops.execute_values(np.zeros(ops.n_inputs + 1))
+
+
+class TestGraphShapeQueries:
+    def test_levels_respect_dependencies(self, small_rat_ops):
+        levels = small_rat_ops.levels()
+        n_inputs = small_rat_ops.n_inputs
+        for op in small_rat_ops.operations:
+            for arg in (op.arg0, op.arg1):
+                if arg >= n_inputs:
+                    assert levels[arg - n_inputs] < levels[op.index]
+
+    def test_groups_partition_operations(self, small_rat_ops):
+        groups = small_rat_ops.groups()
+        flattened = sorted(i for g in groups for i in g)
+        assert flattened == list(range(small_rat_ops.n_operations))
+
+    def test_groups_are_independent(self, small_rat_ops):
+        n_inputs = small_rat_ops.n_inputs
+        for group in small_rat_ops.groups():
+            dests = {n_inputs + i for i in group}
+            for i in group:
+                op = small_rat_ops.operations[i]
+                assert op.arg0 not in dests
+                assert op.arg1 not in dests
+
+    def test_depth_equals_number_of_groups(self, small_rat_ops):
+        assert small_rat_ops.depth() == len(small_rat_ops.groups())
+
+    def test_fanout_counts_operand_references(self, mixture_spn):
+        ops = linearize(mixture_spn)
+        fanout = ops.fanout()
+        total_refs = sum(fanout)
+        assert total_refs == 2 * ops.n_operations
+
+    def test_average_parallelism(self, small_rat_ops):
+        expected = small_rat_ops.n_operations / small_rat_ops.depth()
+        assert small_rat_ops.average_parallelism() == pytest.approx(expected)
+
+    def test_op_counts(self, mixture_spn):
+        ops = linearize(mixture_spn)
+        adds, muls = ops.op_counts()
+        assert adds + muls == ops.n_operations
+        assert adds > 0 and muls > 0
+
+
+class TestVectorProgram:
+    def test_matches_operation_list(self, small_rat_spn, small_rat_ops, rng):
+        program = small_rat_ops.to_vector_program()
+        assert program.n_operations == small_rat_ops.n_operations
+        for _ in range(5):
+            evidence = {v: int(rng.integers(0, 2)) for v in small_rat_spn.variables()}
+            assert program.execute(evidence) == pytest.approx(small_rat_ops.execute(evidence))
+
+    def test_op_select_encoding(self, mixture_spn):
+        ops = linearize(mixture_spn)
+        program = ops.to_vector_program()
+        for op, selector in zip(ops.operations, program.op_select):
+            assert selector == (0 if op.is_add else 1)

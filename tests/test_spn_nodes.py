@@ -1,0 +1,96 @@
+"""Unit tests for the SPN node value objects."""
+
+import pytest
+
+from repro.spn.nodes import (
+    IndicatorLeaf,
+    ParameterLeaf,
+    ProductNode,
+    SumNode,
+    is_internal,
+    is_leaf,
+    normalized_weights,
+)
+
+
+class TestIndicatorLeaf:
+    def test_kind(self):
+        leaf = IndicatorLeaf(id=0, var=3, value=1)
+        assert leaf.kind == "indicator"
+
+    def test_has_no_children(self):
+        assert IndicatorLeaf(id=0, var=0, value=0).children == ()
+
+    def test_is_leaf(self):
+        assert is_leaf(IndicatorLeaf(id=0, var=0, value=0))
+        assert not is_internal(IndicatorLeaf(id=0, var=0, value=0))
+
+
+class TestParameterLeaf:
+    def test_kind(self):
+        assert ParameterLeaf(id=1, prob=0.25).kind == "parameter"
+
+    def test_default_probability(self):
+        assert ParameterLeaf(id=1).prob == 1.0
+
+    def test_is_leaf(self):
+        assert is_leaf(ParameterLeaf(id=1, prob=0.5))
+
+
+class TestSumNode:
+    def test_kind_and_children(self):
+        node = SumNode(id=2, child_ids=(0, 1), weights=(0.4, 0.6))
+        assert node.kind == "sum"
+        assert node.children == (0, 1)
+        assert node.is_weighted
+
+    def test_unweighted_sum(self):
+        node = SumNode(id=2, child_ids=(0, 1))
+        assert not node.is_weighted
+        assert node.weights is None
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SumNode(id=2, child_ids=(0, 1), weights=(1.0,))
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            SumNode(id=2, child_ids=())
+
+    def test_is_internal(self):
+        assert is_internal(SumNode(id=2, child_ids=(0,)))
+
+
+class TestProductNode:
+    def test_kind_and_children(self):
+        node = ProductNode(id=3, child_ids=(0, 1, 2))
+        assert node.kind == "product"
+        assert node.children == (0, 1, 2)
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            ProductNode(id=3, child_ids=())
+
+    def test_is_internal(self):
+        assert is_internal(ProductNode(id=3, child_ids=(0,)))
+
+
+class TestNormalizedWeights:
+    def test_normalizes_to_one(self):
+        weights = normalized_weights([1.0, 3.0])
+        assert weights == (0.25, 0.75)
+
+    def test_already_normalized_unchanged(self):
+        assert normalized_weights([0.5, 0.5]) == (0.5, 0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_weights([0.5, -0.1])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_weights([0.0, 0.0])
+
+    def test_sums_to_one(self):
+        weights = normalized_weights([0.2, 5.0, 1.3])
+        assert abs(sum(weights) - 1.0) < 1e-12

@@ -1,0 +1,107 @@
+"""Tests for marginal, conditional, likelihood and MPE queries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spn.datasets import DatasetSpec, generate_dataset
+from repro.spn.evaluate import evaluate
+from repro.spn.learn import learn_spn
+from repro.spn.queries import (
+    conditional,
+    log_likelihood,
+    log_marginal,
+    marginal,
+    most_probable_explanation,
+)
+
+
+class TestMarginals:
+    def test_marginal_equals_evaluate(self, mixture_spn):
+        assert marginal(mixture_spn, {0: 1}) == pytest.approx(evaluate(mixture_spn, {0: 1}))
+
+    def test_log_marginal(self, mixture_spn):
+        assert log_marginal(mixture_spn, {0: 1}) == pytest.approx(
+            math.log(marginal(mixture_spn, {0: 1}))
+        )
+
+    def test_empty_evidence_is_partition_function(self, mixture_spn):
+        assert marginal(mixture_spn) == pytest.approx(1.0)
+
+
+class TestConditionals:
+    def test_bayes_consistency(self, mixture_spn):
+        # P(X0=1 | X1=1) = P(X0=1, X1=1) / P(X1=1)
+        expected = marginal(mixture_spn, {0: 1, 1: 1}) / marginal(mixture_spn, {1: 1})
+        assert conditional(mixture_spn, {0: 1}, {1: 1}) == pytest.approx(expected)
+
+    def test_conditional_distribution_sums_to_one(self, mixture_spn):
+        total = sum(conditional(mixture_spn, {0: v}, {1: 0}) for v in (0, 1))
+        assert total == pytest.approx(1.0)
+
+    def test_conflicting_query_rejected(self, mixture_spn):
+        with pytest.raises(ValueError):
+            conditional(mixture_spn, {0: 1}, {0: 0})
+
+    def test_zero_probability_evidence_rejected(self):
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        # X0 is deterministically 1, X1 ~ Bernoulli(0.5).
+        x0 = spn.add_sum([spn.add_indicator(0, 1)], weights=[1.0])
+        x1 = SPN.bernoulli_leaf(spn, 1, 0.5)
+        spn.set_root(spn.add_product([x0, x1]))
+        with pytest.raises(ZeroDivisionError):
+            conditional(spn, {1: 1}, {0: 0})
+
+
+class TestLogLikelihood:
+    def test_average_of_rows(self, mixture_spn):
+        data = np.array([[0, 0], [1, 1]])
+        expected = 0.5 * (
+            math.log(evaluate(mixture_spn, {0: 0, 1: 0}))
+            + math.log(evaluate(mixture_spn, {0: 1, 1: 1}))
+        )
+        assert log_likelihood(mixture_spn, data) == pytest.approx(expected)
+
+    def test_empty_data_rejected(self, mixture_spn):
+        with pytest.raises(ValueError):
+            log_likelihood(mixture_spn, np.zeros((0, 2), dtype=int))
+
+
+class TestMpe:
+    def test_tiny_spn_mode(self, tiny_spn):
+        # Marginals are independent: mode is X0=0 (p=0.7), X1=1 (p=0.8).
+        assignment = most_probable_explanation(tiny_spn)
+        assert assignment == {0: 0, 1: 1}
+
+    def test_respects_evidence(self, tiny_spn):
+        assignment = most_probable_explanation(tiny_spn, {0: 1})
+        assert assignment[0] == 1
+        assert assignment[1] == 1
+
+    def test_assignment_has_positive_probability(self, small_random_spn):
+        assignment = most_probable_explanation(small_random_spn)
+        assert evaluate(small_random_spn, assignment) > 0.0
+
+    def test_covers_all_variables(self, small_rat_spn):
+        assignment = most_probable_explanation(small_rat_spn)
+        assert sorted(assignment) == small_rat_spn.variables()
+
+    def test_mpe_at_least_as_likely_as_random(self, small_rat_spn, rng):
+        assignment = most_probable_explanation(small_rat_spn)
+        mpe_value = evaluate(small_rat_spn, assignment)
+        for _ in range(10):
+            random_assignment = {
+                v: int(rng.integers(0, 2)) for v in small_rat_spn.variables()
+            }
+            assert mpe_value >= evaluate(small_rat_spn, random_assignment) - 1e-12
+
+    def test_learned_model_mpe_matches_cluster_structure(self):
+        data = generate_dataset(DatasetSpec(n_vars=6, n_rows=500, n_clusters=1, noise=0.05, seed=8))
+        spn = learn_spn(data)
+        assignment = most_probable_explanation(spn)
+        # With one latent cause and low noise the mode is all-zeros or all-ones.
+        values = set(assignment.values())
+        assert len(values) == 1

@@ -1,0 +1,77 @@
+"""Tests for the benchmark suite registry."""
+
+import pytest
+
+from repro.spn.evaluate import evaluate
+from repro.suite.registry import (
+    BENCHMARKS,
+    benchmark_names,
+    benchmark_operation_list,
+    build_benchmark,
+    get_profile,
+    suite_summary,
+)
+
+_PAPER_BENCHMARKS = {
+    "Netflix",
+    "BBC",
+    "Bio response",
+    "Audio",
+    "CPU",
+    "MSNBC",
+    "EEG-eye",
+    "KDDCup2k",
+    "Banknote",
+}
+
+
+class TestRegistry:
+    def test_contains_the_nine_paper_benchmarks(self):
+        assert set(benchmark_names()) == _PAPER_BENCHMARKS
+
+    def test_profiles_are_consistent(self):
+        for name, profile in BENCHMARKS.items():
+            assert profile.name == name
+            assert profile.model_vars <= profile.dataset_vars
+            assert profile.model_vars >= 2
+
+    def test_unknown_benchmark_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("ImageNet")
+
+    def test_generator_config_round_trip(self):
+        profile = get_profile("MSNBC")
+        config = profile.generator_config()
+        assert config.n_vars == profile.model_vars
+        assert config.repetitions == profile.repetitions
+
+    def test_distinct_seeds(self):
+        seeds = [p.seed for p in BENCHMARKS.values()]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestBuiltBenchmarks:
+    def test_build_is_cached(self):
+        assert build_benchmark("Banknote") is build_benchmark("Banknote")
+
+    def test_banknote_structure(self):
+        spn = build_benchmark("Banknote")
+        spn.check_valid()
+        assert spn.variables() == list(range(get_profile("Banknote").model_vars))
+
+    def test_operation_list_matches_spn(self):
+        spn = build_benchmark("Banknote")
+        ops = benchmark_operation_list("Banknote")
+        evidence = {0: 1, 1: 0, 2: 1, 3: 0}
+        assert ops.execute(evidence) == pytest.approx(evaluate(spn, evidence))
+
+    def test_suite_summary_covers_all(self):
+        rows = suite_summary()
+        assert len(rows) == len(_PAPER_BENCHMARKS)
+        for name, model_vars, n_nodes, n_ops, depth in rows:
+            assert name in _PAPER_BENCHMARKS
+            assert n_nodes > 0 and n_ops > 0 and depth > 0
+
+    def test_sizes_span_an_order_of_magnitude(self):
+        rows = {name: n_ops for name, _, _, n_ops, _ in suite_summary()}
+        assert rows["Banknote"] * 5 < rows["Bio response"]
