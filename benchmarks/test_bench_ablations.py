@@ -1,8 +1,11 @@
-"""Benchmark targets for the ablations and design-space sweeps (DESIGN.md Sec. 6).
+"""Benchmark targets for the ablations and design-space sweeps.
 
 These go beyond the paper's two design points: PE arrangement sweep,
 register-bank allocation ablation (which brackets the paper's Pvect/Ptree
-gap), subtree-packing ablation and the GPU bank-allocation ablation.
+gap), subtree-packing ablation and the GPU bank-allocation ablation.  The
+sweep machinery itself (parallel runner, cache, ``BENCH_sweeps.json``) is
+measured in ``test_bench_sweeps.py``; see ``docs/architecture.md`` for the
+design-space rationale.
 """
 
 from repro.experiments import sweeps

@@ -18,7 +18,8 @@ from repro.experiments.platforms import (
 from repro.suite.registry import benchmark_names, benchmark_operation_list
 
 #: Expected operations/cycle regime per platform (order-of-magnitude guard
-#: rails, not exact numbers; see EXPERIMENTS.md for the measured values).
+#: rails, not exact numbers; the measured values land in the benchmark
+#: report's ``extra_info``).
 _EXPECTED_RANGE = {
     PLATFORM_CPU: (0.2, 1.0),
     PLATFORM_GPU: (0.2, 2.5),

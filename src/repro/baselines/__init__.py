@@ -1,6 +1,6 @@
 """CPU and GPU baseline execution models (Sec. III of the paper)."""
 
-from .cpu import CpuConfig, CpuResult, build_microops, simulate_cpu
+from .cpu import CpuConfig, CpuResult, build_microops, execute_baseline, simulate_cpu
 from .gpu import GpuConfig, GpuResult, execute_gpu_kernel, simulate_gpu, thread_sweep
 from .gpu_banks import (
     conflict_graph,
@@ -13,6 +13,7 @@ __all__ = [
     "CpuConfig",
     "CpuResult",
     "build_microops",
+    "execute_baseline",
     "simulate_cpu",
     "GpuConfig",
     "GpuResult",

@@ -33,9 +33,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from ..spn.compiled import cached_tape, cross_check, resolve_engine
+from ..spn.evaluate import row_evidence
 from ..spn.linearize import OperationList
 
-__all__ = ["CpuConfig", "CpuResult", "build_microops", "simulate_cpu", "MicroOp"]
+__all__ = [
+    "CpuConfig",
+    "CpuResult",
+    "build_microops",
+    "simulate_cpu",
+    "execute_baseline",
+    "MicroOp",
+]
 
 # Micro-op kinds.
 _LOAD = "load"
@@ -127,6 +138,40 @@ class CpuResult:
     def ipc(self) -> float:
         """Micro-ops per cycle (for model diagnostics)."""
         return self.n_microops / self.cycles if self.cycles else 0.0
+
+
+def execute_baseline(
+    ops: OperationList, data: np.ndarray, engine: str = "python", check: bool = False
+) -> np.ndarray:
+    """Functional execution of the program the CPU model times.
+
+    The timing model above only counts cycles; this is the matching value
+    computation for an evidence batch (shape ``(n_rows, n_vars)``, following
+    the :data:`repro.spn.evaluate.MARGINALIZED` convention).  The
+    ``"python"`` engine interprets the flat operation list row by row —
+    exactly the straight-line program of Algorithm 1 that the modelled CPU
+    executes — while ``"vectorized"`` routes the whole batch through the
+    compiled tape of :mod:`repro.spn.compiled`.  With ``check=True`` the
+    vectorized result is cross-checked against the reference interpretation
+    on the first few rows.
+    """
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
+    if resolve_engine(engine) == "vectorized":
+        result = cached_tape(ops).execute_batch(data)
+        if check:
+            cross_check(
+                result,
+                data,
+                lambda head: execute_baseline(ops, head, engine="python"),
+                what="vectorized baseline execution",
+            )
+        return result
+    out = np.empty(data.shape[0], dtype=np.float64)
+    for row in range(data.shape[0]):
+        out[row] = ops.execute(row_evidence(data[row]))
+    return out
 
 
 def build_microops(ops: OperationList, config: Optional[CpuConfig] = None) -> List[MicroOp]:

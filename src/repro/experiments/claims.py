@@ -9,8 +9,8 @@ The paper summarizes its evaluation with a handful of scalar claims:
 * ``Ptree`` is about 2x faster than ``Pvect``.
 
 This module recomputes each claim from the reproduction's own Fig. 4 data so
-that EXPERIMENTS.md (and the claims benchmark) can report paper-vs-measured
-side by side.
+that the claims benchmark (``benchmarks/test_bench_claims.py``) can report
+paper-vs-measured side by side.
 """
 
 from __future__ import annotations

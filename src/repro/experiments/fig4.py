@@ -8,8 +8,9 @@ Fig. 4 of the paper.
 
 A second, optional pass repeats the two processor configurations with the
 naive first-fit register-bank allocation (``conflict_aware_allocation=False``)
-as an ablation of the compiler's conflict-minimizing allocation; see
-EXPERIMENTS.md for how the two settings bracket the paper's reported numbers.
+as an ablation of the compiler's conflict-minimizing allocation; the two
+settings bracket the paper's reported numbers (see ``docs/architecture.md``
+and the guard rails in ``benchmarks/test_bench_fig4.py``).
 """
 
 from __future__ import annotations

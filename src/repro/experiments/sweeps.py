@@ -2,18 +2,45 @@
 
 The paper evaluates exactly two design points (``Ptree`` and ``Pvect``).
 These sweeps explore the surrounding design space and the compiler features
-DESIGN.md calls out, so that the contribution of each architectural and
-compiler ingredient can be quantified:
+described in ``docs/architecture.md``, so that the contribution of each
+architectural and compiler ingredient can be quantified:
 
 * number of PE trees and tree depth (at a fixed 32-bank register file);
 * conflict-aware vs naive register-bank allocation;
 * subtree packing (several cones per tree per cycle) on vs off;
 * GPU shared-memory bank allocation: graph coloring vs plain interleaving.
+
+Every sweep is expressed as a list of :class:`SweepPoint` design points and
+executed by :func:`run_sweep`, a parallel runner that
+
+* fans the points out over a process pool (``parallel=True``), so
+  multi-point sweeps saturate all cores instead of running serially;
+* caches each point's result on disk under ``.cache/sweeps/`` keyed by a
+  content hash of the point (same point → cached hit, any changed parameter
+  → miss), so repeated figure reproductions only pay for new points;
+* can emit the consolidated ``BENCH_sweeps.json`` artifact
+  (:func:`write_bench_json`) consumed by CI and the benchmark harness.
+
+The module is also a command-line entry point::
+
+    PYTHONPATH=src python -m repro.experiments.sweeps --json BENCH_sweeps.json
+
+which runs all sweeps for one benchmark (parallel, cached) plus the
+reference-vs-vectorized engine speedup measurement
+(:func:`measure_engine_speedup`) and writes the JSON artifact.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import argparse
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.report import format_table
 from ..baselines.gpu import GpuConfig, simulate_gpu
@@ -24,10 +51,18 @@ from ..suite.registry import benchmark_operation_list
 from .platforms import run_processor
 
 __all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "cache_key",
+    "run_sweep",
+    "all_sweep_points",
+    "measure_engine_speedup",
+    "write_bench_json",
     "tree_arrangement_sweep",
     "allocation_ablation",
     "packing_ablation",
     "gpu_bank_allocation_ablation",
+    "render_sweeps",
     "main",
 ]
 
@@ -42,78 +77,500 @@ TREE_ARRANGEMENTS: Tuple[Tuple[str, int, int], ...] = (
     ("2 trees x 4 levels (Ptree)", 2, 4),
 )
 
+#: Default location of the on-disk result cache (relative to the cwd).
+DEFAULT_CACHE_DIR = Path(".cache") / "sweeps"
+
+#: Bumped whenever the meaning of cached values changes; part of every key.
+CACHE_VERSION = 1
+
 
 def _ops(benchmark: str) -> OperationList:
     return benchmark_operation_list(benchmark)
 
 
-def tree_arrangement_sweep(
+# --------------------------------------------------------------------------- #
+# Design points
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepPoint:
+    """One design point of a sweep: what to run and with which parameters.
+
+    ``kind`` selects the evaluation recipe (see :func:`evaluate_point`),
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so that points
+    are hashable, comparable and JSON-stable.
+    """
+
+    kind: str
+    benchmark: str
+    label: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def param(self, name: str) -> object:
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(f"sweep point {self.label!r} has no parameter {name!r}")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "label": self.label,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one design point: its measured values plus provenance."""
+
+    point: SweepPoint
+    values: Dict[str, float]
+    cached: bool
+    elapsed: float
+
+    @property
+    def ops_per_cycle(self) -> float:
+        return self.values["ops_per_cycle"]
+
+
+def _point(kind: str, benchmark: str, label: str, **params: object) -> SweepPoint:
+    return SweepPoint(
+        kind=kind,
+        benchmark=benchmark,
+        label=label,
+        params=tuple(sorted(params.items())),
+    )
+
+
+def tree_arrangement_points(
     benchmark: str = DEFAULT_BENCHMARK,
     arrangements: Iterable[Tuple[str, int, int]] = TREE_ARRANGEMENTS,
-) -> Dict[str, float]:
-    """Throughput for several PE-tree arrangements with the same register file."""
-    ops = _ops(benchmark)
-    results: Dict[str, float] = {}
-    for name, n_trees, n_levels in arrangements:
-        config = ProcessorConfig(
-            name=name, n_trees=n_trees, n_levels=n_levels, n_banks=32, bank_depth=64
+) -> List[SweepPoint]:
+    return [
+        _point("tree_arrangement", benchmark, name, n_trees=n_trees, n_levels=n_levels)
+        for name, n_trees, n_levels in arrangements
+    ]
+
+
+def allocation_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
+    return [
+        _point(
+            "allocation",
+            benchmark,
+            f"{alloc}/{config}",
+            config=config,
+            conflict_aware=(alloc == "conflict-aware"),
         )
-        results[name] = run_processor(ops, config, benchmark).ops_per_cycle
-    return results
+        for alloc in ("conflict-aware", "naive")
+        for config in ("Pvect", "Ptree")
+    ]
 
 
-def allocation_ablation(benchmark: str = DEFAULT_BENCHMARK) -> Dict[str, Dict[str, float]]:
-    """Conflict-aware vs naive register-bank allocation for Ptree and Pvect."""
-    from ..processor.config import ptree_config, pvect_config
+def packing_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
+    return [
+        _point("packing", benchmark, label, pack=(label == "packing on"))
+        for label in ("packing on", "packing off")
+    ]
 
-    ops = _ops(benchmark)
-    out: Dict[str, Dict[str, float]] = {}
-    for label, options in (
-        ("conflict-aware", ScheduleOptions(conflict_aware_allocation=True)),
-        ("naive", ScheduleOptions(conflict_aware_allocation=False)),
+
+def gpu_bank_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
+    return [
+        _point("gpu_banks", benchmark, label, allocation=allocation)
+        for label, allocation in (
+            ("graph coloring", "coloring"),
+            ("interleaved", "interleaved"),
+        )
+    ]
+
+
+def all_sweep_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
+    """The full design space covered by this module, as a flat point list."""
+    return (
+        tree_arrangement_points(benchmark)
+        + allocation_points(benchmark)
+        + packing_points(benchmark)
+        + gpu_bank_points(benchmark)
+    )
+
+
+def evaluate_point(point: SweepPoint) -> Dict[str, float]:
+    """Evaluate one design point (runs in a worker process under ``parallel``)."""
+    ops = _ops(point.benchmark)
+    if point.kind == "tree_arrangement":
+        config = ProcessorConfig(
+            name=point.label,
+            n_trees=int(point.param("n_trees")),
+            n_levels=int(point.param("n_levels")),
+            n_banks=32,
+            bank_depth=64,
+        )
+        result = run_processor(ops, config, point.benchmark)
+    elif point.kind == "allocation":
+        from ..processor.config import ptree_config, pvect_config
+
+        config = ptree_config() if point.param("config") == "Ptree" else pvect_config()
+        options = ScheduleOptions(
+            conflict_aware_allocation=bool(point.param("conflict_aware"))
+        )
+        result = run_processor(ops, config, point.benchmark, options)
+    elif point.kind == "packing":
+        from ..processor.config import ptree_config
+
+        result = run_processor(
+            ops,
+            ptree_config(),
+            point.benchmark,
+            ScheduleOptions(pack_multiple_cones=bool(point.param("pack"))),
+        )
+    elif point.kind == "gpu_banks":
+        result = simulate_gpu(
+            ops, GpuConfig(bank_allocation=str(point.param("allocation")))
+        )
+    else:
+        raise ValueError(f"unknown sweep point kind {point.kind!r}")
+    return {"ops_per_cycle": float(result.ops_per_cycle)}
+
+
+def _evaluate_point_timed(point: SweepPoint) -> Tuple[Dict[str, float], float]:
+    start = time.perf_counter()
+    values = evaluate_point(point)
+    return values, time.perf_counter() - start
+
+
+# --------------------------------------------------------------------------- #
+# Keyed on-disk cache
+# --------------------------------------------------------------------------- #
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def _code_fingerprint() -> str:
+    """Content hash of the whole ``repro`` package source, computed once.
+
+    Folding this into every cache key means any code change — simulator,
+    scheduler, suite profiles — invalidates the on-disk sweep cache, so a
+    stale entry can never masquerade as a fresh measurement.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode("utf-8"))
+            digest.update(source.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()[:16]
+    return _CODE_FINGERPRINT
+
+
+def cache_key(point: SweepPoint) -> str:
+    """Stable content hash of a design point (the on-disk cache key).
+
+    Any change to the point's kind, benchmark or parameters — or to
+    :data:`CACHE_VERSION` or the ``repro`` package source
+    (:func:`_code_fingerprint`) — yields a different key, so stale entries
+    are never returned for a modified configuration or modified code.
+    """
+    payload = json.dumps(
+        {"version": CACHE_VERSION, "code": _code_fingerprint(), **point.as_dict()},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def _cache_path(cache_dir: Path, point: SweepPoint) -> Path:
+    return Path(cache_dir) / f"{cache_key(point)}.json"
+
+
+def _cache_load(cache_dir: Path, point: SweepPoint) -> Optional[Dict[str, float]]:
+    path = _cache_path(cache_dir, point)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if entry.get("point") != _jsonable(point.as_dict()):
+        return None  # hash collision or hand-edited file: recompute
+    values = entry.get("values")
+    return dict(values) if isinstance(values, dict) else None
+
+
+def _cache_store(cache_dir: Path, point: SweepPoint, values: Mapping[str, float]) -> None:
+    path = _cache_path(cache_dir, point)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump({"point": point.as_dict(), "values": dict(values)}, handle, default=str)
+    os.replace(tmp, path)
+
+
+def _jsonable(value: object) -> object:
+    """Round-trip a value through JSON (tuples -> lists, keys -> strings)."""
+    return json.loads(json.dumps(value, default=str))
+
+
+# --------------------------------------------------------------------------- #
+# Parallel runner
+# --------------------------------------------------------------------------- #
+def run_sweep(
+    points: Sequence[SweepPoint],
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[Path] = DEFAULT_CACHE_DIR,
+) -> List[SweepResult]:
+    """Evaluate a list of design points, in parallel and with caching.
+
+    Cached points (``cache_dir`` set and holding a valid entry; pass
+    ``cache_dir=None`` to disable caching) are
+    returned immediately; the remaining points are fanned out over a
+    ``ProcessPoolExecutor`` with ``max_workers`` processes (default: one per
+    CPU, capped by the number of misses).  With ``parallel=False``, or when
+    at most one point misses the cache, everything runs in-process.  Results
+    are returned in the order of ``points``.
+    """
+    caching = cache_dir is not None
+    results: List[Optional[SweepResult]] = [None] * len(points)
+    misses: List[int] = []
+    for i, point in enumerate(points):
+        values = _cache_load(cache_dir, point) if caching else None
+        if values is not None:
+            results[i] = SweepResult(point=point, values=values, cached=True, elapsed=0.0)
+        else:
+            misses.append(i)
+
+    if misses:
+        miss_points = [points[i] for i in misses]
+        if parallel and len(miss_points) > 1:
+            workers = max_workers or min(len(miss_points), os.cpu_count() or 1)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_evaluate_point_timed, miss_points))
+        else:
+            outcomes = [_evaluate_point_timed(p) for p in miss_points]
+        for i, (values, elapsed) in zip(misses, outcomes):
+            results[i] = SweepResult(
+                point=points[i], values=values, cached=False, elapsed=elapsed
+            )
+            if caching:
+                _cache_store(cache_dir, points[i], values)
+
+    return [r for r in results if r is not None]
+
+
+# --------------------------------------------------------------------------- #
+# Engine speedup measurement (vectorized tape vs reference execution)
+# --------------------------------------------------------------------------- #
+def measure_engine_speedup(
+    n_vars: int = 128,
+    n_samples: int = 1000,
+    repeats: int = 3,
+    seed: int = 5,
+) -> Dict[str, float]:
+    """Time the reference executors against the vectorized tape.
+
+    Builds a deterministic RAT-SPN with >= 1k nodes, draws an
+    ``n_samples``-row evidence batch, and measures three ways of computing
+    the same root values:
+
+    * ``t_reference`` — the row-by-row interpretation of the flat operation
+      list (Algorithm 1), the repository's reference execution path
+      (measured once; it dominates the runtime);
+    * ``t_node_batch`` — the per-node NumPy walk of
+      :func:`repro.spn.evaluate.evaluate_batch` (best of ``repeats``);
+    * ``t_vectorized`` — the compiled tape of :mod:`repro.spn.compiled`
+      (best of ``repeats``), plus its one-off ``t_compile``.
+
+    Returns a flat dict with the timings, the derived speedups and the
+    network's shape, ready for inclusion in ``BENCH_sweeps.json``.
+    """
+    import numpy as np
+
+    from ..baselines.cpu import execute_baseline
+    from ..spn.compiled import compile_tape
+    from ..spn.evaluate import evaluate_batch
+    from ..spn.generate import RatSpnConfig, generate_rat_spn, random_evidence
+    from ..spn.linearize import linearize
+
+    spn = generate_rat_spn(
+        RatSpnConfig(
+            n_vars=n_vars, depth=n_vars, repetitions=2, n_sums=2,
+            split_balance=0.1, seed=seed,
+        )
+    )
+    ops = linearize(spn)
+    data = random_evidence(n_vars, observed_fraction=0.8, seed=seed, n_samples=n_samples)
+
+    start = time.perf_counter()
+    tape = compile_tape(ops)
+    t_compile = time.perf_counter() - start
+
+    def best_of(fn, n: int) -> Tuple[float, "np.ndarray"]:
+        best, out = float("inf"), None
+        for _ in range(max(1, n)):
+            t0 = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, out
+
+    t_vectorized, vec = best_of(lambda: tape.execute_batch(data), repeats)
+    t_node_batch, ref_batch = best_of(lambda: evaluate_batch(spn, data), repeats)
+    t_reference, ref = best_of(lambda: execute_baseline(ops, data, engine="python"), 1)
+
+    if not np.allclose(vec, ref, rtol=1e-9, atol=0.0) or not np.allclose(
+        vec, ref_batch, rtol=1e-9, atol=0.0
     ):
-        out[label] = {
-            config.name: run_processor(ops, config, benchmark, options).ops_per_cycle
-            for config in (pvect_config(), ptree_config())
-        }
+        raise AssertionError("engines disagree during the speedup measurement")
+
+    return {
+        "n_nodes": len(spn.topological_order()),
+        "n_operations": ops.n_operations,
+        "n_levels": ops.depth(),
+        "n_samples": int(n_samples),
+        "t_compile_s": t_compile,
+        "t_reference_s": t_reference,
+        "t_node_batch_s": t_node_batch,
+        "t_vectorized_s": t_vectorized,
+        "speedup_vs_reference": t_reference / t_vectorized,
+        "speedup_vs_node_batch": t_node_batch / t_vectorized,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# BENCH_sweeps.json emission
+# --------------------------------------------------------------------------- #
+def write_bench_json(
+    results: Sequence[SweepResult],
+    path: Path = Path("BENCH_sweeps.json"),
+    benchmark: str = DEFAULT_BENCHMARK,
+    engine_speedup: Optional[Mapping[str, float]] = None,
+) -> Dict[str, object]:
+    """Write the consolidated sweep artifact and return its payload."""
+    payload: Dict[str, object] = {
+        "schema": "BENCH_sweeps/v1",
+        "benchmark": benchmark,
+        "sweeps": [
+            {
+                **result.point.as_dict(),
+                **result.values,
+                "cached": result.cached,
+                "elapsed_s": round(result.elapsed, 6),
+            }
+            for result in results
+        ],
+    }
+    if engine_speedup is not None:
+        payload["engine_speedup"] = dict(engine_speedup)
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Named sweeps (thin shapers over the runner, used by tests and benchmarks)
+# --------------------------------------------------------------------------- #
+def _values_by_label(results: Iterable[SweepResult]) -> Dict[str, float]:
+    return {r.point.label: r.ops_per_cycle for r in results}
+
+
+def _allocation_by_label(results: Iterable[SweepResult]) -> Dict[str, Dict[str, float]]:
+    """Decode ``"alloc/config"`` labels into a nested ``{alloc: {config: value}}``."""
+    out: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        alloc, config = result.point.label.split("/", 1)
+        out.setdefault(alloc, {})[config] = result.ops_per_cycle
     return out
 
 
-def packing_ablation(benchmark: str = DEFAULT_BENCHMARK) -> Dict[str, float]:
+def tree_arrangement_sweep(
+    benchmark: str = DEFAULT_BENCHMARK,
+    arrangements: Iterable[Tuple[str, int, int]] = TREE_ARRANGEMENTS,
+    parallel: bool = False,
+    cache_dir: Optional[Path] = None,
+) -> Dict[str, float]:
+    """Throughput for several PE-tree arrangements with the same register file."""
+    results = run_sweep(
+        tree_arrangement_points(benchmark, arrangements),
+        parallel=parallel,
+        cache_dir=cache_dir,
+    )
+    return _values_by_label(results)
+
+
+def allocation_ablation(
+    benchmark: str = DEFAULT_BENCHMARK,
+    parallel: bool = False,
+    cache_dir: Optional[Path] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Conflict-aware vs naive register-bank allocation for Ptree and Pvect."""
+    results = run_sweep(
+        allocation_points(benchmark),
+        parallel=parallel,
+        cache_dir=cache_dir,
+    )
+    return _allocation_by_label(results)
+
+
+def packing_ablation(
+    benchmark: str = DEFAULT_BENCHMARK,
+    parallel: bool = False,
+    cache_dir: Optional[Path] = None,
+) -> Dict[str, float]:
     """Effect of packing several cones per tree per cycle (Ptree only)."""
-    from ..processor.config import ptree_config
-
-    ops = _ops(benchmark)
-    return {
-        "packing on": run_processor(
-            ops, ptree_config(), benchmark, ScheduleOptions(pack_multiple_cones=True)
-        ).ops_per_cycle,
-        "packing off": run_processor(
-            ops, ptree_config(), benchmark, ScheduleOptions(pack_multiple_cones=False)
-        ).ops_per_cycle,
-    }
+    results = run_sweep(
+        packing_points(benchmark),
+        parallel=parallel,
+        cache_dir=cache_dir,
+    )
+    return _values_by_label(results)
 
 
-def gpu_bank_allocation_ablation(benchmark: str = DEFAULT_BENCHMARK) -> Dict[str, float]:
+def gpu_bank_allocation_ablation(
+    benchmark: str = DEFAULT_BENCHMARK,
+    parallel: bool = False,
+    cache_dir: Optional[Path] = None,
+) -> Dict[str, float]:
     """GPU shared-memory bank allocation: graph coloring vs interleaved layout."""
-    ops = _ops(benchmark)
-    return {
-        "graph coloring": simulate_gpu(ops, GpuConfig(bank_allocation="coloring")).ops_per_cycle,
-        "interleaved": simulate_gpu(ops, GpuConfig(bank_allocation="interleaved")).ops_per_cycle,
-    }
+    results = run_sweep(
+        gpu_bank_points(benchmark),
+        parallel=parallel,
+        cache_dir=cache_dir,
+    )
+    return _values_by_label(results)
 
 
-def main(benchmark: str = DEFAULT_BENCHMARK) -> str:
-    """Render all sweeps for one benchmark."""
+# --------------------------------------------------------------------------- #
+# Rendering and CLI
+# --------------------------------------------------------------------------- #
+def main(
+    benchmark: str = DEFAULT_BENCHMARK,
+    parallel: bool = True,
+    cache_dir: Optional[Path] = DEFAULT_CACHE_DIR,
+) -> str:
+    """Render all sweeps for one benchmark (single parallel, cached fan-out)."""
+    results = run_sweep(
+        all_sweep_points(benchmark),
+        parallel=parallel,
+        cache_dir=cache_dir,
+    )
+    return render_sweeps(results, benchmark)
+
+
+def render_sweeps(results: Sequence[SweepResult], benchmark: str) -> str:
+    """Render already-computed sweep results as the four ASCII tables."""
+    by_kind: Dict[str, List[SweepResult]] = {}
+    for result in results:
+        by_kind.setdefault(result.point.kind, []).append(result)
+
     sections: List[str] = []
     sections.append(
         format_table(
             ["arrangement", "ops/cycle"],
-            list(tree_arrangement_sweep(benchmark).items()),
+            list(_values_by_label(by_kind.get("tree_arrangement", ())).items()),
             title=f"PE arrangement sweep ({benchmark})",
         )
     )
-    allocation = allocation_ablation(benchmark)
+    allocation = _allocation_by_label(by_kind.get("allocation", ()))
     rows = [
         (label, values["Pvect"], values["Ptree"])
         for label, values in allocation.items()
@@ -128,19 +585,57 @@ def main(benchmark: str = DEFAULT_BENCHMARK) -> str:
     sections.append(
         format_table(
             ["scheduler", "ops/cycle"],
-            list(packing_ablation(benchmark).items()),
+            list(_values_by_label(by_kind.get("packing", ())).items()),
             title=f"Subtree packing ablation ({benchmark})",
         )
     )
     sections.append(
         format_table(
             ["GPU bank allocation", "ops/cycle"],
-            list(gpu_bank_allocation_ablation(benchmark).items()),
+            list(_values_by_label(by_kind.get("gpu_banks", ())).items()),
             title=f"GPU shared-memory bank allocation ({benchmark})",
         )
     )
     return "\n\n".join(sections)
 
 
+def _cli(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the design-space sweeps (parallel, cached) and "
+        "optionally emit BENCH_sweeps.json."
+    )
+    parser.add_argument("--benchmark", default=DEFAULT_BENCHMARK)
+    parser.add_argument("--serial", action="store_true", help="disable the process pool")
+    parser.add_argument("--workers", type=int, default=None, help="process-pool size")
+    parser.add_argument("--no-cache", action="store_true", help="ignore the on-disk cache")
+    parser.add_argument("--cache-dir", type=Path, default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--json", type=Path, default=None, metavar="PATH",
+                        help="write the BENCH_sweeps.json artifact to PATH")
+    parser.add_argument("--skip-speedup", action="store_true",
+                        help="skip the engine speedup measurement")
+    args = parser.parse_args(argv)
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    results = run_sweep(
+        all_sweep_points(args.benchmark),
+        parallel=not args.serial,
+        max_workers=args.workers,
+        cache_dir=cache_dir,
+    )
+    print(render_sweeps(results, args.benchmark))
+    speedup = None
+    if not args.skip_speedup:
+        speedup = measure_engine_speedup()
+        print(
+            f"\nengine speedup: vectorized tape is "
+            f"{speedup['speedup_vs_reference']:.1f}x the reference executor "
+            f"({speedup['n_operations']} ops, {speedup['n_samples']} rows)"
+        )
+    if args.json is not None:
+        write_bench_json(results, args.json, args.benchmark, engine_speedup=speedup)
+        print(f"wrote {args.json}")
+    return 0
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(main())
+    raise SystemExit(_cli())

@@ -1,13 +1,22 @@
 """Exact evaluation of SPNs (reference implementation).
 
 These routines are the functional ground truth that every execution backend
-in the repository (operation lists, the GPU kernel model, the custom
-processor simulator) is checked against.
+in the repository (operation lists, the vectorized tape of
+:mod:`repro.spn.compiled`, the GPU kernel model, the custom processor
+simulator) is checked against.
 
 Evidence is a mapping ``{variable_index: value}``; variables that are not
 present are marginalized out, i.e. all of their indicator leaves evaluate to
-one.  Batched evaluation takes an integer array where the sentinel value
-``-1`` marks an unobserved variable.
+one.  Batched evaluation takes an integer array using the
+:data:`MARGINALIZED` sentinel — see its docstring for the canonical
+definition of the convention.
+
+Batched entry points accept an ``engine`` argument: ``"python"`` selects the
+per-node reference walk implemented here, ``"vectorized"`` routes through
+the compiled NumPy tape (:func:`repro.spn.compiled.compile_tape`).  Passing
+``check=True`` with the vectorized engine cross-checks the result against
+the reference on a small prefix of the batch and raises
+:class:`~repro.spn.compiled.EngineMismatchError` on disagreement.
 """
 
 from __future__ import annotations
@@ -22,20 +31,43 @@ from .nodes import IndicatorLeaf, ParameterLeaf, ProductNode, SumNode
 
 __all__ = [
     "MARGINALIZED",
+    "row_evidence",
     "evaluate",
     "evaluate_log",
     "evaluate_batch",
+    "evaluate_log_batch",
     "evaluate_nodes",
     "partition_function",
 ]
 
-#: Sentinel used in batched evidence arrays for "variable not observed".
+#: Canonical evidence convention for batched evaluation, shared by every
+#: engine and backend in the repository: evidence batches are integer arrays
+#: of shape ``(n_rows, n_vars)`` where column ``v`` holds the observed value
+#: of variable ``v`` and the sentinel ``MARGINALIZED`` (``-1``, like any
+#: other negative value) marks an unobserved variable (all of its indicator
+#: leaves evaluate to one).  Variables whose index exceeds the number of
+#: columns are likewise treated as unobserved.  Dictionary-style evidence
+#: (``{var: value}``) expresses the same convention by omission: absent
+#: variables are marginalized, and a negative value is equivalent to
+#: absence.  Every engine — the reference walks here, the compiled tape of
+#: :mod:`repro.spn.compiled` and the operation-list executors — implements
+#: exactly this interpretation.
 MARGINALIZED = -1
+
+
+def row_evidence(row) -> Dict[int, int]:
+    """Decode one batched evidence row into a ``{var: value}`` mapping.
+
+    The single decoder for the :data:`MARGINALIZED` convention: negative
+    entries (unobserved) are dropped, everything else becomes an observed
+    value keyed by its column index.
+    """
+    return {var: int(value) for var, value in enumerate(row) if value >= 0}
 
 
 def _indicator_value(leaf: IndicatorLeaf, evidence: Mapping[int, int]) -> float:
     observed = evidence.get(leaf.var)
-    if observed is None or observed == MARGINALIZED:
+    if observed is None or observed < 0:
         return 1.0
     return 1.0 if observed == leaf.value else 0.0
 
@@ -109,22 +141,44 @@ def evaluate_log(spn: SPN, evidence: Optional[Mapping[int, int]] = None) -> floa
     return log_values[spn.root]
 
 
-def evaluate_batch(spn: SPN, data: np.ndarray) -> np.ndarray:
+def evaluate_batch(
+    spn: SPN, data: np.ndarray, engine: str = "python", check: bool = False
+) -> np.ndarray:
     """Evaluate the SPN on a batch of samples.
 
     Parameters
     ----------
     data:
-        Integer array of shape ``(n_samples, n_vars)``.  Column ``v`` holds the
-        observed value of variable ``v``; use :data:`MARGINALIZED` (-1) for
-        unobserved variables.  Variables whose index exceeds the number of
-        columns are treated as unobserved.
+        Integer array of shape ``(n_samples, n_vars)`` following the
+        :data:`MARGINALIZED` evidence convention.
+    engine:
+        ``"python"`` (default) walks the node graph with one NumPy operation
+        per node — the reference implementation.  ``"vectorized"`` compiles
+        the network to a levelized tape (:mod:`repro.spn.compiled`) and
+        evaluates the whole batch with a few fused kernels.
+    check:
+        With the vectorized engine, additionally evaluate the first few rows
+        with the reference engine and raise
+        :class:`~repro.spn.compiled.EngineMismatchError` on disagreement.
 
     Returns
     -------
     numpy.ndarray
         Vector of root values, shape ``(n_samples,)``.
     """
+    from .compiled import cached_tape, cross_check, resolve_engine
+
+    if resolve_engine(engine) == "vectorized":
+        data = np.asarray(data)
+        result = cached_tape(spn).execute_batch(data)
+        if check:
+            cross_check(
+                result,
+                data,
+                lambda head: evaluate_batch(spn, head, engine="python"),
+                atol=1e-300,
+            )
+        return result
     data = np.asarray(data)
     if data.ndim != 2:
         raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
@@ -138,7 +192,7 @@ def evaluate_batch(spn: SPN, data: np.ndarray) -> np.ndarray:
             else:
                 col = data[:, node.var]
                 values[nid] = np.where(
-                    (col == MARGINALIZED) | (col == node.value), 1.0, 0.0
+                    (col < 0) | (col == node.value), 1.0, 0.0
                 )
         elif isinstance(node, ParameterLeaf):
             values[nid] = np.full(n_samples, node.prob)
@@ -160,6 +214,41 @@ def evaluate_batch(spn: SPN, data: np.ndarray) -> np.ndarray:
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown node type {type(node)!r}")
     return values[spn.root]
+
+
+def evaluate_log_batch(
+    spn: SPN, data: np.ndarray, engine: str = "python", check: bool = False
+) -> np.ndarray:
+    """Log-domain batched evaluation (numerically robust for deep networks).
+
+    The ``"python"`` engine is the reference: it evaluates every row with
+    :func:`evaluate_log` (slow, one graph walk per row).  The
+    ``"vectorized"`` engine runs the compiled tape in the log domain
+    (products add, sums combine with ``logaddexp``).  Rows with zero
+    probability return ``-inf``.  ``data`` follows the
+    :data:`MARGINALIZED` convention; ``check`` behaves as in
+    :func:`evaluate_batch`.
+    """
+    from .compiled import cached_tape, cross_check, resolve_engine
+
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
+    if resolve_engine(engine) == "vectorized":
+        result = cached_tape(spn).execute_batch(data, log_domain=True)
+        if check:
+            cross_check(
+                result,
+                data,
+                lambda head: evaluate_log_batch(spn, head, engine="python"),
+                atol=1e-12,
+                what="vectorized log engine",
+            )
+        return result
+    out = np.empty(data.shape[0], dtype=np.float64)
+    for row in range(data.shape[0]):
+        out[row] = evaluate_log(spn, row_evidence(data[row]))
+    return out
 
 
 def partition_function(spn: SPN) -> float:

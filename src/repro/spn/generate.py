@@ -325,8 +325,10 @@ def random_evidence(
 
     Returns an integer array of shape ``(n_samples, n_vars)``; unobserved
     entries (chosen independently with probability ``1 - observed_fraction``)
-    hold the sentinel ``-1``.  With ``n_samples=None`` a single row is
-    returned as a 2-D array of shape ``(1, n_vars)``.
+    hold the :data:`repro.spn.evaluate.MARGINALIZED` sentinel (``-1``), the
+    canonical evidence convention shared by every engine.  With
+    ``n_samples=None`` a single row is returned as a 2-D array of shape
+    ``(1, n_vars)``.
     """
     if not 0.0 <= observed_fraction <= 1.0:
         raise ValueError("observed_fraction must be in [0, 1]")

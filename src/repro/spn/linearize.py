@@ -121,7 +121,10 @@ class OperationList:
     def input_vector(self, evidence: Optional[Mapping[int, int]] = None) -> np.ndarray:
         """Build the ``IN`` vector for the given evidence.
 
-        Unobserved variables marginalize to 1.0 in their indicator slots.
+        Unobserved variables marginalize to 1.0 in their indicator slots,
+        following the evidence convention documented at
+        :data:`repro.spn.evaluate.MARGINALIZED` (absent or negative values
+        mean "not observed").
         """
         evidence = evidence or {}
         vec = np.empty(self.n_inputs, dtype=np.float64)

@@ -73,18 +73,42 @@ def log_likelihood(spn: SPN, data, normalize: bool = True) -> float:
     return total / len(rows)
 
 
-def most_probable_explanation(
-    spn: SPN, evidence: Optional[Mapping[int, int]] = None
-) -> Dict[int, int]:
-    """Approximate MPE assignment via the standard max-product upper pass.
+#: Exhaustive-search budget for :func:`most_probable_explanation`: when the
+#: free variables span at most this many joint assignments, the exact MPE is
+#: found by enumerating them all through the vectorized batch engine.
+_MPE_EXACT_BUDGET = 4096
 
-    The upper pass replaces every sum with a (weighted) max; the downward
-    pass follows, at every sum node, the child that achieved the max, and at
-    every product node all children.  Variables fixed by the evidence keep
-    their observed value.  For selective networks this is the exact MPE; for
-    general SPNs it is the usual MPE approximation.
+
+def most_probable_explanation(
+    spn: SPN, evidence: Optional[Mapping[int, int]] = None, refine: bool = True
+) -> Dict[int, int]:
+    """MPE assignment: exact for small state spaces, max-product otherwise.
+
+    When the variables left free by the evidence span at most
+    :data:`_MPE_EXACT_BUDGET` joint assignments, the exact MPE is computed
+    by evaluating every assignment in one log-domain batch with the
+    vectorized engine (:func:`~repro.spn.evaluate.evaluate_log_batch`).
+    Larger networks fall back
+    to the standard max-product approximation: the upper pass replaces every
+    sum with a (weighted) max; the downward pass follows, at every sum node,
+    the child that achieved the max, and at every product node all children.
+    Variables fixed by the evidence keep their observed value.  For
+    selective networks max-product is the exact MPE; for general SPNs it is
+    an approximation, so with ``refine`` (the default) the traced assignment
+    is additionally polished by coordinate ascent over the free variables
+    until it is a local maximum under single-variable flips.
     """
     evidence = dict(evidence or {})
+    fixed = {var for var, value in evidence.items() if value >= 0}
+    domains = _indicator_domains(spn)
+    free = sorted(var for var in domains if var not in fixed and len(domains[var]) > 1)
+    n_assignments = 1
+    for var in free:
+        n_assignments *= len(domains[var])
+        if n_assignments > _MPE_EXACT_BUDGET:
+            break
+    if n_assignments <= _MPE_EXACT_BUDGET:
+        return _exact_mpe(spn, evidence, domains, free)
     max_log: Dict[int, float] = {}
     best_child: Dict[int, int] = {}
 
@@ -130,4 +154,100 @@ def most_probable_explanation(
         elif isinstance(node, ProductNode):
             stack.extend(node.children)
     # Drop any marginalization sentinels that leaked in from the evidence.
-    return {var: value for var, value in assignment.items() if value >= 0}
+    assignment = {var: value for var, value in assignment.items() if value >= 0}
+    if refine:
+        assignment = _refine_assignment(spn, assignment, fixed, domains)
+    return assignment
+
+
+def _indicator_domains(spn: SPN) -> Dict[int, set]:
+    """Per-variable value domains, collected from the indicator leaves."""
+    domains: Dict[int, set] = {}
+    for nid in spn.topological_order():
+        node = spn.node(nid)
+        if isinstance(node, IndicatorLeaf):
+            domains.setdefault(node.var, set()).add(node.value)
+    return domains
+
+
+def _exact_mpe(
+    spn: SPN,
+    evidence: Dict[int, int],
+    domains: Mapping[int, set],
+    free: list,
+) -> Dict[int, int]:
+    """Exact MPE by exhaustive enumeration over the free variables.
+
+    All joint assignments of ``free`` are laid out as one evidence batch
+    (following the :data:`~repro.spn.evaluate.MARGINALIZED` convention) and
+    evaluated in a single vectorized log-domain pass — log domain so that
+    deep networks whose joint probabilities underflow to 0.0 in the linear
+    domain still rank correctly; the argmax row wins.
+    """
+    import itertools
+
+    import numpy as np
+
+    from .evaluate import MARGINALIZED, evaluate_log_batch
+
+    base = {var: value for var, value in evidence.items() if value >= 0}
+    for var in domains:
+        if var not in base and var not in free:
+            base[var] = min(domains[var])  # single-value domain
+    n_cols = max(*domains, *base, -1) + 1 if (domains or base) else 0
+    combos = list(itertools.product(*(sorted(domains[var]) for var in free)))
+    data = np.full((len(combos), max(n_cols, 1)), MARGINALIZED, dtype=np.int64)
+    for var, value in base.items():
+        data[:, var] = value
+    for j, var in enumerate(free):
+        data[:, var] = [combo[j] for combo in combos]
+    values = evaluate_log_batch(spn, data, engine="vectorized")
+    best = dict(base)
+    best.update(zip(free, combos[int(np.argmax(values))]))
+    return best
+
+
+def _refine_assignment(
+    spn: SPN, assignment: Dict[int, int], fixed: set, domains: Mapping[int, set]
+) -> Dict[int, int]:
+    """Steepest-ascent coordinate refinement of an MPE candidate.
+
+    Each round lays out every single-variable flip of the current assignment
+    (over the free variables' indicator domains) as one evidence batch,
+    scores them all with a single vectorized log-domain evaluation, and
+    applies the best strictly-improving flip; the loop stops when no flip
+    improves, i.e. the assignment is a local maximum under single-variable
+    flips.
+    """
+    import numpy as np
+
+    from .evaluate import MARGINALIZED, evaluate_log_batch
+
+    free = [var for var in assignment if var not in fixed and len(domains.get(var, ())) > 1]
+    if not free:
+        return assignment
+
+    best = dict(assignment)
+    best_log = evaluate_log(spn, best)
+    n_cols = max(max(best, default=-1), max(domains, default=-1)) + 1
+    while True:
+        flips = [
+            (var, value)
+            for var in free
+            for value in sorted(domains[var])
+            if value != best[var]
+        ]
+        if not flips:
+            return best
+        data = np.full((len(flips), max(n_cols, 1)), MARGINALIZED, dtype=np.int64)
+        for var, value in best.items():
+            data[:, var] = value
+        for row, (var, value) in enumerate(flips):
+            data[row, var] = value
+        scores = evaluate_log_batch(spn, data, engine="vectorized")
+        top = int(np.argmax(scores))
+        if not scores[top] > best_log:
+            return best
+        var, value = flips[top]
+        best[var] = value
+        best_log = float(scores[top])

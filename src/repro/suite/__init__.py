@@ -3,8 +3,10 @@
 from .registry import (
     BENCHMARKS,
     BenchmarkProfile,
+    benchmark_evaluate_batch,
     benchmark_names,
     benchmark_operation_list,
+    benchmark_tape,
     build_benchmark,
     get_profile,
     suite_summary,
@@ -13,8 +15,10 @@ from .registry import (
 __all__ = [
     "BENCHMARKS",
     "BenchmarkProfile",
+    "benchmark_evaluate_batch",
     "benchmark_names",
     "benchmark_operation_list",
+    "benchmark_tape",
     "build_benchmark",
     "get_profile",
     "suite_summary",

@@ -13,11 +13,17 @@ random-SPN paper cited in the introduction of the reproduced work).
 Throughput in operations/cycle is a property of the operation DAG's shape
 (size, depth, fan-out, reuse) rather than of the learned parameters, so
 profile-generated networks exercise the same architectural behaviour as the
-paper's learned networks.  Two things are scaled down for tractability of the
-pure-Python cycle-accurate simulation and are recorded in EXPERIMENTS.md:
+paper's learned networks.  Two things are scaled down for tractability of
+the pure-Python cycle-accurate simulation (see ``docs/architecture.md``):
 the two large text benchmarks (BBC, Bio response) are capped to 160
 variables, and network sizes target a few thousand binary operations instead
 of the tens of thousands a LearnPSDD network can reach.
+
+Besides the structural artifacts (SPN, operation list, compiled tape — all
+cached), the registry offers :func:`benchmark_evaluate_batch`, the
+engine-switched functional evaluation every experiment and example routes
+through: ``engine="python"`` is the per-node reference walk,
+``engine="vectorized"`` the compiled NumPy tape.
 """
 
 from __future__ import annotations
@@ -26,6 +32,10 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Tuple
 
+import numpy as np
+
+from ..spn.compiled import CompiledTape, compile_tape, cross_check, resolve_engine
+from ..spn.evaluate import evaluate_batch
 from ..spn.generate import RatSpnConfig, generate_rat_spn
 from ..spn.graph import SPN
 from ..spn.linearize import OperationList, linearize
@@ -37,6 +47,8 @@ __all__ = [
     "get_profile",
     "build_benchmark",
     "benchmark_operation_list",
+    "benchmark_tape",
+    "benchmark_evaluate_batch",
     "suite_summary",
 ]
 
@@ -156,6 +168,55 @@ def build_benchmark(name: str) -> SPN:
 def benchmark_operation_list(name: str, decompose: str = "balanced") -> OperationList:
     """Lower (and cache) the benchmark SPN into an operation list."""
     return linearize(build_benchmark(name), decompose=decompose)
+
+
+@lru_cache(maxsize=None)
+def benchmark_tape(name: str, decompose: str = "balanced") -> CompiledTape:
+    """Compile (and cache) the benchmark operation list into a vectorized tape."""
+    return compile_tape(benchmark_operation_list(name, decompose))
+
+
+def benchmark_evaluate_batch(
+    name: str,
+    data: np.ndarray,
+    engine: str = "vectorized",
+    check: bool = False,
+    log_domain: bool = False,
+) -> np.ndarray:
+    """Evaluate a suite benchmark on an evidence batch with the chosen engine.
+
+    ``data`` follows the :data:`repro.spn.evaluate.MARGINALIZED` convention.
+    The vectorized engine (default) reuses the cached compiled tape;
+    ``engine="python"`` falls back to the per-node reference walk of
+    :func:`repro.spn.evaluate.evaluate_batch` (linear domain) or its per-row
+    log counterpart.  ``check=True`` cross-checks the vectorized result
+    against the reference on a prefix of the batch.
+
+    Performance note: the tape is orders of magnitude faster than the
+    row-by-row operation-list executor and several times faster than the
+    per-node walk on small-to-medium batches; on very large batches
+    (thousands of rows) of the deep suite networks the per-node walk
+    reaches rough parity — both engines are always available.
+    """
+    if resolve_engine(engine) == "vectorized":
+        result = benchmark_tape(name).execute_batch(np.asarray(data), log_domain=log_domain)
+        if check:
+            cross_check(
+                result,
+                data,
+                lambda head: benchmark_evaluate_batch(
+                    name, head, engine="python", log_domain=log_domain
+                ),
+                atol=1e-12 if log_domain else 0.0,
+                what=f"vectorized suite benchmark {name!r}",
+            )
+        return result
+    spn = build_benchmark(name)
+    if log_domain:
+        from ..spn.evaluate import evaluate_log_batch
+
+        return evaluate_log_batch(spn, data)
+    return evaluate_batch(spn, data)
 
 
 def suite_summary() -> List[Tuple[str, int, int, int, int]]:

@@ -1,0 +1,240 @@
+"""Tests for the vectorized tape engine (:mod:`repro.spn.compiled`)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cpu import execute_baseline
+from repro.spn.compiled import (
+    ENGINES,
+    CompiledTape,
+    EngineMismatchError,
+    cached_tape,
+    compile_tape,
+    resolve_engine,
+)
+from repro.spn.evaluate import (
+    MARGINALIZED,
+    evaluate_batch,
+    evaluate_log,
+    evaluate_log_batch,
+)
+from repro.spn.generate import RatSpnConfig, generate_rat_spn, random_evidence
+from repro.spn.graph import SPN
+from repro.spn.linearize import linearize
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+rat_configs = st.builds(
+    RatSpnConfig,
+    n_vars=st.integers(min_value=2, max_value=12),
+    depth=st.integers(min_value=1, max_value=8),
+    repetitions=st.integers(min_value=1, max_value=2),
+    n_sums=st.integers(min_value=1, max_value=3),
+    n_leaf_components=st.integers(min_value=1, max_value=2),
+    split_balance=st.sampled_from([0.1, 0.3, 0.5]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestEngineAgreement:
+    """Property: the vectorized engine matches the Python reference."""
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_linear_domain_matches_reference(self, config, seed):
+        spn = generate_rat_spn(config)
+        data = random_evidence(
+            config.n_vars, observed_fraction=0.7, seed=seed, n_samples=16
+        )
+        reference = evaluate_batch(spn, data, engine="python")
+        vectorized = evaluate_batch(spn, data, engine="vectorized")
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-9)
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_log_domain_matches_reference(self, config, seed):
+        spn = generate_rat_spn(config)
+        data = random_evidence(
+            config.n_vars, observed_fraction=0.7, seed=seed, n_samples=8
+        )
+        reference = evaluate_log_batch(spn, data, engine="python")
+        vectorized = evaluate_log_batch(spn, data, engine="vectorized")
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-9, atol=1e-12)
+
+    def test_log_domain_handles_zero_probability_rows(self):
+        # An indicator-only network where evidence can contradict the model.
+        spn = SPN()
+        x0 = spn.add_indicator(0, 0)
+        x1 = spn.add_indicator(1, 0)
+        spn.set_root(spn.add_product([x0, x1]))
+        data = np.array([[0, 0], [1, 0], [0, 1]])
+        result = evaluate_log_batch(spn, data, engine="vectorized")
+        assert result[0] == pytest.approx(0.0)
+        assert result[1] == -math.inf
+        assert result[2] == -math.inf
+
+    def test_check_flag_runs_clean(self, small_rat_spn):
+        data = random_evidence(10, observed_fraction=0.5, seed=2, n_samples=12)
+        evaluate_batch(small_rat_spn, data, engine="vectorized", check=True)
+        evaluate_log_batch(small_rat_spn, data, engine="vectorized", check=True)
+
+    def test_slotwise_cross_check_against_operation_list(self, small_rat_ops):
+        tape = compile_tape(small_rat_ops)
+        evidence = {0: 1, 3: 0, 7: 1}
+        reference = small_rat_ops.execute_values(small_rat_ops.input_vector(evidence))
+        row = np.full((1, 10), MARGINALIZED, dtype=np.int64)
+        for var, value in evidence.items():
+            row[0, var] = value
+        slots = tape.execute_slots(row)[:, 0]
+        for source_slot in range(small_rat_ops.n_slots):
+            assert slots[tape.slot_map[source_slot]] == pytest.approx(
+                reference[source_slot], rel=1e-12
+            )
+
+    def test_execute_matches_operation_list_execute(self, small_rat_ops):
+        tape = compile_tape(small_rat_ops)
+        for evidence in ({}, {0: 1}, {1: 0, 2: 1, 9: 0}):
+            assert tape.execute(evidence) == pytest.approx(
+                small_rat_ops.execute(evidence), rel=1e-12
+            )
+            assert tape.execute(evidence, log_domain=True) == pytest.approx(
+                math.log(small_rat_ops.execute(evidence)), rel=1e-9
+            )
+
+
+class TestTapeStructure:
+    def test_kernels_write_contiguous_monotonic_ranges(self, small_rat_ops):
+        tape = compile_tape(small_rat_ops)
+        expected_start = tape.n_inputs
+        previous_level = 0
+        for kernel in tape.kernels:
+            assert kernel.dest_start == expected_start
+            assert kernel.width == len(kernel.arg0) == len(kernel.arg1)
+            assert kernel.level >= previous_level
+            # Operands are always produced before the kernel runs.
+            assert int(kernel.arg0.max()) < kernel.dest_start
+            assert int(kernel.arg1.max()) < kernel.dest_start
+            expected_start = kernel.dest_stop
+            previous_level = kernel.level
+        assert expected_start == tape.n_slots
+
+    def test_shape_is_preserved(self, small_rat_ops):
+        tape = compile_tape(small_rat_ops)
+        assert tape.n_inputs == small_rat_ops.n_inputs
+        assert tape.n_operations == small_rat_ops.n_operations
+        assert tape.n_slots == small_rat_ops.n_slots
+        assert tape.n_levels == small_rat_ops.depth()
+
+    def test_compile_from_spn_equals_compile_from_ops(self, small_rat_spn):
+        from_spn = compile_tape(small_rat_spn)
+        from_ops = compile_tape(linearize(small_rat_spn))
+        data = random_evidence(10, observed_fraction=0.6, seed=4, n_samples=5)
+        np.testing.assert_array_equal(
+            from_spn.execute_batch(data), from_ops.execute_batch(data)
+        )
+
+    def test_single_leaf_network(self):
+        spn = SPN()
+        spn.set_root(spn.add_indicator(0, 1))
+        tape = compile_tape(spn)
+        assert tape.n_kernels == 0
+        data = np.array([[1], [0], [MARGINALIZED]])
+        np.testing.assert_allclose(tape.execute_batch(data), [1.0, 0.0, 1.0])
+
+
+class TestConventionsAndErrors:
+    def test_unknown_engine_is_rejected(self, tiny_spn):
+        data = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(ValueError, match="unknown engine"):
+            evaluate_batch(tiny_spn, data, engine="cuda")
+        with pytest.raises(ValueError, match="unknown engine"):
+            evaluate_log_batch(tiny_spn, data, engine="cuda")
+        assert resolve_engine("python") == "python"
+        assert set(ENGINES) == {"python", "vectorized"}
+
+    def test_non_2d_evidence_is_rejected(self, tiny_spn):
+        with pytest.raises(ValueError, match="2-D"):
+            evaluate_batch(tiny_spn, np.zeros(3, dtype=np.int64), engine="vectorized")
+
+    def test_out_of_range_variables_marginalize(self, small_rat_spn):
+        # Evidence with fewer columns than variables: the missing variables
+        # are unobserved, exactly as in the reference engine.
+        data = random_evidence(4, observed_fraction=1.0, seed=0, n_samples=6)
+        reference = evaluate_batch(small_rat_spn, data, engine="python")
+        vectorized = evaluate_batch(small_rat_spn, data, engine="vectorized")
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-9)
+
+    def test_execute_baseline_engines_agree(self, small_rat_ops):
+        data = random_evidence(10, observed_fraction=0.7, seed=9, n_samples=10)
+        reference = execute_baseline(small_rat_ops, data, engine="python")
+        vectorized = execute_baseline(
+            small_rat_ops, data, engine="vectorized", check=True
+        )
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-9)
+
+    def test_mismatch_error_is_raised_on_corrupted_tape(self, small_rat_ops, monkeypatch):
+        data = random_evidence(10, observed_fraction=0.7, seed=9, n_samples=4)
+        monkeypatch.setattr(
+            CompiledTape,
+            "execute_batch",
+            lambda self, d, log_domain=False: np.zeros(len(d)) + 0.123,
+        )
+        with pytest.raises(EngineMismatchError):
+            execute_baseline(small_rat_ops, data, engine="vectorized", check=True)
+
+    def test_any_negative_value_marginalizes_in_every_engine(self, small_rat_spn):
+        # The MARGINALIZED convention: every negative value means "not
+        # observed", not just the -1 sentinel, in all engines alike.
+        small_rat_ops = linearize(small_rat_spn)
+        data = random_evidence(10, observed_fraction=0.6, seed=3, n_samples=8)
+        odd = data.copy()
+        odd[odd == MARGINALIZED] = -7
+        expected = evaluate_batch(small_rat_spn, data, engine="python")
+        for values in (
+            evaluate_batch(small_rat_spn, odd, engine="python"),
+            evaluate_batch(small_rat_spn, odd, engine="vectorized"),
+            execute_baseline(small_rat_ops, odd, engine="python"),
+            execute_baseline(small_rat_ops, odd, engine="vectorized"),
+        ):
+            np.testing.assert_allclose(values, expected, rtol=1e-12)
+
+
+class TestCachedTape:
+    def test_same_object_reuses_the_tape(self, small_rat_spn):
+        assert cached_tape(small_rat_spn) is cached_tape(small_rat_spn)
+        ops = linearize(small_rat_spn)
+        assert cached_tape(ops) is cached_tape(ops)
+        assert cached_tape(ops) is not cached_tape(small_rat_spn)
+
+    def test_mutated_operation_list_recompiles_despite_id_reuse(self, small_rat_spn):
+        # The cache pins the fingerprinted children, so a replacement object
+        # can never reuse a cached child's memory address — an id collision
+        # masquerading as "unchanged" is impossible.
+        from repro.spn.linearize import Operation
+
+        ops = linearize(small_rat_spn)
+        first = cached_tape(ops)
+        expected = ops.execute({})
+        old = ops.operations[-1]
+        ops.operations[-1] = Operation(
+            index=old.index, op=old.op, arg0=old.arg1, arg1=old.arg0
+        )
+        del old
+        second = cached_tape(ops)
+        assert second is not first
+        assert second.execute({}) == pytest.approx(expected)
+
+    def test_mutated_network_recompiles(self):
+        spn = SPN()
+        a = spn.add_indicator(0, 0)
+        b = spn.add_indicator(0, 1)
+        spn.set_root(spn.add_sum([a, b], [0.25, 0.75]))
+        first = cached_tape(spn)
+        spn.set_root(spn.add_sum([a, b], [0.5, 0.5]))
+        second = cached_tape(spn)
+        assert second is not first
+        data = np.full((1, 1), MARGINALIZED, dtype=np.int64)
+        assert second.execute_batch(data)[0] == pytest.approx(1.0)

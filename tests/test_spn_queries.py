@@ -98,6 +98,31 @@ class TestMpe:
             }
             assert mpe_value >= evaluate(small_rat_spn, random_assignment) - 1e-12
 
+    def test_exact_mpe_beats_exhaustive_search_ties(self, small_rat_spn):
+        # Small state space -> the exact path must return the global optimum.
+        assignment = most_probable_explanation(small_rat_spn)
+        mpe_value = evaluate(small_rat_spn, assignment)
+        import itertools
+
+        for combo in itertools.product((0, 1), repeat=len(small_rat_spn.variables())):
+            candidate = dict(zip(small_rat_spn.variables(), combo))
+            assert mpe_value >= evaluate(small_rat_spn, candidate) - 1e-12
+
+    def test_exact_mpe_survives_linear_domain_underflow(self):
+        # Both branches underflow to 0.0 in the linear domain; the exact
+        # enumeration must still rank them (it works in the log domain).
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        worse = spn.add_product(
+            [spn.add_indicator(0, 0)] + [spn.add_parameter(1e-2) for _ in range(500)]
+        )
+        better = spn.add_product(
+            [spn.add_indicator(0, 1)] + [spn.add_parameter(2e-2) for _ in range(500)]
+        )
+        spn.set_root(spn.add_sum([worse, better], [0.5, 0.5]))
+        assert most_probable_explanation(spn) == {0: 1}
+
     def test_learned_model_mpe_matches_cluster_structure(self):
         data = generate_dataset(DatasetSpec(n_vars=6, n_rows=500, n_clusters=1, noise=0.05, seed=8))
         spn = learn_spn(data)

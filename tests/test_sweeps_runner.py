@@ -1,0 +1,161 @@
+"""Tests for the parallel sweep runner and its on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.experiments import sweeps
+from repro.experiments.sweeps import (
+    SweepPoint,
+    all_sweep_points,
+    cache_key,
+    run_sweep,
+    write_bench_json,
+)
+
+#: Smallest suite benchmark — keeps every sweep point cheap.
+BENCHMARK = "Banknote"
+
+
+@pytest.fixture()
+def two_points():
+    return sweeps.gpu_bank_points(BENCHMARK)
+
+
+class TestCacheKey:
+    def test_key_is_deterministic(self, two_points):
+        assert cache_key(two_points[0]) == cache_key(two_points[0])
+
+    def test_key_distinguishes_points(self, two_points):
+        keys = {cache_key(p) for p in all_sweep_points(BENCHMARK)}
+        assert len(keys) == len(all_sweep_points(BENCHMARK))
+
+    def test_key_changes_with_any_parameter(self):
+        base = SweepPoint(
+            kind="tree_arrangement",
+            benchmark=BENCHMARK,
+            label="x",
+            params=(("n_levels", 1), ("n_trees", 16)),
+        )
+        changed_param = SweepPoint(
+            kind="tree_arrangement",
+            benchmark=BENCHMARK,
+            label="x",
+            params=(("n_levels", 2), ("n_trees", 16)),
+        )
+        changed_benchmark = SweepPoint(
+            kind="tree_arrangement",
+            benchmark="MSNBC",
+            label="x",
+            params=(("n_levels", 1), ("n_trees", 16)),
+        )
+        assert cache_key(base) != cache_key(changed_param)
+        assert cache_key(base) != cache_key(changed_benchmark)
+
+    def test_key_changes_with_cache_version(self, two_points, monkeypatch):
+        before = cache_key(two_points[0])
+        monkeypatch.setattr(sweeps, "CACHE_VERSION", sweeps.CACHE_VERSION + 1)
+        assert cache_key(two_points[0]) != before
+
+    def test_key_changes_with_code_fingerprint(self, two_points, monkeypatch):
+        # Any change to the repro package source must invalidate the cache.
+        before = cache_key(two_points[0])
+        monkeypatch.setattr(sweeps, "_CODE_FINGERPRINT", "0" * 16)
+        assert cache_key(two_points[0]) != before
+
+
+class TestRunSweep:
+    def test_same_key_is_a_cached_hit(self, two_points, tmp_path):
+        cache_dir = tmp_path / "sweeps"
+        first = run_sweep(two_points, parallel=False, cache_dir=cache_dir)
+        second = run_sweep(two_points, parallel=False, cache_dir=cache_dir)
+        assert not any(r.cached for r in first)
+        assert all(r.cached for r in second)
+        assert [r.values for r in first] == [r.values for r in second]
+
+    def test_changed_config_is_a_miss(self, tmp_path):
+        cache_dir = tmp_path / "sweeps"
+        coloring, interleaved = sweeps.gpu_bank_points(BENCHMARK)
+        run_sweep([coloring], parallel=False, cache_dir=cache_dir)
+        results = run_sweep([interleaved], parallel=False, cache_dir=cache_dir)
+        assert not results[0].cached
+
+    def test_cache_can_be_disabled(self, two_points, tmp_path):
+        # cache_dir=None disables caching entirely: nothing written, no hits.
+        run_sweep(two_points, parallel=False, cache_dir=None)
+        assert not any(tmp_path.iterdir())
+        results = run_sweep(two_points, parallel=False, cache_dir=None)
+        assert not any(r.cached for r in results)
+
+    def test_corrupted_cache_entry_is_recomputed(self, two_points, tmp_path):
+        cache_dir = tmp_path / "sweeps"
+        run_sweep(two_points, parallel=False, cache_dir=cache_dir)
+        for path in cache_dir.glob("*.json"):
+            path.write_text("{not json")
+        results = run_sweep(two_points, parallel=False, cache_dir=cache_dir)
+        assert not any(r.cached for r in results)
+
+    def test_parallel_matches_serial(self, two_points, tmp_path):
+        serial = run_sweep(two_points, parallel=False, cache_dir=None)
+        parallel = run_sweep(
+            two_points,
+            parallel=True,
+            max_workers=2,
+            cache_dir=tmp_path / "sweeps",
+        )
+        assert [r.values for r in serial] == [r.values for r in parallel]
+        assert [r.point for r in serial] == [r.point for r in parallel]
+
+    def test_results_preserve_point_order(self, tmp_path):
+        points = all_sweep_points(BENCHMARK)
+        results = run_sweep(points, parallel=False, cache_dir=tmp_path / "sweeps")
+        assert [r.point for r in results] == points
+
+    def test_unknown_kind_is_rejected(self):
+        bogus = SweepPoint(kind="warp-drive", benchmark=BENCHMARK, label="x")
+        with pytest.raises(ValueError, match="unknown sweep point kind"):
+            sweeps.evaluate_point(bogus)
+
+
+class TestBenchJson:
+    def test_written_artifact_round_trips(self, two_points, tmp_path):
+        results = run_sweep(two_points, parallel=False, cache_dir=tmp_path / "sweeps")
+        path = tmp_path / "BENCH_sweeps.json"
+        payload = write_bench_json(
+            results,
+            path,
+            BENCHMARK,
+            engine_speedup={"speedup_vs_reference": 12.5},
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["schema"] == "BENCH_sweeps/v1"
+        assert on_disk["benchmark"] == BENCHMARK
+        assert on_disk["engine_speedup"]["speedup_vs_reference"] == 12.5
+        assert len(on_disk["sweeps"]) == len(two_points)
+        for entry in on_disk["sweeps"]:
+            assert {"kind", "benchmark", "label", "params", "ops_per_cycle"} <= set(entry)
+
+
+class TestNamedSweepsStillWork:
+    """The pre-existing sweep entry points keep their shapes and values."""
+
+    def test_tree_arrangement_sweep_shape(self):
+        results = sweeps.tree_arrangement_sweep(BENCHMARK)
+        assert set(results) == {name for name, _, _ in sweeps.TREE_ARRANGEMENTS}
+        assert all(v > 0 for v in results.values())
+
+    def test_allocation_ablation_shape(self):
+        results = sweeps.allocation_ablation(BENCHMARK)
+        assert set(results) == {"conflict-aware", "naive"}
+        assert set(results["naive"]) == {"Pvect", "Ptree"}
+
+    def test_render_main_contains_all_sections(self, tmp_path):
+        text = sweeps.main(BENCHMARK, parallel=False, cache_dir=tmp_path / "sweeps")
+        for section in (
+            "PE arrangement sweep",
+            "Register-bank allocation ablation",
+            "Subtree packing ablation",
+            "GPU shared-memory bank allocation",
+        ):
+            assert section in text
