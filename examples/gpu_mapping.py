@@ -18,6 +18,7 @@ from repro.baselines import (
     interleaved_allocation,
     simulate_gpu,
 )
+from repro.platforms import available_platforms, get_engine
 from repro.suite import benchmark_operation_list, build_benchmark
 from repro.spn import evaluate
 
@@ -67,6 +68,21 @@ def main() -> None:
             "everything else": max(result.cycles - sync, 0),
         },
         title="cycle breakdown (approximate)",
+    ))
+
+    # --- the bigger picture: every registered platform ------------------------- #
+    # The GPU is only one entry in the platform-engine registry; iterating it
+    # puts the memory-bound GPU numbers next to the CPU and the custom
+    # processor on the same benchmark (the comparison of Fig. 4).
+    rows = []
+    for name in available_platforms():
+        platform_result = get_engine(name).run(ops, benchmark=BENCHMARK)
+        rows.append((name, platform_result.cycles, platform_result.ops_per_cycle))
+    print()
+    print(format_table(
+        ["platform", "cycles", "ops/cycle"],
+        rows,
+        title=f"All registered platforms on {BENCHMARK}",
     ))
 
 

@@ -7,6 +7,8 @@ from .gpu_banks import (
     count_warp_conflicts,
     graph_coloring_allocation,
     interleaved_allocation,
+    step_transactions,
+    warp_access_steps,
 )
 
 __all__ = [
@@ -24,4 +26,6 @@ __all__ = [
     "count_warp_conflicts",
     "graph_coloring_allocation",
     "interleaved_allocation",
+    "step_transactions",
+    "warp_access_steps",
 ]

@@ -26,6 +26,11 @@ cycle under the port, latency, window and fetch-bandwidth constraints.  The
 absolute constants are approximations of a Kaby Lake-class core; the quantity
 of interest is the resulting operations/cycle regime (~0.5-0.7) and its
 insensitivity to the SPN, which matches the paper's measurement.
+
+Experiments do not call :func:`simulate_cpu` directly: the model is exposed
+as the ``"CPU"`` engine of the platform registry
+(:class:`repro.platforms.CpuEngine`, see ``docs/platforms.md``), which every
+driver reaches through :func:`repro.platforms.get_engine`.
 """
 
 from __future__ import annotations

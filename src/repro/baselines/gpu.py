@@ -20,7 +20,13 @@ forms:
 
 The constants default to estimates for the Jetson TX2 (Pascal) used in the
 paper and are exposed in :class:`GpuConfig` so the thread-count sweep of
-Fig. 2(c) and the suite comparison of Fig. 4 can be regenerated.
+Fig. 2(c) and the suite comparison of Fig. 4 can be regenerated.  Bank
+conflicts are charged through the accounting helpers of
+:mod:`repro.baselines.gpu_banks` (one shared definition for the allocator
+and the timing model).  Experiments reach this model as the ``"GPU"`` engine
+of the platform registry (:class:`repro.platforms.GpuEngine`, see
+``docs/platforms.md``); the thread-count sweep of Fig. 2(c) is expressed as
+re-parameterized copies of that engine.
 """
 
 from __future__ import annotations
@@ -32,7 +38,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..spn.linearize import OP_ADD, OperationList
-from .gpu_banks import graph_coloring_allocation, interleaved_allocation
+from .gpu_banks import (
+    graph_coloring_allocation,
+    interleaved_allocation,
+    step_transactions,
+    warp_access_steps,
+)
 
 __all__ = ["GpuConfig", "GpuResult", "simulate_gpu", "execute_gpu_kernel", "thread_sweep"]
 
@@ -158,17 +169,11 @@ def simulate_gpu(ops: OperationList, config: Optional[GpuConfig] = None) -> GpuR
                 if passes > 1:
                     divergent_warps += 1
                 wave_instructions += config.overhead_instructions + passes
-                # Three access steps per warp instruction: both operand reads
-                # and the result write, each serialized by bank conflicts.
-                for slots in (
-                    [ops.operations[j].arg0 for j in warp_ops],
-                    [ops.operations[j].arg1 for j in warp_ops],
-                    [ops.dest_slot(j) for j in warp_ops],
-                ):
-                    counts: Dict[int, int] = {}
-                    for slot in slots:
-                        counts[bank_of[slot]] = counts.get(bank_of[slot], 0) + 1
-                    transactions = max(counts.values())
+                # Three access steps per warp instruction (both operand reads
+                # and the result write), each serialized by bank conflicts —
+                # the same accounting the allocator optimizes against.
+                for slots in warp_access_steps(ops, warp_ops):
+                    transactions = step_transactions(slots, bank_of)
                     wave_transactions += transactions
                     conflict_transactions += transactions - 1
             issue_cycles = wave_instructions / config.issue_width

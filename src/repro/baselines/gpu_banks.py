@@ -26,6 +26,8 @@ __all__ = [
     "color_banks",
     "graph_coloring_allocation",
     "count_warp_conflicts",
+    "warp_access_steps",
+    "step_transactions",
 ]
 
 
@@ -36,16 +38,43 @@ def interleaved_allocation(ops: OperationList, n_banks: int) -> List[int]:
     return [slot % n_banks for slot in range(ops.n_slots)]
 
 
+def warp_access_steps(ops: OperationList, warp_ops: Sequence[int]) -> List[List[int]]:
+    """The three shared-memory access steps of one warp instruction.
+
+    A warp executing operations ``warp_ops`` reads all first operands
+    together, then all second operands together, then writes all
+    destinations together; each step is serialized by bank conflicts
+    independently.  This is the single definition of that access pattern,
+    shared by the conflict-graph builder, the conflict counter and the GPU
+    timing model (:func:`repro.baselines.gpu.simulate_gpu`).
+    """
+    return [
+        [ops.operations[j].arg0 for j in warp_ops],
+        [ops.operations[j].arg1 for j in warp_ops],
+        [ops.dest_slot(j) for j in warp_ops],
+    ]
+
+
+def step_transactions(slots: Sequence[int], bank_of: Sequence[int]) -> int:
+    """Shared-memory transactions one access step costs under ``bank_of``.
+
+    Accesses mapping to the same bank serialize, so a step costs as many
+    transactions as its most-loaded bank; a conflict-free step costs one.
+    """
+    counts: Dict[int, int] = defaultdict(int)
+    for slot in slots:
+        counts[bank_of[slot]] += 1
+    return max(counts.values())
+
+
 def _warp_accesses(
     ops: OperationList, n_threads: int, warp_size: int
 ) -> Iterable[List[int]]:
     """Yield the groups of slots accessed together by one warp in one step.
 
     Operation ``j`` of a dependence group runs on thread ``j % n_threads``
-    during wave ``j // n_threads`` (the schedule of Algorithm 3).  For every
-    (group, wave, warp) the warp reads all first operands together, then all
-    second operands together, then writes all destinations together; each of
-    those three access sets is yielded separately.
+    during wave ``j // n_threads`` (the schedule of Algorithm 3).  Each
+    (group, wave, warp) contributes its three :func:`warp_access_steps`.
     """
     for group in ops.groups():
         n_waves = (len(group) + n_threads - 1) // n_threads
@@ -55,9 +84,7 @@ def _warp_accesses(
                 warp_ops = active[warp_start : warp_start + warp_size]
                 if not warp_ops:
                     continue
-                yield [ops.operations[j].arg0 for j in warp_ops]
-                yield [ops.operations[j].arg1 for j in warp_ops]
-                yield [ops.dest_slot(j) for j in warp_ops]
+                yield from warp_access_steps(ops, warp_ops)
 
 
 def conflict_graph(
@@ -142,9 +169,6 @@ def count_warp_conflicts(
     n_transactions = 0
     n_accesses = 0
     for access in _warp_accesses(ops, n_threads, warp_size):
-        counts: Dict[int, int] = defaultdict(int)
-        for slot in access:
-            counts[bank_of[slot]] += 1
-        n_transactions += max(counts.values())
+        n_transactions += step_transactions(access, bank_of)
         n_accesses += 1
     return n_transactions, n_accesses

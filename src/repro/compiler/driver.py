@@ -9,15 +9,22 @@ throughout the test-suite and the benchmark harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..processor.config import ProcessorConfig, ptree_config
 from ..processor.errors import VerificationError
+from ..processor.fastsim import FastProgram, fast_program
 from ..processor.isa import Program
-from ..processor.simulator import SimulationResult, Simulator
+from ..processor.simulator import (
+    MODE_FAST,
+    MODE_STRICT,
+    SimulationResult,
+    Simulator,
+    cross_check_modes,
+)
 from ..spn.graph import SPN
 from ..spn.linearize import OperationList, linearize
 from .cones import ConeGraph, extract_cones
@@ -35,17 +42,52 @@ class CompiledKernel:
     cone_graph: ConeGraph
     config: ProcessorConfig
     ops: OperationList
+    #: Memoized fast form of ``program`` (built on first fast-mode run).  The
+    #: kernel owns its program, so the memo is safe as long as ``program`` is
+    #: not mutated by hand — mutated copies go through ``Simulator`` directly,
+    #: whose content-keyed cache can never serve a stale tape.
+    _fast_form: Optional[FastProgram] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def fast_form(self) -> FastProgram:
+        """The precompiled fast form of this kernel's program (memoized)."""
+        if self._fast_form is None:
+            self._fast_form = fast_program(self.program, self.config)
+        return self._fast_form
 
     def run(
         self,
         evidence: Optional[Mapping[int, int]] = None,
         strict: bool = True,
+        mode: Optional[str] = None,
+        check: bool = False,
     ) -> SimulationResult:
-        """Execute the kernel for ``evidence`` on the cycle-accurate simulator."""
+        """Execute the kernel for ``evidence`` on the cycle-accurate simulator.
+
+        ``mode`` picks the simulator path explicitly (``"strict"`` interprets
+        and verifies, ``"fast"`` runs the vectorized tape); omitted, it
+        follows ``strict``.  Fast-mode runs reuse the kernel's memoized
+        precompiled tape, so repeated evidence evaluations cost only the
+        array gathers.  ``check=True`` runs *both* modes and raises
+        :class:`~repro.processor.errors.VerificationError` unless cycle
+        counts, outputs and counters match exactly.
+        """
         input_vector = self.ops.input_vector(evidence)
-        expected = self.ops.execute_values(input_vector) if strict else None
-        simulator = Simulator(self.config, strict=strict)
-        return simulator.run(self.program, input_vector, expected)
+        effective_mode = mode or (MODE_STRICT if strict else MODE_FAST)
+        needs_expected = check or (strict and effective_mode == MODE_STRICT)
+        expected = self.ops.execute_values(input_vector) if needs_expected else None
+        if check:
+            return cross_check_modes(
+                self.program,
+                input_vector,
+                self.config,
+                expected,
+                precompiled=self.fast_form(),
+            )
+        simulator = Simulator(self.config, strict=strict, mode=effective_mode)
+        precompiled = self.fast_form() if simulator.mode == MODE_FAST else None
+        return simulator.run(self.program, input_vector, expected, precompiled)
 
 
 def compile_operation_list(

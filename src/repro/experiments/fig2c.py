@@ -6,7 +6,10 @@ and reports (a) that a single GPU thread is slower than the CPU, and (b) that
 256 threads only bring a ~4.1x improvement over one thread — sublinear
 scaling caused by synchronization overhead, shared-memory bandwidth and
 divergence.  This driver regenerates the same series using the Audio
-benchmark (a Lowd-Davis dataset) as the representative SPN.
+benchmark (a Lowd-Davis dataset) as the representative SPN; both platforms
+are obtained from the engine registry, and the thread sweep is expressed as
+re-parameterized copies of the GPU engine
+(:meth:`~repro.platforms.PlatformEngine.configured`).
 """
 
 from __future__ import annotations
@@ -14,8 +17,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..analysis.report import format_bar_chart, format_table
-from ..baselines.cpu import simulate_cpu
-from ..baselines.gpu import GpuConfig, thread_sweep
+from ..baselines.gpu import GpuConfig
+from ..platforms import PLATFORM_CPU, PLATFORM_GPU, get_engine
 from ..suite.registry import benchmark_operation_list
 
 __all__ = ["THREAD_COUNTS", "DEFAULT_BENCHMARK", "run", "main"]
@@ -32,8 +35,14 @@ def run(
 ) -> Dict[str, float]:
     """Return the Fig. 2(c) series: CPU plus one entry per GPU block size."""
     ops = benchmark_operation_list(benchmark)
-    series: Dict[str, float] = {"CPU": simulate_cpu(ops).ops_per_cycle}
-    for threads, result in thread_sweep(ops, thread_counts, gpu_config).items():
+    gpu = get_engine(PLATFORM_GPU)
+    if gpu_config is not None:
+        gpu = gpu.with_config(gpu_config)
+    series: Dict[str, float] = {
+        "CPU": get_engine(PLATFORM_CPU).run(ops, benchmark=benchmark).ops_per_cycle
+    }
+    for threads in thread_counts:
+        result = gpu.configured(n_threads=threads).run(ops, benchmark=benchmark)
         series[f"GPU {threads} thr"] = result.ops_per_cycle
     return series
 

@@ -4,7 +4,9 @@ For every benchmark of the suite the driver runs the CPU model, the GPU model
 (256 threads) and the custom processor in both configurations (compiled with
 the full compiler and measured on the cycle-accurate simulator in strict
 mode), and reports effective operations/cycle — the exact quantity plotted in
-Fig. 4 of the paper.
+Fig. 4 of the paper.  All four platforms are resolved by name through the
+engine registry (:mod:`repro.platforms`) via
+:func:`repro.experiments.platforms.run_suite`.
 
 A second, optional pass repeats the two processor configurations with the
 naive first-fit register-bank allocation (``conflict_aware_allocation=False``)

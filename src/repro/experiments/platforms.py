@@ -1,22 +1,36 @@
-"""Shared helpers to evaluate one SPN on all four platforms of the paper.
+"""Experiment-level entry points into the platform-engine registry.
 
 Every experiment (Fig. 2c, Fig. 4, the headline claims and the ablation
-sweeps) funnels through :func:`run_platform`, so the CPU model, the GPU model
-and the custom-processor flow are always exercised with the same operation
-list and the same throughput metric.
+sweeps) measures throughput through :func:`run_platform`, which is a thin
+veneer over :func:`repro.platforms.get_engine` — there is no platform
+``if``/``elif`` dispatch anywhere in the experiments: adding a platform to
+the registry makes it available to every driver by name.
+
+The ``run_cpu`` / ``run_gpu`` / ``run_processor`` helpers are kept as
+backwards-compatible conveniences for callers that already hold a model
+configuration object; they construct the corresponding engine directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, Optional
 
 from ..analysis.metrics import PlatformResult
-from ..baselines.cpu import CpuConfig, simulate_cpu
-from ..baselines.gpu import GpuConfig, simulate_gpu
-from ..compiler.driver import compile_operation_list
+from ..baselines.cpu import CpuConfig
+from ..baselines.gpu import GpuConfig
 from ..compiler.scheduler import ScheduleOptions
-from ..processor.config import ProcessorConfig, ptree_config, pvect_config
+from ..platforms import (
+    DEFAULT_PLATFORMS,
+    PLATFORM_CPU,
+    PLATFORM_GPU,
+    PLATFORM_PTREE,
+    PLATFORM_PVECT,
+    CpuEngine,
+    GpuEngine,
+    ProcessorEngine,
+    get_engine,
+)
+from ..processor.config import ProcessorConfig
 from ..spn.linearize import OperationList
 from ..suite.registry import benchmark_names, benchmark_operation_list
 
@@ -34,39 +48,21 @@ __all__ = [
     "run_suite",
 ]
 
-PLATFORM_CPU = "CPU"
-PLATFORM_GPU = "GPU"
-PLATFORM_PVECT = "Pvect"
-PLATFORM_PTREE = "Ptree"
-DEFAULT_PLATFORMS = (PLATFORM_CPU, PLATFORM_GPU, PLATFORM_PVECT, PLATFORM_PTREE)
-
 
 def run_cpu(
     ops: OperationList, benchmark: str = "", config: Optional[CpuConfig] = None
 ) -> PlatformResult:
     """Throughput of the CPU model (Sec. III) on ``ops``."""
-    result = simulate_cpu(ops, config)
-    return PlatformResult(
-        platform=PLATFORM_CPU,
-        benchmark=benchmark,
-        ops_per_cycle=result.ops_per_cycle,
-        cycles=result.cycles,
-        n_operations=result.n_operations,
-    )
+    engine = get_engine(PLATFORM_CPU) if config is None else CpuEngine(config=config)
+    return engine.run(ops, benchmark=benchmark)
 
 
 def run_gpu(
     ops: OperationList, benchmark: str = "", config: Optional[GpuConfig] = None
 ) -> PlatformResult:
     """Throughput of the GPU (SIMT) model on ``ops``."""
-    result = simulate_gpu(ops, config)
-    return PlatformResult(
-        platform=PLATFORM_GPU,
-        benchmark=benchmark,
-        ops_per_cycle=result.ops_per_cycle,
-        cycles=result.cycles,
-        n_operations=result.n_operations,
-    )
+    engine = get_engine(PLATFORM_GPU) if config is None else GpuEngine(config=config)
+    return engine.run(ops, benchmark=benchmark)
 
 
 def run_processor(
@@ -75,23 +71,19 @@ def run_processor(
     benchmark: str = "",
     options: Optional[ScheduleOptions] = None,
     verify: bool = True,
+    mode: Optional[str] = None,
 ) -> PlatformResult:
     """Compile ``ops`` for ``config`` and measure it on the cycle-accurate simulator.
 
     With ``verify`` enabled (the default) the run uses strict mode, so every
     value transported through the register file is checked against the
     reference evaluation — throughput numbers are only reported for programs
-    that compute the right answer.
+    that compute the right answer.  ``mode="fast"`` selects the vectorized
+    simulator path instead (identical cycle counts and outputs, no per-value
+    checks).
     """
-    kernel = compile_operation_list(ops, config, options)
-    result = kernel.run(evidence=None, strict=verify)
-    return PlatformResult(
-        platform=config.name,
-        benchmark=benchmark,
-        ops_per_cycle=result.ops_per_cycle,
-        cycles=result.cycles,
-        n_operations=result.n_operations,
-    )
+    engine = ProcessorEngine(config=config, verify=verify, mode=mode)
+    return engine.run(ops, benchmark=benchmark, options=options)
 
 
 def run_platform(
@@ -100,16 +92,8 @@ def run_platform(
     benchmark: str = "",
     options: Optional[ScheduleOptions] = None,
 ) -> PlatformResult:
-    """Run ``ops`` on one of the four named platforms of the paper."""
-    if platform == PLATFORM_CPU:
-        return run_cpu(ops, benchmark)
-    if platform == PLATFORM_GPU:
-        return run_gpu(ops, benchmark)
-    if platform == PLATFORM_PVECT:
-        return run_processor(ops, pvect_config(), benchmark, options)
-    if platform == PLATFORM_PTREE:
-        return run_processor(ops, ptree_config(), benchmark, options)
-    raise ValueError(f"unknown platform {platform!r}; expected one of {DEFAULT_PLATFORMS}")
+    """Run ``ops`` on any registered platform engine, looked up by name."""
+    return get_engine(platform).run(ops, benchmark=benchmark, options=options)
 
 
 def run_benchmark(

@@ -16,10 +16,16 @@ executed by :func:`run_sweep`, a parallel runner that
 * fans the points out over a process pool (``parallel=True``), so
   multi-point sweeps saturate all cores instead of running serially;
 * caches each point's result on disk under ``.cache/sweeps/`` keyed by a
-  content hash of the point (same point → cached hit, any changed parameter
-  → miss), so repeated figure reproductions only pay for new points;
+  content hash of the point (kind, benchmark, **platform** and parameters —
+  same point → cached hit, any changed parameter → miss), so repeated
+  figure reproductions only pay for new points;
 * can emit the consolidated ``BENCH_sweeps.json`` artifact
   (:func:`write_bench_json`) consumed by CI and the benchmark harness.
+
+Every point names the platform engine it runs on, and
+:func:`evaluate_point` obtains that engine from the registry
+(:func:`repro.platforms.get_engine`) — the sweep recipes only decide *how*
+to parameterize it, never hand-wire a model.
 
 The module is also a command-line entry point::
 
@@ -27,7 +33,9 @@ The module is also a command-line entry point::
 
 which runs all sweeps for one benchmark (parallel, cached) plus the
 reference-vs-vectorized engine speedup measurement
-(:func:`measure_engine_speedup`) and writes the JSON artifact.
+(:func:`measure_engine_speedup`) and the strict-vs-fast simulator speedup
+measurement (:func:`measure_simulator_speedup`), and writes the JSON
+artifact.
 """
 
 from __future__ import annotations
@@ -43,12 +51,15 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.report import format_table
-from ..baselines.gpu import GpuConfig, simulate_gpu
 from ..compiler.scheduler import ScheduleOptions
-from ..processor.config import ProcessorConfig
+from ..platforms import (
+    PLATFORM_GPU,
+    PLATFORM_PTREE,
+    PLATFORM_PVECT,
+    get_engine,
+)
 from ..spn.linearize import OperationList
 from ..suite.registry import benchmark_operation_list
-from .platforms import run_processor
 
 __all__ = [
     "SweepPoint",
@@ -57,7 +68,9 @@ __all__ = [
     "run_sweep",
     "all_sweep_points",
     "measure_engine_speedup",
+    "measure_simulator_speedup",
     "write_bench_json",
+    "update_bench_json",
     "tree_arrangement_sweep",
     "allocation_ablation",
     "packing_ablation",
@@ -96,13 +109,16 @@ class SweepPoint:
     """One design point of a sweep: what to run and with which parameters.
 
     ``kind`` selects the evaluation recipe (see :func:`evaluate_point`),
-    ``params`` is a sorted tuple of ``(name, value)`` pairs so that points
-    are hashable, comparable and JSON-stable.
+    ``platform`` names the engine the point runs on (a registry key, part of
+    the on-disk cache identity), and ``params`` is a sorted tuple of
+    ``(name, value)`` pairs so that points are hashable, comparable and
+    JSON-stable.
     """
 
     kind: str
     benchmark: str
     label: str
+    platform: str = ""
     params: Tuple[Tuple[str, object], ...] = ()
 
     def param(self, name: str) -> object:
@@ -116,6 +132,7 @@ class SweepPoint:
             "kind": self.kind,
             "benchmark": self.benchmark,
             "label": self.label,
+            "platform": self.platform,
             "params": dict(self.params),
         }
 
@@ -134,11 +151,14 @@ class SweepResult:
         return self.values["ops_per_cycle"]
 
 
-def _point(kind: str, benchmark: str, label: str, **params: object) -> SweepPoint:
+def _point(
+    kind: str, benchmark: str, label: str, platform: str, **params: object
+) -> SweepPoint:
     return SweepPoint(
         kind=kind,
         benchmark=benchmark,
         label=label,
+        platform=platform,
         params=tuple(sorted(params.items())),
     )
 
@@ -148,7 +168,14 @@ def tree_arrangement_points(
     arrangements: Iterable[Tuple[str, int, int]] = TREE_ARRANGEMENTS,
 ) -> List[SweepPoint]:
     return [
-        _point("tree_arrangement", benchmark, name, n_trees=n_trees, n_levels=n_levels)
+        _point(
+            "tree_arrangement",
+            benchmark,
+            name,
+            PLATFORM_PTREE,
+            n_trees=n_trees,
+            n_levels=n_levels,
+        )
         for name, n_trees, n_levels in arrangements
     ]
 
@@ -159,24 +186,26 @@ def allocation_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
             "allocation",
             benchmark,
             f"{alloc}/{config}",
-            config=config,
+            config,
             conflict_aware=(alloc == "conflict-aware"),
         )
         for alloc in ("conflict-aware", "naive")
-        for config in ("Pvect", "Ptree")
+        for config in (PLATFORM_PVECT, PLATFORM_PTREE)
     ]
 
 
 def packing_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
     return [
-        _point("packing", benchmark, label, pack=(label == "packing on"))
+        _point(
+            "packing", benchmark, label, PLATFORM_PTREE, pack=(label == "packing on")
+        )
         for label in ("packing on", "packing off")
     ]
 
 
 def gpu_bank_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
     return [
-        _point("gpu_banks", benchmark, label, allocation=allocation)
+        _point("gpu_banks", benchmark, label, PLATFORM_GPU, allocation=allocation)
         for label, allocation in (
             ("graph coloring", "coloring"),
             ("interleaved", "interleaved"),
@@ -195,40 +224,34 @@ def all_sweep_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
 
 
 def evaluate_point(point: SweepPoint) -> Dict[str, float]:
-    """Evaluate one design point (runs in a worker process under ``parallel``)."""
+    """Evaluate one design point (runs in a worker process under ``parallel``).
+
+    The platform engine always comes from the registry
+    (:func:`repro.platforms.get_engine`); the ``kind`` recipe only decides
+    how the engine is re-parameterized and which scheduler options apply.
+    """
+    if point.kind not in ("tree_arrangement", "allocation", "packing", "gpu_banks"):
+        raise ValueError(f"unknown sweep point kind {point.kind!r}")
     ops = _ops(point.benchmark)
+    engine = get_engine(point.platform)
+    options: Optional[ScheduleOptions] = None
     if point.kind == "tree_arrangement":
-        config = ProcessorConfig(
+        engine = engine.configured(
             name=point.label,
             n_trees=int(point.param("n_trees")),
             n_levels=int(point.param("n_levels")),
             n_banks=32,
             bank_depth=64,
         )
-        result = run_processor(ops, config, point.benchmark)
     elif point.kind == "allocation":
-        from ..processor.config import ptree_config, pvect_config
-
-        config = ptree_config() if point.param("config") == "Ptree" else pvect_config()
         options = ScheduleOptions(
             conflict_aware_allocation=bool(point.param("conflict_aware"))
         )
-        result = run_processor(ops, config, point.benchmark, options)
     elif point.kind == "packing":
-        from ..processor.config import ptree_config
-
-        result = run_processor(
-            ops,
-            ptree_config(),
-            point.benchmark,
-            ScheduleOptions(pack_multiple_cones=bool(point.param("pack"))),
-        )
+        options = ScheduleOptions(pack_multiple_cones=bool(point.param("pack")))
     elif point.kind == "gpu_banks":
-        result = simulate_gpu(
-            ops, GpuConfig(bank_allocation=str(point.param("allocation")))
-        )
-    else:
-        raise ValueError(f"unknown sweep point kind {point.kind!r}")
+        engine = engine.configured(bank_allocation=str(point.param("allocation")))
+    result = engine.run(ops, benchmark=point.benchmark, options=options)
     return {"ops_per_cycle": float(result.ops_per_cycle)}
 
 
@@ -435,17 +458,134 @@ def measure_engine_speedup(
 
 
 # --------------------------------------------------------------------------- #
+# Simulator speedup measurement (strict interpreter vs vectorized fast mode)
+# --------------------------------------------------------------------------- #
+def measure_simulator_speedup(
+    n_vars: int = 224,
+    repetitions: int = 5,
+    repeats: int = 3,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Time the strict (interpreted) simulator against the fast tape mode.
+
+    Builds a deterministic RAT-SPN large enough that its compiled ``Ptree``
+    program exceeds 1000 VLIW instructions, compiles it once, and measures:
+
+    * ``t_strict`` — one :class:`~repro.processor.simulator.Simulator` run in
+      strict mode (per-value verification against a precomputed reference
+      slot vector; best of ``repeats``);
+    * ``t_fast_cold`` — the first fast-mode run, including tape
+      precompilation and the content-keyed cache insert;
+    * ``t_fast`` — a warm fast-mode run reusing the kernel's memoized tape
+      (the steady-state path of ``CompiledKernel.run(strict=False)``; best
+      of ``repeats``).
+
+    The two modes are also cross-checked for exact agreement, so the
+    recorded speedup always describes runs that produced identical cycle
+    counts and outputs.  Returns a flat dict ready for inclusion in
+    ``BENCH_sweeps.json``.
+    """
+    from ..compiler.driver import compile_operation_list
+    from ..processor import fastsim
+    from ..processor.config import ptree_config
+    from ..processor.simulator import (
+        MODE_FAST,
+        MODE_STRICT,
+        Simulator,
+        cross_check_modes,
+    )
+    from ..spn.generate import RatSpnConfig, generate_rat_spn
+    from ..spn.linearize import linearize
+
+    spn = generate_rat_spn(
+        RatSpnConfig(
+            n_vars=n_vars, depth=n_vars, repetitions=repetitions, n_sums=2,
+            split_balance=0.1, seed=seed,
+        )
+    )
+    ops = linearize(spn)
+    config = ptree_config()
+    kernel = compile_operation_list(ops, config)
+    program = kernel.program
+    input_vector = ops.input_vector(None)
+    expected = ops.execute_values(input_vector)
+
+    def best_of(fn, n: int) -> float:
+        best = float("inf")
+        for _ in range(max(1, n)):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    strict_sim = Simulator(config, strict=True, mode=MODE_STRICT)
+    t_strict = best_of(lambda: strict_sim.run(program, input_vector, expected), repeats)
+
+    fastsim.clear_cache()
+    fast_sim = Simulator(config, mode=MODE_FAST)
+    t0 = time.perf_counter()
+    fast_sim.run(program, input_vector)
+    t_fast_cold = time.perf_counter() - t0
+    precompiled = kernel.fast_form()
+    t_fast = best_of(
+        lambda: fast_sim.run(program, input_vector, precompiled=precompiled), repeats
+    )
+
+    cross_check_modes(program, input_vector, config, expected)
+
+    return {
+        "n_instructions": program.n_instructions,
+        "n_operations": program.n_arith_ops,
+        "t_strict_s": t_strict,
+        "t_fast_cold_s": t_fast_cold,
+        "t_fast_s": t_fast,
+        "speedup_fast_vs_strict": t_strict / t_fast,
+        "speedup_fast_cold_vs_strict": t_strict / t_fast_cold,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # BENCH_sweeps.json emission
 # --------------------------------------------------------------------------- #
+def _read_bench_json(path: Path) -> Dict[str, object]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return existing if isinstance(existing, dict) else {}
+
+
+def update_bench_json(path: Path, **sections: object) -> Dict[str, object]:
+    """Merge ``sections`` into the artifact at ``path``, preserving other keys.
+
+    Several benchmark writers contribute to the same ``BENCH_sweeps.json``
+    (the sweep grid, the engine speedup, the simulator speedup); merging
+    keeps the artifact whole no matter which writer runs last.
+    """
+    payload = _read_bench_json(Path(path))
+    payload.setdefault("schema", "BENCH_sweeps/v1")
+    payload.update(sections)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return payload
+
+
 def write_bench_json(
     results: Sequence[SweepResult],
     path: Path = Path("BENCH_sweeps.json"),
     benchmark: str = DEFAULT_BENCHMARK,
     engine_speedup: Optional[Mapping[str, float]] = None,
+    simulator_speedup: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, object]:
-    """Write the consolidated sweep artifact and return its payload."""
-    payload: Dict[str, object] = {
-        "schema": "BENCH_sweeps/v1",
+    """Write the consolidated sweep artifact and return its payload.
+
+    Top-level keys already present in the file but not produced by this call
+    (for example a ``simulator_speedup`` section written by
+    ``benchmarks/test_bench_simulator.py``) are preserved.
+    """
+    sections: Dict[str, object] = {
         "benchmark": benchmark,
         "sweeps": [
             {
@@ -458,12 +598,10 @@ def write_bench_json(
         ],
     }
     if engine_speedup is not None:
-        payload["engine_speedup"] = dict(engine_speedup)
-    path = Path(path)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, default=str)
-        handle.write("\n")
-    return payload
+        sections["engine_speedup"] = dict(engine_speedup)
+    if simulator_speedup is not None:
+        sections["simulator_speedup"] = dict(simulator_speedup)
+    return update_bench_json(Path(path), **sections)
 
 
 # --------------------------------------------------------------------------- #
@@ -612,7 +750,7 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--json", type=Path, default=None, metavar="PATH",
                         help="write the BENCH_sweeps.json artifact to PATH")
     parser.add_argument("--skip-speedup", action="store_true",
-                        help="skip the engine speedup measurement")
+                        help="skip the engine and simulator speedup measurements")
     args = parser.parse_args(argv)
 
     cache_dir = None if args.no_cache else args.cache_dir
@@ -623,7 +761,7 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=cache_dir,
     )
     print(render_sweeps(results, args.benchmark))
-    speedup = None
+    speedup = simulator_speedup = None
     if not args.skip_speedup:
         speedup = measure_engine_speedup()
         print(
@@ -631,8 +769,20 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
             f"{speedup['speedup_vs_reference']:.1f}x the reference executor "
             f"({speedup['n_operations']} ops, {speedup['n_samples']} rows)"
         )
+        simulator_speedup = measure_simulator_speedup()
+        print(
+            f"simulator speedup: fast mode is "
+            f"{simulator_speedup['speedup_fast_vs_strict']:.1f}x strict mode "
+            f"({simulator_speedup['n_instructions']} instructions)"
+        )
     if args.json is not None:
-        write_bench_json(results, args.json, args.benchmark, engine_speedup=speedup)
+        write_bench_json(
+            results,
+            args.json,
+            args.benchmark,
+            engine_speedup=speedup,
+            simulator_speedup=simulator_speedup,
+        )
         print(f"wrote {args.json}")
     return 0
 

@@ -1,0 +1,47 @@
+"""Unified platform-engine registry (see ``docs/platforms.md``).
+
+One import gives every experiment the same dispatch surface::
+
+    from repro.platforms import get_engine
+
+    result = get_engine("Ptree").run(ops, benchmark="Audio")
+    print(result.ops_per_cycle)
+
+Importing this package registers the four built-in engines of the paper's
+comparison (CPU, GPU, Pvect, Ptree); new backends self-register through
+:func:`register_platform`.
+"""
+
+from .base import (
+    DEFAULT_PLATFORMS,
+    PLATFORM_CPU,
+    PLATFORM_GPU,
+    PLATFORM_PTREE,
+    PLATFORM_PVECT,
+    PlatformEngine,
+    PlatformResult,
+    UnknownPlatformError,
+    available_platforms,
+    get_engine,
+    register_platform,
+    unregister_platform,
+)
+from .engines import CpuEngine, GpuEngine, ProcessorEngine
+
+__all__ = [
+    "DEFAULT_PLATFORMS",
+    "PLATFORM_CPU",
+    "PLATFORM_GPU",
+    "PLATFORM_PTREE",
+    "PLATFORM_PVECT",
+    "PlatformEngine",
+    "PlatformResult",
+    "UnknownPlatformError",
+    "available_platforms",
+    "get_engine",
+    "register_platform",
+    "unregister_platform",
+    "CpuEngine",
+    "GpuEngine",
+    "ProcessorEngine",
+]

@@ -21,7 +21,15 @@ from .isa import (
     ReadSpec,
     WriteSpec,
 )
-from .simulator import SimulationResult, Simulator, simulate_program
+from .fastsim import FastProgram, fast_program, precompile_program
+from .simulator import (
+    MODE_FAST,
+    MODE_STRICT,
+    SimulationResult,
+    Simulator,
+    cross_check_modes,
+    simulate_program,
+)
 from .assembler import assemble, disassemble
 
 __all__ = [
@@ -49,4 +57,10 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "simulate_program",
+    "cross_check_modes",
+    "MODE_FAST",
+    "MODE_STRICT",
+    "FastProgram",
+    "fast_program",
+    "precompile_program",
 ]

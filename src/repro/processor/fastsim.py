@@ -1,0 +1,318 @@
+"""Vectorized fast path of the cycle-accurate simulator.
+
+The interpreted simulator (:mod:`repro.processor.simulator`) walks one VLIW
+instruction per cycle through Python dictionaries — register file, pending
+writes, datapath outputs — which is exactly the right shape for strict-mode
+verification but pays that per-slot cost on *every* run, even though a
+:class:`~repro.processor.isa.Program` has no data-dependent control flow.
+
+This module exploits that determinism: :func:`precompile_program` executes
+the program once *symbolically* — value identities instead of floats — doing
+all the per-cycle work (commit scheduling, crossbar and write-port hazard
+checks, memory transactions, cycle and utilization accounting) a single time
+at compile time, and records the pure dataflow as index/op tapes:
+
+* an input gather (which operation-list slot feeds each initial value);
+* one :class:`TapeKernel` per ``(dataflow level, opcode)`` group, holding
+  NumPy gather index vectors for both operands and a contiguous output
+  range, exactly like the levelized SPN tape of :mod:`repro.spn.compiled`;
+* the statically known :class:`SimulationResult` statistics (cycles, reads,
+  writes, loads, stores).
+
+Crucially, the symbolic pass is not a re-implementation of the machine: it
+runs the *interpreter's own* step methods over the *real*
+:class:`~repro.processor.components.RegisterFile` and
+:class:`~repro.processor.components.DataMemory` (which shuttle value ids as
+happily as floats), swapping in only a datapath whose ADD/MUL emit tape
+entries instead of computing.  Every structural rule therefore has exactly
+one definition, and fast mode raises the same exception types with the same
+messages as strict mode — just at precompile time.  Only input-dependent
+checks (data-memory image slot range) remain at run time.
+
+Running the program for a new input vector then costs one NumPy gather per
+tape kernel instead of per-slot Python dict work.  Because the tapes apply
+the *same* IEEE-754 double operations to the *same* operand pairings as the
+interpreted loop (only batched), fast mode reproduces strict-mode values and
+cycle counts exactly — bit for bit — which the equivalence tests and
+:func:`repro.processor.simulator.cross_check_modes` assert.  Strict-mode
+per-*value* verification is intentionally not performed here — that is what
+``mode="strict"`` is for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .components import DataMemory, PEValue, RegisterFile, TreeDatapath
+from .config import ProcessorConfig
+from .errors import StructuralHazardError, UninitializedReadError
+from .isa import OP_ADD, OP_MUL, OP_PASS_A, OP_PASS_B, Program
+
+__all__ = [
+    "TapeKernel",
+    "FastProgram",
+    "precompile_program",
+    "fast_program",
+    "clear_cache",
+]
+
+
+@dataclass(frozen=True)
+class TapeKernel:
+    """One fused array operation: ``values[start:end] = op(values[a], values[b])``."""
+
+    opcode: str
+    start: int
+    end: int
+    a_index: np.ndarray
+    b_index: np.ndarray
+
+
+@dataclass
+class FastProgram:
+    """A precompiled program: input gather, op tapes and static statistics."""
+
+    #: Operation-list slot feeding each of the first ``n_inputs`` value entries.
+    input_slots: np.ndarray
+    #: Data-memory image slots in initialization order (for error reporting).
+    image_slots: Tuple[int, ...]
+    #: Smallest / largest slot referenced by the image (0 / -1 when empty);
+    #: the per-run input validation is two comparisons against them.
+    min_image_slot: int
+    max_image_slot: int
+    kernels: Tuple[TapeKernel, ...]
+    n_values: int
+    #: Position of the result in the value array, or ``None`` when the root is
+    #: an input slot (``result_slot`` indexes the input vector directly).
+    result_position: Optional[int]
+    result_slot: int
+    # Statically known statistics (identical to one interpreted run).
+    cycles: int
+    n_reads: int
+    n_writes: int
+    n_loads: int
+    n_stores: int
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_slots)
+
+    def execute(self, input_values: np.ndarray) -> float:
+        """Run the tapes for one input vector and return the root value."""
+        input_values = np.asarray(input_values, dtype=np.float64)
+        if self.min_image_slot < 0 or self.max_image_slot >= len(input_values):
+            # Report the first offending slot in image order, exactly like
+            # the interpreter's data-memory initialization (a negative slot
+            # must raise here too, never gather via NumPy wrap-around).
+            for slot in self.image_slots:
+                if not 0 <= slot < len(input_values):
+                    raise StructuralHazardError(
+                        f"data-memory image references input slot {slot}, but "
+                        f"only {len(input_values)} input values were provided"
+                    )
+        values = np.empty(self.n_values, dtype=np.float64)
+        if self.n_inputs:
+            values[: self.n_inputs] = input_values[self.input_slots]
+        for kernel in self.kernels:
+            ufunc = np.add if kernel.opcode == OP_ADD else np.multiply
+            values[kernel.start : kernel.end] = ufunc(
+                values[kernel.a_index], values[kernel.b_index]
+            )
+        if self.result_position is None:
+            return float(input_values[self.result_slot])
+        return float(values[self.result_position])
+
+
+class _SymbolicDatapath(TreeDatapath):
+    """The PE-tree datapath over value ids: ADD/MUL emit tape entries.
+
+    Operand routing, level ordering and error precedence are inherited from
+    :class:`~repro.processor.components.TreeDatapath`; only ``_apply`` is
+    replaced, mirroring the original's check order exactly (pass-throughs
+    first, then missing operands, then the opcode) so both modes raise the
+    same exception for the same malformed instruction.
+    """
+
+    def __init__(self, config: ProcessorConfig, emit_op) -> None:
+        super().__init__(config)
+        self._emit_op = emit_op
+
+    def _apply(self, opcode, a, b, pe):  # overrides the parent staticmethod
+        if opcode == OP_PASS_A:
+            if a is None:
+                raise UninitializedReadError(f"PE {pe}: pass_a with no A operand")
+            return PEValue(a.value, a.slot)
+        if opcode == OP_PASS_B:
+            if b is None:
+                raise UninitializedReadError(f"PE {pe}: pass_b with no B operand")
+            return PEValue(b.value, b.slot)
+        if a is None or b is None:
+            raise UninitializedReadError(f"PE {pe}: {opcode} with a missing operand")
+        if opcode in (OP_ADD, OP_MUL):
+            return PEValue(self._emit_op(opcode, a.value, b.value), None)
+        raise StructuralHazardError(f"PE {pe}: unknown opcode {opcode!r}")
+
+
+def precompile_program(program: Program, config: ProcessorConfig) -> FastProgram:
+    """Symbolically execute ``program`` once and compile the value dataflow."""
+    # Imported here: simulator.py imports this module at load time.
+    from .simulator import Simulator
+
+    # A non-strict interpreter instance, used purely for its per-step methods
+    # (reads, write-backs, memory transactions) — the single definition of
+    # the machine's structural rules.
+    interpreter = Simulator(config, strict=False, mode="strict")
+    regfile = RegisterFile(config)
+    dmem = DataMemory(config)
+
+    # Input entries: one value-array position per distinct operation-list slot
+    # referenced by the data-memory image, in first-appearance order.  (The
+    # slot-range check against the input vector happens per run, in execute().)
+    entry_of_slot: Dict[int, int] = {}
+    image_slots: List[int] = []
+    for row_index, row in enumerate(program.dmem_image):
+        lane_ids: List[Optional[int]] = []
+        for slot in row:
+            if slot is None:
+                lane_ids.append(None)
+            else:
+                image_slots.append(slot)
+                if slot not in entry_of_slot:
+                    entry_of_slot[slot] = len(entry_of_slot)
+                lane_ids.append(entry_of_slot[slot])
+        dmem.write_row(row_index, lane_ids)
+    n_inputs = len(entry_of_slot)
+
+    # Arithmetic entries: (opcode, operand ids), appended in issue order.
+    ops: List[Tuple[str, int, int]] = []
+
+    def emit_op(opcode: str, a: int, b: int) -> int:
+        ops.append((opcode, a, b))
+        return n_inputs + len(ops) - 1
+
+    datapath = _SymbolicDatapath(config, emit_op)
+    cycles, n_reads, n_writes, n_loads, n_stores = interpreter.execute_cycles(
+        program, regfile, dmem, datapath, None
+    )
+
+    if program.result_location is None:
+        result_id: Optional[int] = None
+    else:
+        bank, reg = program.result_location
+        result_id, _ = regfile.read(bank, reg)
+        if result_id is None:
+            raise UninitializedReadError(
+                f"program finished but the result register (bank {bank}, reg {reg}) "
+                "was never written"
+            )
+
+    # Levelize the dataflow and give every (level, opcode) group a contiguous
+    # output range, so each group executes as one fused gather + ufunc.
+    n_values = n_inputs + len(ops)
+    level = [0] * n_values
+    groups: Dict[Tuple[int, str], List[int]] = {}
+    for k, (opcode, a, b) in enumerate(ops):
+        entry = n_inputs + k
+        level[entry] = max(level[a], level[b]) + 1
+        groups.setdefault((level[entry], opcode), []).append(entry)
+
+    position = list(range(n_inputs)) + [-1] * len(ops)
+    next_position = n_inputs
+    ordered_groups: List[Tuple[str, List[int], int]] = []
+    for (_, opcode), entries in sorted(groups.items()):
+        ordered_groups.append((opcode, entries, next_position))
+        for entry in entries:
+            position[entry] = next_position
+            next_position += 1
+
+    kernels = []
+    for opcode, entries, start in ordered_groups:
+        a_index = np.fromiter(
+            (position[ops[e - n_inputs][1]] for e in entries), dtype=np.intp
+        )
+        b_index = np.fromiter(
+            (position[ops[e - n_inputs][2]] for e in entries), dtype=np.intp
+        )
+        kernels.append(
+            TapeKernel(
+                opcode=opcode,
+                start=start,
+                end=start + len(entries),
+                a_index=a_index,
+                b_index=b_index,
+            )
+        )
+
+    input_slots = np.empty(n_inputs, dtype=np.intp)
+    for slot, entry in entry_of_slot.items():
+        input_slots[entry] = slot
+
+    return FastProgram(
+        input_slots=input_slots,
+        image_slots=tuple(image_slots),
+        min_image_slot=min(image_slots, default=0),
+        max_image_slot=max(image_slots, default=-1),
+        kernels=tuple(kernels),
+        n_values=n_values,
+        result_position=None if result_id is None else position[result_id],
+        result_slot=program.result_slot,
+        cycles=cycles,
+        n_reads=n_reads,
+        n_writes=n_writes,
+        n_loads=n_loads,
+        n_stores=n_stores,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Content-keyed precompilation cache
+# --------------------------------------------------------------------------- #
+#: Precompiled tapes keyed by (program content, config).  Keying on *content*
+#: (not object identity) makes staleness impossible: any mutation of the
+#: instruction stream, data-memory image or result metadata produces a new
+#: key.  The cache is a small LRU so long-running sweeps stay bounded.
+#:
+#: Building the content key is itself O(program), so hot callers that own
+#: their program — :class:`repro.compiler.driver.CompiledKernel` — memoize
+#: the returned :class:`FastProgram` and hand it back to the simulator via
+#: ``precompiled=``, skipping the lookup entirely on warm runs.
+_CACHE: "OrderedDict[Tuple[object, ProcessorConfig], FastProgram]" = OrderedDict()
+_CACHE_MAX = 32
+
+
+def _program_fingerprint(program: Program) -> Tuple[object, ...]:
+    """Hashable content key of everything the fast path depends on."""
+    instructions = tuple(
+        (
+            tuple(instruction.reads),
+            tuple(sorted(instruction.pe_ops.items())),
+            tuple(instruction.writes),
+            instruction.mem,
+        )
+        for instruction in program.instructions
+    )
+    image = tuple(tuple(row) for row in program.dmem_image)
+    return (instructions, image, program.result_location, program.result_slot)
+
+
+def fast_program(program: Program, config: ProcessorConfig) -> FastProgram:
+    """Return (and cache) the precompiled fast form of ``program``."""
+    key = (_program_fingerprint(program), config)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _CACHE.move_to_end(key)
+        return cached
+    compiled = precompile_program(program, config)
+    _CACHE[key] = compiled
+    while len(_CACHE) > _CACHE_MAX:
+        _CACHE.popitem(last=False)
+    return compiled
+
+
+def clear_cache() -> None:
+    """Drop every cached precompiled program (used by cold-start benchmarks)."""
+    _CACHE.clear()

@@ -24,6 +24,11 @@ cached), the registry offers :func:`benchmark_evaluate_batch`, the
 engine-switched functional evaluation every experiment and example routes
 through: ``engine="python"`` is the per-node reference walk,
 ``engine="vectorized"`` the compiled NumPy tape.
+
+*Throughput* measurements on these benchmarks go through the platform-engine
+registry instead (:mod:`repro.platforms`): every profile's operation list
+can be handed to any registered engine by name, which is how Fig. 4 and the
+sweeps iterate the suite across platforms.
 """
 
 from __future__ import annotations

@@ -79,3 +79,46 @@ class TestColoring:
         allocation = graph_coloring_allocation(ops, n_threads=32, n_banks=32)
         transactions, accesses = count_warp_conflicts(ops, allocation, 32, 32)
         assert transactions >= accesses
+
+
+class TestSharedAccounting:
+    """The timing model and the conflict counter share one accounting helper.
+
+    Regression test for the historical duplication between
+    ``gpu_banks.count_warp_conflicts`` and the inline counting loop of
+    ``gpu.simulate_gpu``: both must charge exactly the same number of
+    shared-memory transactions for the same allocation.
+    """
+
+    @pytest.mark.parametrize("allocation_strategy", ["coloring", "interleaved"])
+    def test_simulate_gpu_transactions_match_counter(self, ops, allocation_strategy):
+        from repro.baselines.gpu import GpuConfig, simulate_gpu
+
+        config = GpuConfig(n_threads=256, bank_allocation=allocation_strategy)
+        result = simulate_gpu(ops, config)
+        if allocation_strategy == "coloring":
+            bank_of = graph_coloring_allocation(
+                ops, config.n_threads, config.n_banks, config.warp_size
+            )
+        else:
+            bank_of = interleaved_allocation(ops, config.n_banks)
+        transactions, accesses = count_warp_conflicts(
+            ops, bank_of, config.n_threads, config.n_banks, config.warp_size
+        )
+        assert result.n_transactions == transactions
+        assert result.n_conflict_transactions == transactions - accesses
+
+    def test_step_transactions_counts_most_loaded_bank(self):
+        from repro.baselines.gpu_banks import step_transactions
+
+        assert step_transactions([0, 1, 2], [0, 1, 2]) == 1  # conflict-free
+        assert step_transactions([0, 1, 2], [0, 0, 1]) == 2  # two hit bank 0
+        assert step_transactions([3, 3, 3], [0, 0, 0, 0]) == 3
+
+    def test_warp_access_steps_shape(self, ops):
+        from repro.baselines.gpu_banks import warp_access_steps
+
+        group = ops.groups()[0]
+        steps = warp_access_steps(ops, group[:4])
+        assert len(steps) == 3
+        assert all(len(step) == len(group[:4]) for step in steps)

@@ -1,0 +1,139 @@
+"""Tests for the platform-engine registry (repro.platforms)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.metrics import PlatformResult
+from repro.baselines.gpu import GpuConfig
+from repro.platforms import (
+    DEFAULT_PLATFORMS,
+    PLATFORM_CPU,
+    PLATFORM_GPU,
+    PLATFORM_PTREE,
+    PLATFORM_PVECT,
+    CpuEngine,
+    GpuEngine,
+    PlatformEngine,
+    ProcessorEngine,
+    UnknownPlatformError,
+    available_platforms,
+    get_engine,
+    register_platform,
+    unregister_platform,
+)
+from repro.suite.registry import benchmark_operation_list
+
+BENCHMARK = "Banknote"
+
+
+@pytest.fixture()
+def ops():
+    return benchmark_operation_list(BENCHMARK)
+
+
+class TestLookup:
+    def test_builtin_platforms_are_registered(self):
+        assert set(DEFAULT_PLATFORMS) <= set(available_platforms())
+
+    def test_engines_have_expected_types(self):
+        assert isinstance(get_engine(PLATFORM_CPU), CpuEngine)
+        assert isinstance(get_engine(PLATFORM_GPU), GpuEngine)
+        assert isinstance(get_engine(PLATFORM_PVECT), ProcessorEngine)
+        assert isinstance(get_engine(PLATFORM_PTREE), ProcessorEngine)
+
+    def test_engine_name_matches_registry_key(self):
+        for name in DEFAULT_PLATFORMS:
+            assert get_engine(name).name == name
+
+    def test_lookup_is_cached(self):
+        assert get_engine(PLATFORM_CPU) is get_engine(PLATFORM_CPU)
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(UnknownPlatformError, match="unknown platform 'TPU'"):
+            get_engine("TPU")
+
+    def test_unknown_platform_error_is_a_value_error(self):
+        # run_platform("TPU", ...) callers historically catch ValueError.
+        assert issubclass(UnknownPlatformError, ValueError)
+
+
+class TestResultContract:
+    @pytest.mark.parametrize("platform", DEFAULT_PLATFORMS)
+    def test_every_engine_returns_a_platform_result(self, platform, ops):
+        result = get_engine(platform).run(ops, benchmark=BENCHMARK)
+        assert isinstance(result, PlatformResult)
+        assert result.platform == platform
+        assert result.benchmark == BENCHMARK
+        assert result.cycles > 0
+        assert result.n_operations > 0
+        assert result.ops_per_cycle > 0
+
+    def test_table_rows_have_four_columns(self):
+        for platform in DEFAULT_PLATFORMS:
+            row = get_engine(platform).table_row()
+            assert len(row) == 4
+            assert all(isinstance(cell, str) for cell in row)
+
+
+class TestReconfiguration:
+    def test_configured_returns_a_new_engine(self):
+        gpu = get_engine(PLATFORM_GPU)
+        small = gpu.configured(n_threads=32)
+        assert small is not gpu
+        assert small.config.n_threads == 32
+        # The registry's shared instance is untouched.
+        assert get_engine(PLATFORM_GPU).config.n_threads == GpuConfig().n_threads
+
+    def test_with_config_replaces_wholesale(self):
+        gpu = get_engine(PLATFORM_GPU).with_config(GpuConfig(n_threads=64))
+        assert gpu.config.n_threads == 64
+
+    def test_processor_engine_rename_changes_platform_label(self, ops):
+        engine = get_engine(PLATFORM_PVECT).configured(name="Pvect-variant")
+        assert engine.name == "Pvect-variant"
+        assert engine.run(ops).platform == "Pvect-variant"
+
+
+class TestRegistration:
+    def test_register_and_dispatch_custom_backend(self, ops):
+        @dataclasses.dataclass(frozen=True)
+        class ConstantEngine(PlatformEngine):
+            config: object = None
+
+            @property
+            def name(self):
+                return "Constant"
+
+            def run(self, ops, benchmark="", options=None, evidence=None):
+                return PlatformResult(
+                    platform=self.name,
+                    benchmark=benchmark,
+                    ops_per_cycle=1.0,
+                    cycles=ops.n_operations,
+                    n_operations=ops.n_operations,
+                )
+
+            def table_row(self):
+                return (self.name, "-", "-", "-")
+
+        register_platform("Constant", ConstantEngine)
+        try:
+            # The generic experiment entry point dispatches to it by name.
+            from repro.experiments.platforms import run_platform
+
+            result = run_platform("Constant", ops, benchmark=BENCHMARK)
+            assert result.platform == "Constant"
+            assert result.ops_per_cycle == 1.0
+            assert "Constant" in available_platforms()
+        finally:
+            unregister_platform("Constant")
+        assert "Constant" not in available_platforms()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_platform(PLATFORM_CPU, CpuEngine)
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(UnknownPlatformError):
+            unregister_platform("definitely-not-registered")
