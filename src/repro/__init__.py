@@ -10,7 +10,9 @@ The package is organized as follows:
   and a cycle-accurate simulator;
 * :mod:`repro.compiler` — the SPN-to-VLIW compiler;
 * :mod:`repro.analysis` and :mod:`repro.experiments` — metrics, reporting and
-  one module per paper table/figure.
+  one module per paper table/figure;
+* :mod:`repro.serving` — request-level inference service with dynamic
+  micro-batching over the execution engines.
 """
 
 __version__ = "1.0.0"

@@ -67,6 +67,7 @@ __all__ = [
     "cache_key",
     "run_sweep",
     "all_sweep_points",
+    "filter_points",
     "measure_engine_speedup",
     "measure_simulator_speedup",
     "write_bench_json",
@@ -221,6 +222,33 @@ def all_sweep_points(benchmark: str = DEFAULT_BENCHMARK) -> List[SweepPoint]:
         + packing_points(benchmark)
         + gpu_bank_points(benchmark)
     )
+
+
+def filter_points(
+    points: Sequence[SweepPoint], platforms: Optional[Sequence[str]] = None
+) -> List[SweepPoint]:
+    """Keep only the points running on one of ``platforms`` (``None``: all).
+
+    Raises ``ValueError`` when a requested platform matches no point, so a
+    typo on the command line fails loudly instead of silently running an
+    empty sweep.
+    """
+    if platforms is None:
+        return list(points)
+    wanted = set(platforms)
+    if not wanted:
+        raise ValueError(
+            "platforms filter is empty; pass None to run every platform"
+        )
+    present = {p.platform for p in points}
+    unknown = wanted - present
+    if unknown:
+        known = ", ".join(sorted(present))
+        raise ValueError(
+            f"no sweep points on platform(s) {sorted(unknown)}; "
+            f"platforms in this sweep: {known}"
+        )
+    return [p for p in points if p.platform in wanted]
 
 
 def evaluate_point(point: SweepPoint) -> Dict[str, float]:
@@ -578,24 +606,41 @@ def write_bench_json(
     benchmark: str = DEFAULT_BENCHMARK,
     engine_speedup: Optional[Mapping[str, float]] = None,
     simulator_speedup: Optional[Mapping[str, float]] = None,
+    merge_sweeps: bool = False,
 ) -> Dict[str, object]:
     """Write the consolidated sweep artifact and return its payload.
 
     Top-level keys already present in the file but not produced by this call
     (for example a ``simulator_speedup`` section written by
-    ``benchmarks/test_bench_simulator.py``) are preserved.
+    ``benchmarks/test_bench_simulator.py``) are preserved.  With
+    ``merge_sweeps=True`` the existing ``sweeps`` entries are kept too,
+    except those for the points measured now (matched by kind, benchmark,
+    label and platform) — so a platform-filtered run updates its rows
+    without dropping the other platforms' rows from the artifact.
     """
+    sweeps: List[Dict[str, object]] = [
+        {
+            **result.point.as_dict(),
+            **result.values,
+            "cached": result.cached,
+            "elapsed_s": round(result.elapsed, 6),
+        }
+        for result in results
+    ]
+    if merge_sweeps:
+        def entry_key(entry: Mapping[str, object]) -> tuple:
+            return tuple(entry.get(k) for k in ("kind", "benchmark", "label", "platform"))
+
+        existing = _read_bench_json(Path(path)).get("sweeps")
+        if isinstance(existing, list):
+            fresh = {entry_key(e) for e in sweeps}
+            sweeps = [
+                e for e in existing
+                if isinstance(e, dict) and entry_key(e) not in fresh
+            ] + sweeps
     sections: Dict[str, object] = {
         "benchmark": benchmark,
-        "sweeps": [
-            {
-                **result.point.as_dict(),
-                **result.values,
-                "cached": result.cached,
-                "elapsed_s": round(result.elapsed, 6),
-            }
-            for result in results
-        ],
+        "sweeps": sweeps,
     }
     if engine_speedup is not None:
         sections["engine_speedup"] = dict(engine_speedup)
@@ -709,8 +754,9 @@ def render_sweeps(results: Sequence[SweepResult], benchmark: str) -> str:
         )
     )
     allocation = _allocation_by_label(by_kind.get("allocation", ()))
+    # A platform-filtered sweep may carry only one of the two configs.
     rows = [
-        (label, values["Pvect"], values["Ptree"])
+        (label, values.get("Pvect", "-"), values.get("Ptree", "-"))
         for label, values in allocation.items()
     ]
     sections.append(
@@ -751,11 +797,14 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
                         help="write the BENCH_sweeps.json artifact to PATH")
     parser.add_argument("--skip-speedup", action="store_true",
                         help="skip the engine and simulator speedup measurements")
+    parser.add_argument("--platforms", nargs="+", default=None, metavar="NAME",
+                        help="only run sweep points on these platform-registry "
+                        "names (e.g. --platforms GPU Ptree)")
     args = parser.parse_args(argv)
 
     cache_dir = None if args.no_cache else args.cache_dir
     results = run_sweep(
-        all_sweep_points(args.benchmark),
+        filter_points(all_sweep_points(args.benchmark), args.platforms),
         parallel=not args.serial,
         max_workers=args.workers,
         cache_dir=cache_dir,
@@ -782,6 +831,9 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
             args.benchmark,
             engine_speedup=speedup,
             simulator_speedup=simulator_speedup,
+            # A platform-filtered run must not drop the other platforms'
+            # rows from an already-merged artifact.
+            merge_sweeps=args.platforms is not None,
         )
         print(f"wrote {args.json}")
     return 0

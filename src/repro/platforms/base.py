@@ -148,8 +148,14 @@ def get_engine(name: str) -> PlatformEngine:
 
 
 def available_platforms() -> List[str]:
-    """Registered platform names, in registration order."""
-    return list(_FACTORIES)
+    """Registered platform names, deterministically sorted.
+
+    The order is independent of registration order (which varies with
+    import order once third-party backends self-register), so iteration
+    output — figures, sweep grids, cache keys built from the list — is
+    stable across processes and runs.
+    """
+    return sorted(_FACTORIES)
 
 
 def _unknown_message(name: str) -> str:

@@ -1,0 +1,65 @@
+"""Request-level inference serving with dynamic micro-batching.
+
+The engines in this repository (the compiled NumPy tape above all) are
+batch-oriented: evaluating 64 evidence rows costs barely more than
+evaluating one.  This package turns that batch advantage into a *service*:
+an :class:`InferenceServer` accepts individual likelihood / log-likelihood /
+MPE queries, coalesces them into micro-batches under a max-batch-size /
+max-wait policy (:class:`BatchingPolicy`), executes each batch through the
+same engine entry points a direct caller would use — responses are
+bit-identical to offline :func:`repro.spn.evaluate.evaluate_batch` calls —
+and reports latency/throughput/occupancy telemetry (:class:`ServingMetrics`).
+
+Quick tour::
+
+    from repro.serving import InferenceClient, InferenceServer
+
+    with InferenceServer(models=["Audio"]) as server:
+        client = InferenceClient(server, model="Audio")
+        score = client.log_likelihood({3: 1, 7: 0})
+
+See ``docs/serving.md`` for the batching policy and its trade-off knobs,
+``examples/sensor_health_monitoring.py`` for a streaming deployment, and
+``benchmarks/test_bench_serving.py`` for the measured batching speedup
+(the ``serving`` section of ``BENCH_sweeps.json``).
+"""
+
+from .client import AsyncInferenceClient, InferenceClient, ModelRouter
+from .metrics import ServingMetrics
+from .queue import (
+    BatchingPolicy,
+    MicroBatchQueue,
+    QueueClosedError,
+    QueueFullError,
+    WorkItem,
+)
+from .server import (
+    KIND_LIKELIHOOD,
+    KIND_LOG_LIKELIHOOD,
+    KIND_MPE,
+    QUERY_KINDS,
+    InferenceServer,
+    ServedModel,
+    ServerClosedError,
+    UnknownModelError,
+)
+
+__all__ = [
+    "AsyncInferenceClient",
+    "InferenceClient",
+    "ModelRouter",
+    "ServingMetrics",
+    "BatchingPolicy",
+    "MicroBatchQueue",
+    "QueueClosedError",
+    "QueueFullError",
+    "WorkItem",
+    "KIND_LIKELIHOOD",
+    "KIND_LOG_LIKELIHOOD",
+    "KIND_MPE",
+    "QUERY_KINDS",
+    "InferenceServer",
+    "ServedModel",
+    "ServerClosedError",
+    "UnknownModelError",
+]

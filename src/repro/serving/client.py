@@ -1,0 +1,246 @@
+"""Client APIs for the inference server: sync, ``asyncio`` and routing.
+
+Three layers, each a thin veneer over :meth:`InferenceServer.submit`:
+
+* :class:`InferenceClient` — synchronous per-query calls
+  (``log_likelihood(reading)`` returns the float, ``mpe(partial)`` the
+  completion).  Scalar in, scalar out; the batching happens server-side.
+* :class:`AsyncInferenceClient` — the same surface as coroutines, for
+  ``asyncio`` applications.  Thousands of concurrent ``await`` s naturally
+  fill the server's micro-batches (see ``examples/sensor_health_monitoring.py``).
+* :class:`ModelRouter` — multi-model routing keyed by suite registry name:
+  maps each model name to the server hosting it, so a deployment can shard
+  models across servers while clients keep a single entry point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Future
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .queue import BatchingPolicy
+from .server import (
+    KIND_LIKELIHOOD,
+    KIND_LOG_LIKELIHOOD,
+    KIND_MPE,
+    InferenceServer,
+    UnknownModelError,
+)
+
+__all__ = ["AsyncInferenceClient", "InferenceClient", "ModelRouter"]
+
+Evidence = Union[Mapping[int, int], Sequence, np.ndarray]
+
+
+class InferenceClient:
+    """Synchronous client bound to one server (and optionally one model)."""
+
+    def __init__(self, server: InferenceServer, model: Optional[str] = None):
+        self._server = server
+        self._model = model
+
+    def _resolve(self, model: Optional[str]) -> str:
+        name = model or self._model
+        if name is None:
+            raise ValueError("no model given and the client has no default model")
+        return name
+
+    def submit(
+        self,
+        evidence: Evidence,
+        kind: str = KIND_LOG_LIKELIHOOD,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Enqueue a query and return its future (the non-blocking primitive).
+
+        ``timeout`` bounds the backpressure wait against a full admission
+        queue (:class:`~repro.serving.queue.QueueFullError` on expiry) —
+        the load-shedding knob under overload.
+        """
+        return self._server.submit(
+            self._resolve(model), evidence, kind=kind, timeout=timeout
+        )
+
+    def query(
+        self,
+        evidence: Evidence,
+        kind: str = KIND_LOG_LIKELIHOOD,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Submit and wait.  Single-row queries unwrap to a scalar result."""
+        result = self.submit(evidence, kind=kind, model=model, timeout=timeout).result()
+        return _unwrap(evidence, result)
+
+    # Convenience verbs -------------------------------------------------- #
+    def likelihood(
+        self,
+        evidence: Evidence,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return self.query(evidence, kind=KIND_LIKELIHOOD, model=model, timeout=timeout)
+
+    def log_likelihood(
+        self,
+        evidence: Evidence,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return self.query(
+            evidence, kind=KIND_LOG_LIKELIHOOD, model=model, timeout=timeout
+        )
+
+    def mpe(
+        self,
+        evidence: Evidence,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return self.query(evidence, kind=KIND_MPE, model=model, timeout=timeout)
+
+
+class AsyncInferenceClient:
+    """``asyncio`` client: the same surface as :class:`InferenceClient`, awaited.
+
+    Admission (which may block on backpressure) runs in the default
+    executor, and the server-side :class:`~concurrent.futures.Future` is
+    bridged with :func:`asyncio.wrap_future`, so the event loop is never
+    blocked — concurrent tasks pile their rows into shared micro-batches.
+    """
+
+    def __init__(self, server: InferenceServer, model: Optional[str] = None):
+        self._sync = InferenceClient(server, model)
+
+    async def query(
+        self,
+        evidence: Evidence,
+        kind: str = KIND_LOG_LIKELIHOOD,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        loop = asyncio.get_running_loop()
+        future = await loop.run_in_executor(
+            None,
+            lambda: self._sync.submit(evidence, kind=kind, model=model, timeout=timeout),
+        )
+        return _unwrap(evidence, await asyncio.wrap_future(future))
+
+    async def likelihood(
+        self,
+        evidence: Evidence,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return await self.query(
+            evidence, kind=KIND_LIKELIHOOD, model=model, timeout=timeout
+        )
+
+    async def log_likelihood(
+        self,
+        evidence: Evidence,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return await self.query(
+            evidence, kind=KIND_LOG_LIKELIHOOD, model=model, timeout=timeout
+        )
+
+    async def mpe(
+        self,
+        evidence: Evidence,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return await self.query(evidence, kind=KIND_MPE, model=model, timeout=timeout)
+
+
+class ModelRouter:
+    """Routes queries to the server hosting each model.
+
+    ``routes`` maps model names to servers; queries for unlisted models fall
+    back to ``default`` (when given).  :meth:`for_suite` is the one-call
+    deployment of suite benchmarks onto a single shared server.
+    """
+
+    def __init__(
+        self,
+        routes: Optional[Mapping[str, InferenceServer]] = None,
+        default: Optional[InferenceServer] = None,
+    ):
+        self._routes: Dict[str, InferenceServer] = dict(routes or {})
+        self._default = default
+
+    @classmethod
+    def for_suite(
+        cls,
+        names: Optional[Iterable[str]] = None,
+        policy: Optional[BatchingPolicy] = None,
+        **server_kwargs,
+    ) -> "ModelRouter":
+        """Host suite benchmarks on one started server and route to it.
+
+        ``names`` defaults to every registered suite benchmark.  The caller
+        owns shutdown: ``router.servers()[0].stop()`` (or iterate
+        :meth:`servers`).
+        """
+        from ..suite.registry import benchmark_names
+
+        names = list(names) if names is not None else benchmark_names()
+        server = InferenceServer(models=names, policy=policy, **server_kwargs).start()
+        return cls(routes={name: server for name in names}, default=server)
+
+    def add_route(self, model: str, server: InferenceServer) -> None:
+        self._routes[model] = server
+
+    def route(self, model: str) -> InferenceServer:
+        """The server hosting ``model`` (raises :class:`UnknownModelError`)."""
+        server = self._routes.get(model, self._default)
+        if server is None:
+            known = ", ".join(sorted(self._routes)) or "none"
+            raise UnknownModelError(f"no route for model {model!r}; routed models: {known}")
+        return server
+
+    def models(self) -> list:
+        """Explicitly routed model names, sorted."""
+        return sorted(self._routes)
+
+    def servers(self) -> list:
+        """The distinct servers behind this router."""
+        seen: list = []
+        for server in [*self._routes.values(), self._default]:
+            if server is not None and not any(server is s for s in seen):
+                seen.append(server)
+        return seen
+
+    def client(self, model: str) -> InferenceClient:
+        return InferenceClient(self.route(model), model)
+
+    def async_client(self, model: str) -> AsyncInferenceClient:
+        return AsyncInferenceClient(self.route(model), model)
+
+    def query(
+        self,
+        model: str,
+        evidence: Evidence,
+        kind: str = KIND_LOG_LIKELIHOOD,
+        timeout: Optional[float] = None,
+    ):
+        return self.client(model).query(evidence, kind=kind, timeout=timeout)
+
+    def stop(self) -> None:
+        """Stop (drain) every server behind this router."""
+        for server in self.servers():
+            server.stop()
+
+
+def _unwrap(evidence: Evidence, result):
+    """Collapse a one-row result to its scalar when the query was scalar."""
+    single = isinstance(evidence, Mapping) or np.asarray(evidence).ndim == 1
+    if single:
+        return result[0]
+    return result

@@ -1,0 +1,130 @@
+"""Serving telemetry: latency quantiles, throughput and batch occupancy.
+
+The three quantities that matter when tuning a :class:`BatchingPolicy`
+(``docs/serving.md``):
+
+* **request latency** — submit-to-result wall time per request, summarized
+  as p50/p99 (the tail is what the max-wait knob trades against);
+* **throughput** — completed rows per second over the observation window;
+* **batch occupancy** — executed batch size relative to
+  ``max_batch_size``; low occupancy under heavy load means the wait window
+  is too short (batches close half-empty), occupancy pinned at 1.0 with a
+  deep queue means the batch size cap is the bottleneck.
+
+:class:`ServingMetrics` is thread-safe (one lock, updated by workers and by
+request completion) and bounded: latency samples live in a fixed-size
+rolling window, so a long-running server's telemetry memory never grows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+__all__ = ["ServingMetrics"]
+
+#: Rolling-window size for latency samples; quantiles describe the most
+#: recent window rather than all of history (and memory stays bounded).
+LATENCY_WINDOW = 100_000
+
+
+class ServingMetrics:
+    """Thread-safe counters for one server's traffic."""
+
+    def __init__(self, latency_window: int = LATENCY_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._latencies_s: Deque[float] = deque(maxlen=latency_window)
+        self._n_requests = 0
+        self._n_rows = 0
+        self._n_batches = 0
+        self._batch_rows = 0
+        self._batch_capacity = 0
+        self._started_at: Optional[float] = None
+        self._last_activity: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Recording (called by the server)
+    # ------------------------------------------------------------------ #
+    def record_batch(self, n_rows: int, capacity: int) -> None:
+        """Record one executed batch group of ``n_rows`` rows (cap ``capacity``).
+
+        The recorded unit is one engine call — a ``(model, kind)`` group of
+        a micro-batch — which is what batch occupancy is meant to measure:
+        how well each engine invocation is amortized.
+        """
+        now = time.perf_counter()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now
+            self._last_activity = now
+            self._n_batches += 1
+            self._batch_rows += n_rows
+            self._batch_capacity += capacity
+            self._n_rows += n_rows
+
+    def record_request(self, latency_s: float) -> None:
+        """Record one completed request's submit-to-result latency."""
+        with self._lock:
+            self._n_requests += 1
+            self._latencies_s.append(latency_s)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @property
+    def n_requests(self) -> int:
+        with self._lock:
+            return self._n_requests
+
+    @property
+    def n_batches(self) -> int:
+        with self._lock:
+            return self._n_batches
+
+    def latency_quantile(self, q: float) -> float:
+        """Latency quantile in seconds over the rolling window (NaN if empty)."""
+        with self._lock:
+            samples = list(self._latencies_s)
+        if not samples:
+            return float("nan")
+        return float(np.quantile(np.asarray(samples), q))
+
+    def snapshot(self) -> Dict[str, float]:
+        """One consistent reading of every counter, as a flat JSON-ready dict.
+
+        ``throughput_rps`` is completed rows per second between the first
+        and the last recorded batch (0.0 until two distinct instants have
+        been observed); ``mean_batch_occupancy`` is the mean of
+        ``batch_size / max_batch_size`` over all executed batches.
+        """
+        with self._lock:
+            samples = np.asarray(self._latencies_s) if self._latencies_s else None
+            elapsed = (
+                self._last_activity - self._started_at
+                if self._started_at is not None and self._last_activity is not None
+                else 0.0
+            )
+            snap: Dict[str, float] = {
+                "requests": float(self._n_requests),
+                "rows": float(self._n_rows),
+                "batches": float(self._n_batches),
+                "throughput_rps": self._n_rows / elapsed if elapsed > 0 else 0.0,
+                "mean_batch_size": (
+                    self._batch_rows / self._n_batches if self._n_batches else 0.0
+                ),
+                "mean_batch_occupancy": (
+                    self._batch_rows / self._batch_capacity if self._batch_capacity else 0.0
+                ),
+            }
+        if samples is not None:
+            p50, p99 = np.quantile(samples, [0.5, 0.99])
+            snap["latency_p50_ms"] = float(p50) * 1e3
+            snap["latency_p99_ms"] = float(p99) * 1e3
+        else:
+            snap["latency_p50_ms"] = float("nan")
+            snap["latency_p99_ms"] = float("nan")
+        return snap

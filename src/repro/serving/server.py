@@ -1,0 +1,449 @@
+"""The inference server: request-level queries over batch-level engines.
+
+:class:`InferenceServer` owns a set of *served models* — suite benchmarks
+resolved by registry name (:mod:`repro.suite.registry`) or explicitly
+registered SPNs — each with its compiled tape pinned
+(:func:`repro.spn.compiled.cached_tape`), an admission queue
+(:class:`~repro.serving.queue.MicroBatchQueue`) and a pool of worker
+threads.  Clients submit individual evidence queries (likelihood,
+log-likelihood or MPE); workers pull micro-batches off the queue, group the
+rows by ``(model, kind)`` and execute each group through the **same**
+functions a direct caller would use (:func:`repro.spn.evaluate.evaluate_batch`
+and friends), so a served answer is bit-identical to an offline one — the
+batch kernels are elementwise across rows, making every row's value
+independent of its co-batched company.  The tests cross-check this exactly.
+
+Lifecycle::
+
+    with InferenceServer(models=["Audio", "CPU"]) as server:
+        future = server.submit("Audio", {3: 1, 7: 0}, kind="log_likelihood")
+        value = future.result()
+
+``submit`` returns a :class:`concurrent.futures.Future` (awaitable from
+``asyncio`` via the async client in :mod:`repro.serving.client`).  Exiting
+the context manager — or calling :meth:`InferenceServer.stop` — closes
+admission and **drains**: every request admitted before the close still
+completes with its correct value.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..spn.compiled import CompiledTape, cached_tape, resolve_engine
+from ..spn.evaluate import (
+    MARGINALIZED,
+    as_evidence_array,
+    evaluate_batch,
+    evaluate_log_batch,
+    row_evidence,
+)
+from ..spn.graph import SPN
+from ..spn.nodes import IndicatorLeaf
+from ..spn.queries import most_probable_explanation
+from .metrics import ServingMetrics
+from .queue import (
+    BatchingPolicy,
+    MicroBatchQueue,
+    QueueClosedError,
+    QueueFullError,
+    WorkItem,
+)
+
+__all__ = [
+    "KIND_LIKELIHOOD",
+    "KIND_LOG_LIKELIHOOD",
+    "KIND_MPE",
+    "QUERY_KINDS",
+    "InferenceServer",
+    "ServedModel",
+    "ServerClosedError",
+    "UnknownModelError",
+]
+
+#: The three query kinds a server answers.  ``likelihood`` and
+#: ``log_likelihood`` batch through the compiled tape; ``mpe`` runs the
+#: exact per-row MPE query (itself backed by the vectorized engine).
+KIND_LIKELIHOOD = "likelihood"
+KIND_LOG_LIKELIHOOD = "log_likelihood"
+KIND_MPE = "mpe"
+QUERY_KINDS = (KIND_LIKELIHOOD, KIND_LOG_LIKELIHOOD, KIND_MPE)
+
+
+class UnknownModelError(ValueError):
+    """Raised when a query names a model the server does not host."""
+
+
+class ServerClosedError(RuntimeError):
+    """Raised when submitting to a server that is not accepting work."""
+
+
+@dataclass(frozen=True)
+class ServedModel:
+    """One hosted model: its SPN, evidence width and pinned compiled tape.
+
+    ``n_vars`` is the model's evidence width: submitted rows are normalized
+    to exactly this many columns (shorter rows are padded with
+    :data:`~repro.spn.evaluate.MARGINALIZED`, longer rows are truncated —
+    exact in both directions, since no indicator reads a column the model
+    does not have).  ``tape`` pins the compiled tape so the per-object
+    cache can never evict it while the model is served.
+    """
+
+    name: str
+    spn: SPN
+    n_vars: int
+    tape: Optional[CompiledTape] = field(repr=False, default=None)
+
+
+class _PendingRequest:
+    """Aggregates the row-level results of one submitted request."""
+
+    def __init__(self, model: str, kind: str, n_rows: int, metrics: ServingMetrics):
+        self.model = model
+        self.kind = kind
+        self.future: Future = Future()
+        self._results: List[object] = [None] * n_rows
+        self._remaining = n_rows
+        self._lock = threading.Lock()
+        self._done = False  # claimed under the lock: exactly one completer
+        self._metrics = metrics
+        self._created_at = perf_counter()
+        if n_rows == 0:
+            # A zero-row batch has nothing to deliver; resolve immediately
+            # (mirroring evaluate_batch on an empty batch).
+            self._done = True
+            self._set_result()
+
+    def _set_result(self) -> None:
+        if self.kind == KIND_MPE:
+            result: object = list(self._results)
+        else:
+            result = np.asarray(self._results, dtype=np.float64)
+        # Record before resolving: a caller that awaits the result and then
+        # reads metrics.snapshot() must see its own request counted.
+        if not self.future.cancelled():
+            self._metrics.record_request(perf_counter() - self._created_at)
+        try:
+            self.future.set_result(result)
+        except InvalidStateError:
+            # The caller cancelled the future (e.g. an asyncio timeout
+            # propagated through wrap_future) while its rows were queued;
+            # the computed result is simply dropped.
+            pass
+
+    @property
+    def abandoned(self) -> bool:
+        """True once the request can no longer use results (failed/cancelled)."""
+        with self._lock:
+            return self._done or self.future.cancelled()
+
+    def deliver(self, index: int, value: object) -> None:
+        with self._lock:
+            if self._done:
+                return
+            self._results[index] = value
+            self._remaining -= 1
+            finished = self._remaining == 0
+            if finished:
+                self._done = True
+        if finished:
+            self._set_result()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._done:
+                return
+            self._done = True
+        try:
+            self.future.set_exception(exc)
+        except InvalidStateError:  # cancelled by the caller: nothing to report
+            pass
+
+
+class InferenceServer:
+    """Dynamic-batching inference service over the model registries.
+
+    Parameters
+    ----------
+    models:
+        Models to host: suite benchmark names (resolved through
+        :func:`repro.suite.registry.build_benchmark`), ``(name, spn)``
+        pairs, or a ``{name: spn}`` mapping.  More can be added with
+        :meth:`add_model` before :meth:`start`.
+    policy:
+        The :class:`~repro.serving.queue.BatchingPolicy` (batch size cap,
+        wait window, queue depth).
+    n_workers:
+        Worker threads pulling micro-batches.  One worker already keeps the
+        NumPy kernels busy; more help when MPE queries (per-row Python work)
+        mix with batched likelihoods.
+    engine:
+        Execution engine for the likelihood kinds, as accepted by
+        :func:`repro.spn.evaluate.evaluate_batch` (``"vectorized"`` default,
+        ``"python"`` for reference-path serving).
+    warm:
+        Compile every hosted model's tape at registration instead of on the
+        first request (keeps compilation latency out of the serving path).
+    """
+
+    def __init__(
+        self,
+        models: Union[Iterable[object], Mapping[str, SPN], None] = None,
+        policy: Optional[BatchingPolicy] = None,
+        n_workers: int = 1,
+        engine: str = "vectorized",
+        warm: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.policy = policy or BatchingPolicy()
+        self.engine = resolve_engine(engine)
+        self.metrics = ServingMetrics()
+        self._warm = warm
+        self._models: Dict[str, ServedModel] = {}
+        self._queue = MicroBatchQueue(self.policy)
+        self._workers: List[threading.Thread] = []
+        self._n_workers = n_workers
+        self._abort = False
+        self._started = False
+        for entry in self._iter_model_entries(models):
+            self.add_model(*entry)
+
+    @staticmethod
+    def _iter_model_entries(models) -> Iterable[Tuple]:
+        if models is None:
+            return
+        if isinstance(models, Mapping):
+            for name, spn in models.items():
+                yield name, spn
+            return
+        for entry in models:
+            if isinstance(entry, str):
+                yield (entry,)
+            else:
+                yield tuple(entry)
+
+    # ------------------------------------------------------------------ #
+    # Model hosting
+    # ------------------------------------------------------------------ #
+    def add_model(self, name: str, spn: Optional[SPN] = None) -> ServedModel:
+        """Host ``spn`` under ``name``; a bare suite name resolves itself."""
+        if name in self._models:
+            raise ValueError(f"model {name!r} is already hosted")
+        if spn is None:
+            from ..suite.registry import benchmark_n_vars, build_benchmark
+
+            spn = build_benchmark(name)
+            n_vars = benchmark_n_vars(name)
+        else:
+            n_vars = (
+                max(
+                    (n.var for n in spn.nodes() if isinstance(n, IndicatorLeaf)),
+                    default=-1,
+                )
+                + 1
+            )
+        tape = cached_tape(spn) if self._warm and self.engine == "vectorized" else None
+        served = ServedModel(name=name, spn=spn, n_vars=n_vars, tape=tape)
+        self._models[name] = served
+        return served
+
+    def models(self) -> List[str]:
+        """Names of the hosted models, sorted."""
+        return sorted(self._models)
+
+    def model(self, name: str) -> ServedModel:
+        served = self._models.get(name)
+        if served is None:
+            known = ", ".join(sorted(self._models)) or "none"
+            raise UnknownModelError(f"unknown model {name!r}; hosted models: {known}")
+        return served
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        return self._started and not self._queue.closed
+
+    def start(self) -> "InferenceServer":
+        """Spawn the worker pool (idempotent)."""
+        if self._queue.closed:
+            raise ServerClosedError("server has been stopped; create a new one")
+        if not self._started:
+            self._started = True
+            for i in range(self._n_workers):
+                worker = threading.Thread(
+                    target=self._worker_loop, name=f"serving-worker-{i}", daemon=True
+                )
+                worker.start()
+                self._workers.append(worker)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Close admission and shut the workers down.
+
+        With ``drain=True`` (default) every already-admitted request still
+        executes and completes normally before the workers exit.  With
+        ``drain=False`` queued work is failed fast with
+        :class:`ServerClosedError` instead of executed.
+        """
+        if not drain:
+            self._abort = True
+        self._queue.close()
+        for worker in self._workers:
+            worker.join()
+        self._workers.clear()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        model: str,
+        evidence: Union[Mapping[int, int], Sequence, np.ndarray],
+        kind: str = KIND_LOG_LIKELIHOOD,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Enqueue one query and return its :class:`~concurrent.futures.Future`.
+
+        ``evidence`` is a ``{var: value}`` mapping, a single evidence row,
+        or a 2-D array of rows (the :data:`~repro.spn.evaluate.MARGINALIZED`
+        convention; float arrays are validated and coerced by
+        :func:`~repro.spn.evaluate.as_evidence_array`).  The future resolves
+        to a ``(n_rows,)`` float vector for the likelihood kinds or a list
+        of ``{var: value}`` completions for ``mpe``.  ``timeout`` bounds the
+        backpressure wait when the queue is full
+        (:class:`~repro.serving.queue.QueueFullError`).
+        """
+        if kind not in QUERY_KINDS:
+            known = ", ".join(repr(k) for k in QUERY_KINDS)
+            raise ValueError(f"unknown query kind {kind!r}; expected one of {known}")
+        served = self.model(model)
+        if not self.running:
+            raise ServerClosedError("server is not running; call start() first")
+        rows = self._encode(served, evidence)
+        request = _PendingRequest(model, kind, len(rows), self.metrics)
+        items = [
+            WorkItem(model=model, kind=kind, row=rows[i], index=i, request=request)
+            for i in range(len(rows))
+        ]
+        try:
+            self._queue.put_many(items, timeout=timeout)
+        except QueueClosedError:
+            request.fail(ServerClosedError("server stopped during admission"))
+        except QueueFullError as exc:
+            # Rows enqueued before the timeout deliver into an already-failed
+            # request and are ignored; the caller sees the backpressure error.
+            request.fail(exc)
+            raise
+        return request.future
+
+    def query(self, model, evidence, kind=KIND_LOG_LIKELIHOOD, timeout=None):
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(model, evidence, kind=kind, timeout=timeout).result()
+
+    @staticmethod
+    def _encode(served: ServedModel, evidence) -> np.ndarray:
+        """Normalize any accepted evidence form to a ``(k, n_vars)`` array."""
+        n_vars = max(served.n_vars, 1)
+        if isinstance(evidence, Mapping):
+            row = np.full((1, n_vars), MARGINALIZED, dtype=np.int64)
+            if not evidence:
+                return row
+            # One definition of the coercion rules: keys and values go
+            # through the same validator as array evidence (integral floats
+            # coerce exactly; fractional/NaN/out-of-int64 entries raise).
+            variables = as_evidence_array(np.asarray(list(evidence.keys())))
+            values = as_evidence_array(np.asarray(list(evidence.values())))
+            out_of_range = (variables < 0) | (variables >= n_vars)
+            if out_of_range.any():
+                raise ValueError(
+                    f"evidence variable {variables[out_of_range][0]} out of range "
+                    f"for model {served.name!r} with {served.n_vars} variables"
+                )
+            row[0, variables] = values
+            return row
+        rows = as_evidence_array(evidence)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2:
+            raise ValueError(f"expected a mapping, row or 2-D batch, got shape {rows.shape}")
+        if rows.shape[1] >= n_vars:
+            # Columns >= n_vars are never read by any indicator: exact trim.
+            # Always a fresh copy — the rows sit in the queue until the
+            # batch window closes, and must not alias a caller buffer that
+            # may be reused for the next reading meanwhile.
+            return rows[:, :n_vars].astype(np.int64, copy=True)
+        padded = np.full((rows.shape[0], n_vars), MARGINALIZED, dtype=np.int64)
+        padded[:, : rows.shape[1]] = rows
+        return padded
+
+    # ------------------------------------------------------------------ #
+    # Execution (worker side)
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.get_batch()
+            if batch is None:
+                return
+            if self._abort:
+                for item in batch:
+                    item.request.fail(
+                        ServerClosedError("server stopped without draining")
+                    )
+                continue
+            groups: Dict[Tuple[str, str], List[WorkItem]] = {}
+            for item in batch:
+                # Rows whose request already failed (admission timeout) or
+                # was cancelled would compute and count for nobody.
+                if item.request.abandoned:
+                    continue
+                groups.setdefault((item.model, item.kind), []).append(item)
+            # Each (model, kind) group is one engine call: record it, then
+            # deliver it, before moving to the next group.  Failed rows
+            # never inflate throughput, a caller woken by its result always
+            # sees its group already counted, and a fast likelihood group is
+            # never head-of-line blocked behind a slow MPE group that
+            # happened to share the micro-batch.
+            for (model, kind), items in groups.items():
+                try:
+                    values = self._execute(model, kind, items)
+                except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+                    for item in items:
+                        item.request.fail(exc)
+                    continue
+                self.metrics.record_batch(len(items), self.policy.max_batch_size)
+                for item, value in zip(items, values):
+                    item.request.deliver(item.index, value)
+
+    def _execute(self, model: str, kind: str, items: Sequence[WorkItem]) -> List[object]:
+        """Run one ``(model, kind)`` group through the shared engine path.
+
+        This is the bit-identical contract: the likelihood kinds call the
+        very same :func:`evaluate_batch` / :func:`evaluate_log_batch` a
+        direct caller uses (same cached tape, elementwise kernels), so a
+        row's value does not depend on which micro-batch it landed in.
+        """
+        served = self.model(model)
+        rows = np.stack([item.row for item in items])
+        if kind == KIND_LIKELIHOOD:
+            return list(evaluate_batch(served.spn, rows, engine=self.engine))
+        if kind == KIND_LOG_LIKELIHOOD:
+            return list(evaluate_log_batch(served.spn, rows, engine=self.engine))
+        return [
+            most_probable_explanation(served.spn, row_evidence(row)) for row in rows
+        ]

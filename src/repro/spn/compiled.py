@@ -54,7 +54,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from .evaluate import MARGINALIZED
+from .evaluate import MARGINALIZED, as_evidence_array
 from .graph import SPN
 from .linearize import OP_ADD, InputSlot, OperationList, linearize
 
@@ -214,9 +214,11 @@ class CompiledTape:
         :data:`~repro.spn.evaluate.MARGINALIZED` convention: any negative
         value marks an unobserved variable, and variables whose index
         exceeds the number of columns are likewise treated as unobserved,
-        mirroring :func:`repro.spn.evaluate.evaluate_batch`.
+        mirroring :func:`repro.spn.evaluate.evaluate_batch`.  The dtype is
+        validated by :func:`repro.spn.evaluate.as_evidence_array` (integral
+        floats coerce exactly, fractional/NaN entries raise).
         """
-        data = np.asarray(data)
+        data = as_evidence_array(data)
         if data.ndim != 2:
             raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
         n_rows, n_cols = data.shape

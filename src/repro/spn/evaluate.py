@@ -31,6 +31,7 @@ from .nodes import IndicatorLeaf, ParameterLeaf, ProductNode, SumNode
 
 __all__ = [
     "MARGINALIZED",
+    "as_evidence_array",
     "row_evidence",
     "evaluate",
     "evaluate_log",
@@ -52,7 +53,60 @@ __all__ = [
 #: absence.  Every engine — the reference walks here, the compiled tape of
 #: :mod:`repro.spn.compiled` and the operation-list executors — implements
 #: exactly this interpretation.
+#:
+#: Evidence arrays are **integer** arrays.  Float arrays are accepted only
+#: when every entry is integral (a common artifact of ``np.loadtxt`` or
+#: pandas round-trips): they are coerced exactly via
+#: :func:`as_evidence_array`.  Fractional, NaN or infinite entries are
+#: rejected with a ``ValueError`` — they would otherwise be silently
+#: truncated (``0.7`` observed as ``0``) or misread as observed values.
 MARGINALIZED = -1
+
+
+def as_evidence_array(data) -> np.ndarray:
+    """Validate an evidence array's dtype and return it as an integer array.
+
+    Integer (and boolean) arrays pass through; float arrays whose every
+    entry is integral are coerced exactly to ``int64``.  Anything else —
+    fractional values, NaN/inf, or a non-numeric dtype — raises
+    ``ValueError`` with a pointer to the :data:`MARGINALIZED` convention,
+    instead of being silently truncated downstream.  Every batched evidence
+    entry point (:func:`evaluate_batch`, :func:`evaluate_log_batch`, the
+    compiled tape's input encoding, the serving layer) routes through this.
+    """
+    arr = np.asarray(data)
+    if arr.dtype.kind == "i":
+        return arr
+    if arr.dtype.kind == "u":
+        # Unsigned values beyond int64 would wrap negative on any int64
+        # cast downstream and be misread as MARGINALIZED.
+        if (arr >= 2**63).any():
+            raise ValueError(
+                "unsigned evidence values exceed the int64 range and cannot "
+                "be represented exactly"
+            )
+        return arr
+    if arr.dtype.kind == "b":
+        return arr.astype(np.int64)
+    if arr.dtype.kind == "f":
+        rounded = np.rint(arr)
+        if not np.isfinite(arr).all() or not (rounded == arr).all():
+            raise ValueError(
+                "float evidence must be integral-valued (use the MARGINALIZED "
+                "sentinel -1 for unobserved variables, not NaN); got "
+                "fractional or non-finite entries"
+            )
+        if (np.abs(rounded) >= 2.0**63).any():
+            # Would wrap on the int64 cast and be misread as MARGINALIZED.
+            raise ValueError(
+                "float evidence values exceed the int64 range and cannot be "
+                "coerced exactly"
+            )
+        return rounded.astype(np.int64)
+    raise ValueError(
+        f"evidence must be an integer array following the MARGINALIZED "
+        f"convention, got dtype {arr.dtype}"
+    )
 
 
 def row_evidence(row) -> Dict[int, int]:
@@ -60,9 +114,13 @@ def row_evidence(row) -> Dict[int, int]:
 
     The single decoder for the :data:`MARGINALIZED` convention: negative
     entries (unobserved) are dropped, everything else becomes an observed
-    value keyed by its column index.
+    value keyed by its column index.  The row's dtype is validated by
+    :func:`as_evidence_array`, so a float ``0.7`` raises instead of being
+    truncated to an observed ``0``.
     """
-    return {var: int(value) for var, value in enumerate(row) if value >= 0}
+    return {
+        var: int(value) for var, value in enumerate(as_evidence_array(row)) if value >= 0
+    }
 
 
 def _indicator_value(leaf: IndicatorLeaf, evidence: Mapping[int, int]) -> float:
@@ -169,7 +227,7 @@ def evaluate_batch(
     from .compiled import cached_tape, cross_check, resolve_engine
 
     if resolve_engine(engine) == "vectorized":
-        data = np.asarray(data)
+        data = as_evidence_array(data)
         result = cached_tape(spn).execute_batch(data)
         if check:
             cross_check(
@@ -179,7 +237,7 @@ def evaluate_batch(
                 atol=1e-300,
             )
         return result
-    data = np.asarray(data)
+    data = as_evidence_array(data)
     if data.ndim != 2:
         raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
     n_samples, n_cols = data.shape
@@ -231,7 +289,7 @@ def evaluate_log_batch(
     """
     from .compiled import cached_tape, cross_check, resolve_engine
 
-    data = np.asarray(data)
+    data = as_evidence_array(data)
     if data.ndim != 2:
         raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
     if resolve_engine(engine) == "vectorized":

@@ -4,6 +4,7 @@ from .registry import (
     BENCHMARKS,
     BenchmarkProfile,
     benchmark_evaluate_batch,
+    benchmark_n_vars,
     benchmark_names,
     benchmark_operation_list,
     benchmark_tape,
@@ -16,6 +17,7 @@ __all__ = [
     "BENCHMARKS",
     "BenchmarkProfile",
     "benchmark_evaluate_batch",
+    "benchmark_n_vars",
     "benchmark_names",
     "benchmark_operation_list",
     "benchmark_tape",

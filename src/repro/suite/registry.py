@@ -50,6 +50,7 @@ __all__ = [
     "BENCHMARKS",
     "benchmark_names",
     "get_profile",
+    "benchmark_n_vars",
     "build_benchmark",
     "benchmark_operation_list",
     "benchmark_tape",
@@ -161,6 +162,16 @@ def get_profile(name: str) -> BenchmarkProfile:
     except KeyError:
         known = ", ".join(BENCHMARKS)
         raise KeyError(f"unknown benchmark {name!r}; known benchmarks: {known}") from None
+
+
+def benchmark_n_vars(name: str) -> int:
+    """Evidence width of a benchmark: the column count served rows normalize to.
+
+    This is the instantiated ``model_vars`` (not the original dataset's
+    variable count); the serving layer (:mod:`repro.serving`) uses it to pad
+    and trim submitted evidence rows.
+    """
+    return get_profile(name).model_vars
 
 
 @lru_cache(maxsize=None)

@@ -57,6 +57,20 @@ class TestLookup:
         # run_platform("TPU", ...) callers historically catch ValueError.
         assert issubclass(UnknownPlatformError, ValueError)
 
+    def test_available_platforms_is_sorted(self):
+        assert available_platforms() == sorted(available_platforms())
+
+    def test_available_platforms_order_ignores_registration_order(self):
+        # Late registration of an early-sorting name must not land at the
+        # end of the list: the listing is deterministic, not insertion-order.
+        register_platform("AAA-first", CpuEngine)
+        try:
+            listed = available_platforms()
+            assert listed == sorted(listed)
+            assert listed[0] == "AAA-first"
+        finally:
+            unregister_platform("AAA-first")
+
 
 class TestResultContract:
     @pytest.mark.parametrize("platform", DEFAULT_PLATFORMS)

@@ -1,0 +1,561 @@
+"""Tests for the dynamic-batching inference service (repro.serving)."""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    AsyncInferenceClient,
+    BatchingPolicy,
+    InferenceClient,
+    InferenceServer,
+    MicroBatchQueue,
+    ModelRouter,
+    QueueClosedError,
+    QueueFullError,
+    ServerClosedError,
+    ServingMetrics,
+    UnknownModelError,
+    WorkItem,
+)
+from repro.serving.server import KIND_LIKELIHOOD, KIND_LOG_LIKELIHOOD, KIND_MPE
+from repro.spn.evaluate import MARGINALIZED, evaluate_batch, evaluate_log_batch, row_evidence
+from repro.spn.generate import RatSpnConfig, generate_rat_spn, random_evidence
+from repro.spn.queries import most_probable_explanation
+from repro.suite.registry import build_benchmark, get_profile
+
+BENCHMARK = "Banknote"
+N_VARS = 4
+
+
+@pytest.fixture(scope="module")
+def spn():
+    return build_benchmark(BENCHMARK)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return random_evidence(N_VARS, observed_fraction=0.7, seed=3, n_samples=48)
+
+
+def _item(i=0, request=None):
+    return WorkItem(model="m", kind="k", row=i, index=0, request=request)
+
+
+# --------------------------------------------------------------------------- #
+# Queue
+# --------------------------------------------------------------------------- #
+class TestMicroBatchQueue:
+    def test_batch_closes_at_max_size(self):
+        q = MicroBatchQueue(BatchingPolicy(max_batch_size=4, max_wait_s=10.0))
+        for i in range(9):
+            q.put(_item(i))
+        assert len(q.get_batch()) == 4  # full batch, no waiting despite max_wait
+        assert len(q.get_batch()) == 4
+
+    def test_partial_batch_flushes_after_wait_window(self):
+        q = MicroBatchQueue(BatchingPolicy(max_batch_size=64, max_wait_s=0.01))
+        q.put(_item())
+        start = time.perf_counter()
+        batch = q.get_batch()
+        elapsed = time.perf_counter() - start
+        assert len(batch) == 1
+        assert elapsed < 1.0  # waited ~max_wait_s, not forever
+
+    def test_backpressure_blocks_then_raises(self):
+        q = MicroBatchQueue(BatchingPolicy(max_queue_depth=2, max_batch_size=2))
+        q.put(_item(0))
+        q.put(_item(1))
+        with pytest.raises(QueueFullError):
+            q.put(_item(2), timeout=0.01)
+
+    def test_backpressure_releases_during_batch_window(self):
+        # A producer blocked on a full queue must be admitted the moment
+        # the consumer pops items — not only after the consumer's batch
+        # window (2s here) has run its course.
+        q = MicroBatchQueue(
+            BatchingPolicy(max_queue_depth=2, max_batch_size=64, max_wait_s=2.0)
+        )
+        q.put(_item(0))
+        q.put(_item(1))
+        got = {}
+        consumer = threading.Thread(target=lambda: got.setdefault("batch", q.get_batch()))
+        consumer.start()
+        time.sleep(0.05)  # consumer drained the queue; now inside its window
+        start = time.perf_counter()
+        q.put(_item(2), timeout=1.5)  # must not raise QueueFullError
+        assert time.perf_counter() - start < 1.0
+        q.close()
+        consumer.join(timeout=5.0)
+        assert len(got["batch"]) == 3
+
+    def test_backpressure_releases_when_consumer_drains(self):
+        q = MicroBatchQueue(
+            BatchingPolicy(max_queue_depth=2, max_batch_size=2, max_wait_s=0.0)
+        )
+        q.put(_item(0))
+        q.put(_item(1))
+        threading.Timer(0.02, q.get_batch).start()
+        q.put(_item(2), timeout=5.0)  # unblocked by the drain, no error
+
+    def test_put_many_timeout_is_one_deadline(self):
+        # The timeout bounds the whole multi-item admission, not each item.
+        q = MicroBatchQueue(BatchingPolicy(max_queue_depth=1, max_batch_size=1))
+        q.put(_item(0))
+        start = time.perf_counter()
+        with pytest.raises(QueueFullError):
+            q.put_many([_item(1), _item(2), _item(3)], timeout=0.05)
+        assert time.perf_counter() - start < 1.0
+
+    def test_put_after_close_raises(self):
+        q = MicroBatchQueue(BatchingPolicy())
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.put(_item())
+
+    def test_close_drains_then_returns_none(self):
+        q = MicroBatchQueue(BatchingPolicy(max_batch_size=8))
+        q.put(_item(0))
+        q.put(_item(1))
+        q.close()
+        assert len(q.get_batch()) == 2
+        assert q.get_batch() is None
+
+    def test_empty_queue_flush_on_close(self):
+        # A blocked consumer wakes promptly when an *empty* queue closes.
+        q = MicroBatchQueue(BatchingPolicy(max_wait_s=30.0))
+        got = {}
+
+        def consume():
+            got["batch"] = q.get_batch()
+
+        worker = threading.Thread(target=consume)
+        worker.start()
+        time.sleep(0.02)
+        q.close()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        assert got["batch"] is None
+
+    def test_get_batch_timeout_returns_empty_list(self):
+        q = MicroBatchQueue(BatchingPolicy())
+        assert q.get_batch(timeout=0.01) == []
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_queue_depth=0)
+
+
+# --------------------------------------------------------------------------- #
+# Server: correctness (the bit-identical contract)
+# --------------------------------------------------------------------------- #
+class TestServerCorrectness:
+    def test_served_likelihoods_bit_identical_to_direct(self, spn, rows):
+        with InferenceServer(
+            models=[BENCHMARK], policy=BatchingPolicy(max_batch_size=8, max_wait_s=0.001)
+        ) as server:
+            futures = [
+                server.submit(BENCHMARK, rows[i], kind=KIND_LIKELIHOOD)
+                for i in range(len(rows))
+            ]
+            served = np.array([f.result(timeout=30)[0] for f in futures])
+        direct = evaluate_batch(spn, rows, engine="vectorized")
+        assert np.array_equal(served, direct)  # exact, not allclose
+
+    def test_served_log_likelihoods_bit_identical_to_direct(self, spn, rows):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            served = server.query(BENCHMARK, rows, kind=KIND_LOG_LIKELIHOOD)
+        assert np.array_equal(served, evaluate_log_batch(spn, rows, engine="vectorized"))
+
+    def test_batch_composition_does_not_change_results(self, spn, rows):
+        # The same row served alone and served inside a crowded batch must
+        # produce the identical value: batching is invisible to correctness.
+        lonely = InferenceServer(models=[BENCHMARK], policy=BatchingPolicy(max_batch_size=1))
+        crowded = InferenceServer(
+            models=[BENCHMARK], policy=BatchingPolicy(max_batch_size=48, max_wait_s=0.05)
+        )
+        with lonely, crowded:
+            alone = lonely.query(BENCHMARK, rows[7], kind=KIND_LIKELIHOOD)[0]
+            futures = [
+                crowded.submit(BENCHMARK, rows[i], kind=KIND_LIKELIHOOD)
+                for i in range(len(rows))
+            ]
+            together = futures[7].result(timeout=30)[0]
+        assert alone == together
+
+    def test_mpe_matches_direct_query(self, spn, rows):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            served = server.query(BENCHMARK, rows[:4], kind=KIND_MPE)
+        expected = [
+            most_probable_explanation(spn, row_evidence(row)) for row in rows[:4]
+        ]
+        assert served == expected
+
+    def test_mapping_evidence_matches_row_evidence(self, spn):
+        evidence = {0: 1, 2: 0}
+        row = np.full((1, N_VARS), MARGINALIZED, dtype=np.int64)
+        row[0, 0], row[0, 2] = 1, 0
+        with InferenceServer(models=[BENCHMARK]) as server:
+            from_mapping = server.query(BENCHMARK, evidence, kind=KIND_LIKELIHOOD)[0]
+        assert from_mapping == evaluate_batch(spn, row, engine="vectorized")[0]
+
+    def test_python_engine_serving(self, spn, rows):
+        with InferenceServer(models=[BENCHMARK], engine="python") as server:
+            served = server.query(BENCHMARK, rows[:8], kind=KIND_LIKELIHOOD)
+        assert np.array_equal(served, evaluate_batch(spn, rows[:8], engine="python"))
+
+    def test_short_and_long_rows_normalize_exactly(self, spn):
+        short = np.array([1, 0], dtype=np.int64)  # missing vars marginalize
+        long = np.array([1, 0, -1, -1, 5, 7], dtype=np.int64)  # extra cols ignored
+        full = np.array([[1, 0, MARGINALIZED, MARGINALIZED]], dtype=np.int64)
+        expected = evaluate_batch(spn, full, engine="vectorized")[0]
+        with InferenceServer(models=[BENCHMARK]) as server:
+            assert server.query(BENCHMARK, short, kind=KIND_LIKELIHOOD)[0] == expected
+            assert server.query(BENCHMARK, long, kind=KIND_LIKELIHOOD)[0] == expected
+
+    def test_empty_batch_resolves_immediately(self, spn):
+        # A zero-row request has nothing to execute; it must resolve to an
+        # empty result (like evaluate_batch), not hang forever.
+        empty = np.zeros((0, N_VARS), dtype=np.int64)
+        with InferenceServer(models=[BENCHMARK]) as server:
+            result = server.submit(BENCHMARK, empty, kind=KIND_LIKELIHOOD).result(
+                timeout=5
+            )
+            assert result.shape == (0,)
+            mpe = server.submit(BENCHMARK, empty, kind=KIND_MPE).result(timeout=5)
+            assert mpe == []
+        assert evaluate_batch(spn, empty, engine="vectorized").shape == (0,)
+
+    def test_cancelled_future_does_not_kill_worker(self, spn, rows):
+        # A caller giving up on a queued request (asyncio timeouts cancel
+        # the wrapped future) must not crash the worker delivering into it;
+        # later requests keep being served.
+        policy = BatchingPolicy(max_batch_size=64, max_wait_s=0.1)
+        with InferenceServer(models=[BENCHMARK], policy=policy) as server:
+            abandoned = server.submit(BENCHMARK, rows[0], kind=KIND_LIKELIHOOD)
+            assert abandoned.cancel()  # still queued: cancellation wins
+            value = server.query(BENCHMARK, rows[1], kind=KIND_LIKELIHOOD)[0]
+            assert value == evaluate_batch(spn, rows[1:2], engine="vectorized")[0]
+            # The worker survived; a fresh request after the batch window too.
+            again = server.query(BENCHMARK, rows[2], kind=KIND_LIKELIHOOD)[0]
+            assert again == evaluate_batch(spn, rows[2:3], engine="vectorized")[0]
+            # The abandoned row was skipped, not computed-and-counted.
+            assert server.metrics.snapshot()["rows"] == 2
+
+    def test_request_completion_is_claimed_once(self):
+        # fail/deliver/fail racing on one request must resolve the future
+        # exactly once — the loser backs off instead of raising
+        # InvalidStateError in a worker thread.
+        from repro.serving.server import _PendingRequest
+
+        request = _PendingRequest("m", KIND_LIKELIHOOD, 1, ServingMetrics())
+        request.fail(RuntimeError("first"))
+        request.fail(RuntimeError("second"))  # no InvalidStateError
+        request.deliver(0, 1.0)  # ignored: request already failed
+        with pytest.raises(RuntimeError, match="first"):
+            request.future.result(timeout=1)
+
+        delivered = _PendingRequest("m", KIND_LIKELIHOOD, 1, ServingMetrics())
+        delivered.deliver(0, 2.5)
+        delivered.fail(RuntimeError("late"))  # ignored: already resolved
+        assert delivered.future.result(timeout=1)[0] == 2.5
+
+    def test_submitted_rows_do_not_alias_caller_buffer(self, spn, rows):
+        # A streaming client may reuse its read buffer immediately after
+        # submit(); the queued rows must be a snapshot, not a view.
+        policy = BatchingPolicy(max_batch_size=64, max_wait_s=0.2)
+        buffer = np.array(rows[0], dtype=np.int64)
+        expected = evaluate_batch(spn, buffer[None, :], engine="vectorized")[0]
+        with InferenceServer(models=[BENCHMARK], policy=policy) as server:
+            future = server.submit(BENCHMARK, buffer, kind=KIND_LIKELIHOOD)
+            buffer[:] = 1 - np.maximum(buffer, 0)  # reuse before the window closes
+            assert future.result(timeout=30)[0] == expected
+
+    def test_explicit_spn_model(self):
+        custom = generate_rat_spn(
+            RatSpnConfig(n_vars=6, depth=6, repetitions=2, n_sums=2, seed=23)
+        )
+        data = random_evidence(6, observed_fraction=0.5, seed=5, n_samples=10)
+        with InferenceServer(models=[("custom", custom)]) as server:
+            served = server.query("custom", data, kind=KIND_LIKELIHOOD)
+        assert np.array_equal(served, evaluate_batch(custom, data, engine="vectorized"))
+
+
+# --------------------------------------------------------------------------- #
+# Server: edge cases and lifecycle
+# --------------------------------------------------------------------------- #
+class TestServerLifecycle:
+    def test_oversized_request_spans_micro_batches(self, spn, rows):
+        # One request larger than max_batch_size completes correctly by
+        # spanning several micro-batches (and larger than the queue depth,
+        # exercising incremental admission under backpressure).
+        policy = BatchingPolicy(max_batch_size=8, max_queue_depth=16, max_wait_s=0.001)
+        with InferenceServer(models=[BENCHMARK], policy=policy) as server:
+            served = server.query(BENCHMARK, rows, kind=KIND_LIKELIHOOD)
+            assert server.metrics.n_batches >= len(rows) // 8
+        assert np.array_equal(served, evaluate_batch(spn, rows, engine="vectorized"))
+
+    def test_shutdown_drains_in_flight_requests(self, spn, rows):
+        server = InferenceServer(
+            models=[BENCHMARK], policy=BatchingPolicy(max_batch_size=4, max_wait_s=0.01)
+        ).start()
+        futures = [
+            server.submit(BENCHMARK, rows[i], kind=KIND_LIKELIHOOD)
+            for i in range(len(rows))
+        ]
+        server.stop()  # drain=True: every admitted request still completes
+        served = np.array([f.result(timeout=30)[0] for f in futures])
+        assert np.array_equal(served, evaluate_batch(spn, rows, engine="vectorized"))
+
+    def test_shutdown_without_drain_fails_queued_requests(self, rows):
+        # The batch window (10s) and size cap (64) guarantee the worker is
+        # still collecting when stop(drain=False) lands, so every queued
+        # request is failed fast instead of executed.
+        policy = BatchingPolicy(max_batch_size=64, max_wait_s=10.0)
+        server = InferenceServer(models=[BENCHMARK], policy=policy).start()
+        futures = [server.submit(BENCHMARK, rows[i]) for i in range(8)]
+        server.stop(drain=False)
+        for future in futures:
+            with pytest.raises(ServerClosedError):
+                future.result(timeout=30)
+
+    def test_submit_after_stop_raises(self):
+        server = InferenceServer(models=[BENCHMARK]).start()
+        server.stop()
+        with pytest.raises(ServerClosedError):
+            server.submit(BENCHMARK, {0: 1})
+
+    def test_submit_before_start_raises(self):
+        server = InferenceServer(models=[BENCHMARK])
+        with pytest.raises(ServerClosedError):
+            server.submit(BENCHMARK, {0: 1})
+
+    def test_unknown_model_raises(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(UnknownModelError, match="unknown model 'Netflix'"):
+                server.submit("Netflix", {0: 1})
+
+    def test_unknown_kind_raises(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="unknown query kind"):
+                server.submit(BENCHMARK, {0: 1}, kind="entropy")
+
+    def test_duplicate_model_rejected(self):
+        server = InferenceServer(models=[BENCHMARK])
+        with pytest.raises(ValueError, match="already hosted"):
+            server.add_model(BENCHMARK)
+
+    def test_out_of_range_mapping_variable_rejected(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="out of range"):
+                server.submit(BENCHMARK, {N_VARS + 3: 1})
+
+    def test_fractional_mapping_value_rejected(self, spn):
+        # {0: 0.7} must raise like array evidence does — not truncate to an
+        # observed 0 (which would diverge from direct evaluation).
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="integral"):
+                server.submit(BENCHMARK, {0: 0.7})
+            with pytest.raises(ValueError, match="integral"):
+                server.submit(BENCHMARK, {0.5: 1})
+            with pytest.raises(ValueError, match="int64 range"):
+                server.submit(BENCHMARK, {0: 1e19})
+            # Integral floats coerce exactly, mirroring as_evidence_array.
+            value = server.query(BENCHMARK, {0: 1.0}, kind=KIND_LIKELIHOOD)[0]
+        row = np.full((1, N_VARS), MARGINALIZED, dtype=np.int64)
+        row[0, 0] = 1
+        assert value == evaluate_batch(spn, row, engine="vectorized")[0]
+
+    def test_metrics_visible_once_result_is(self, rows):
+        # snapshot() immediately after a blocking query must include it.
+        with InferenceServer(models=[BENCHMARK]) as server:
+            for i in range(4):
+                server.query(BENCHMARK, rows[i], kind=KIND_LIKELIHOOD)
+                assert server.metrics.snapshot()["requests"] == i + 1
+
+    def test_float_evidence_validation_applies_to_serving(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="integral"):
+                server.submit(BENCHMARK, np.array([0.7, 1.0, -1.0, 0.0]))
+            # Integral-valued floats coerce exactly.
+            value = server.query(
+                BENCHMARK, np.array([1.0, 0.0, -1.0, -1.0]), kind=KIND_LIKELIHOOD
+            )[0]
+        spn = build_benchmark(BENCHMARK)
+        row = np.array([[1, 0, MARGINALIZED, MARGINALIZED]])
+        assert value == evaluate_batch(spn, row, engine="vectorized")[0]
+
+    def test_served_model_metadata(self):
+        server = InferenceServer(models=[BENCHMARK])
+        served = server.model(BENCHMARK)
+        assert served.n_vars == get_profile(BENCHMARK).model_vars
+        assert served.tape is not None  # warm start pinned the compiled tape
+        assert server.models() == [BENCHMARK]
+
+    def test_multiple_workers_still_exact(self, spn, rows):
+        policy = BatchingPolicy(max_batch_size=4, max_wait_s=0.0)
+        with InferenceServer(models=[BENCHMARK], policy=policy, n_workers=4) as server:
+            futures = [
+                server.submit(BENCHMARK, rows[i], kind=KIND_LIKELIHOOD)
+                for i in range(len(rows))
+            ]
+            served = np.array([f.result(timeout=30)[0] for f in futures])
+        assert np.array_equal(served, evaluate_batch(spn, rows, engine="vectorized"))
+
+
+# --------------------------------------------------------------------------- #
+# Clients and routing
+# --------------------------------------------------------------------------- #
+class TestClients:
+    def test_sync_client_scalar_queries(self, spn):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            client = InferenceClient(server, model=BENCHMARK)
+            evidence = {0: 1, 1: 0}
+            assert client.likelihood(evidence) == evaluate_batch(
+                spn, np.array([[1, 0, -1, -1]]), engine="vectorized"
+            )[0]
+            assert isinstance(client.log_likelihood(evidence), float)
+            assert client.mpe(evidence)[0] == 1
+
+    def test_client_plumbs_backpressure_timeout(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            seen = {}
+            original = server.submit
+
+            def capture(model, evidence, kind="log_likelihood", timeout=None):
+                seen["timeout"] = timeout
+                return original(model, evidence, kind=kind, timeout=timeout)
+
+            server.submit = capture
+            client = InferenceClient(server, model=BENCHMARK)
+            assert isinstance(client.query({0: 1}, timeout=2.5), float)
+            assert seen["timeout"] == 2.5
+
+    def test_mixed_kind_batch_delivers_per_group(self, rows):
+        # One micro-batch holding two query kinds executes as two engine
+        # calls (two recorded groups), so a fast group is never blocked on
+        # a slow one sharing the batch.
+        policy = BatchingPolicy(max_batch_size=64, max_wait_s=0.5)
+        with InferenceServer(models=[BENCHMARK], policy=policy) as server:
+            futures = [
+                server.submit(BENCHMARK, rows[0], kind=KIND_LIKELIHOOD),
+                server.submit(BENCHMARK, rows[1], kind=KIND_MPE),
+            ]
+            for future in futures:
+                future.result(timeout=30)
+            assert server.metrics.snapshot()["batches"] == 2
+
+    def test_client_without_model_requires_one(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            client = InferenceClient(server)
+            with pytest.raises(ValueError, match="no model"):
+                client.query({0: 1})
+            assert isinstance(client.query({0: 1}, model=BENCHMARK), float)
+
+    def test_async_client_concurrent_queries(self, spn, rows):
+        async def run():
+            # A generous wait window so the 16 concurrent submits co-batch
+            # even on a slow, loaded CI runner.
+            server = InferenceServer(
+                models=[BENCHMARK],
+                policy=BatchingPolicy(max_batch_size=16, max_wait_s=0.25),
+            ).start()
+            client = AsyncInferenceClient(server, model=BENCHMARK)
+            values = await asyncio.gather(
+                *[client.likelihood(rows[i]) for i in range(16)]
+            )
+            server.stop()
+            return np.array(values), server.metrics.snapshot()
+
+        values, snap = asyncio.run(run())
+        assert np.array_equal(values, evaluate_batch(spn, rows[:16], engine="vectorized"))
+        # Concurrent awaits actually co-batched (fewer batches than requests).
+        assert snap["batches"] < snap["requests"]
+
+    def test_router_routes_by_suite_name(self):
+        router = ModelRouter.for_suite(["Banknote", "EEG-eye"])
+        try:
+            assert router.models() == ["Banknote", "EEG-eye"]
+            assert len(router.servers()) == 1
+            value = router.query("EEG-eye", {0: 1}, kind=KIND_LIKELIHOOD)
+            spn = build_benchmark("EEG-eye")
+            row = np.full((1, 14), MARGINALIZED, dtype=np.int64)
+            row[0, 0] = 1
+            assert value == evaluate_batch(spn, row, engine="vectorized")[0]
+        finally:
+            router.stop()
+
+    def test_router_default_and_unknown(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            router = ModelRouter(routes={BENCHMARK: server})
+            assert router.route(BENCHMARK) is server
+            with pytest.raises(UnknownModelError, match="no route"):
+                router.route("Netflix")
+            fallback = ModelRouter(default=server)
+            assert fallback.route("anything") is server
+
+    def test_router_shards_models_across_servers(self, spn):
+        a = InferenceServer(models=["Banknote"]).start()
+        b = InferenceServer(models=["EEG-eye"]).start()
+        router = ModelRouter(routes={"Banknote": a, "EEG-eye": b})
+        try:
+            assert router.route("Banknote") is a
+            assert router.route("EEG-eye") is b
+            assert len(router.servers()) == 2
+            assert isinstance(router.query("Banknote", {0: 1}), float)
+        finally:
+            router.stop()
+
+
+# --------------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------------- #
+class TestMetrics:
+    def test_quantiles_and_counters(self):
+        metrics = ServingMetrics()
+        for latency in (0.010, 0.020, 0.030, 0.040):
+            metrics.record_request(latency)
+        metrics.record_batch(n_rows=3, capacity=4)
+        metrics.record_batch(n_rows=1, capacity=4)
+        snap = metrics.snapshot()
+        assert snap["requests"] == 4
+        assert snap["batches"] == 2
+        assert snap["mean_batch_size"] == 2.0
+        assert snap["mean_batch_occupancy"] == 0.5
+        assert snap["latency_p50_ms"] == pytest.approx(25.0)
+        assert metrics.latency_quantile(0.0) == pytest.approx(0.010)
+
+    def test_empty_metrics_are_nan_and_zero(self):
+        snap = ServingMetrics().snapshot()
+        assert snap["requests"] == 0
+        assert snap["throughput_rps"] == 0.0
+        assert np.isnan(snap["latency_p50_ms"])
+
+    def test_failed_execution_not_counted_as_throughput(self, rows, monkeypatch):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            monkeypatch.setattr(
+                server,
+                "_execute",
+                lambda *a, **k: (_ for _ in ()).throw(RuntimeError("engine down")),
+            )
+            future = server.submit(BENCHMARK, rows[0], kind=KIND_LIKELIHOOD)
+            with pytest.raises(RuntimeError, match="engine down"):
+                future.result(timeout=30)
+            snap = server.metrics.snapshot()
+        assert snap["rows"] == 0  # failed rows never inflate throughput
+        assert snap["requests"] == 0
+
+    def test_server_records_traffic(self, rows):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            server.query(BENCHMARK, rows[:8], kind=KIND_LIKELIHOOD)
+            snap = server.metrics.snapshot()
+        assert snap["rows"] == 8
+        assert snap["requests"] == 1
+        assert snap["batches"] >= 1

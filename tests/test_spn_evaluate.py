@@ -7,11 +7,14 @@ import pytest
 
 from repro.spn.evaluate import (
     MARGINALIZED,
+    as_evidence_array,
     evaluate,
     evaluate_batch,
     evaluate_log,
+    evaluate_log_batch,
     evaluate_nodes,
     partition_function,
+    row_evidence,
 )
 
 
@@ -104,3 +107,64 @@ class TestBatchEvaluation:
     def test_requires_2d_input(self, mixture_spn):
         with pytest.raises(ValueError):
             evaluate_batch(mixture_spn, np.zeros(4, dtype=int))
+
+
+class TestEvidenceDtypeValidation:
+    """Float evidence is coerced exactly or rejected — never truncated."""
+
+    def test_integer_arrays_pass_through(self):
+        data = np.array([[1, 0, MARGINALIZED]], dtype=np.int64)
+        assert as_evidence_array(data) is data
+
+    def test_integral_floats_coerce_exactly(self, mixture_spn):
+        ints = np.array([[1, 0], [0, MARGINALIZED]])
+        floats = ints.astype(np.float64)
+        coerced = as_evidence_array(floats)
+        assert coerced.dtype.kind == "i"
+        assert np.array_equal(coerced, ints)
+        for engine in ("python", "vectorized"):
+            assert np.array_equal(
+                evaluate_batch(mixture_spn, floats, engine=engine),
+                evaluate_batch(mixture_spn, ints, engine=engine),
+            )
+            assert np.array_equal(
+                evaluate_log_batch(mixture_spn, floats, engine=engine),
+                evaluate_log_batch(mixture_spn, ints, engine=engine),
+            )
+
+    @pytest.mark.parametrize("bad", [0.7, np.nan, np.inf])
+    @pytest.mark.parametrize("engine", ["python", "vectorized"])
+    def test_non_integral_floats_rejected(self, mixture_spn, bad, engine):
+        data = np.array([[bad, 1.0]])
+        with pytest.raises(ValueError, match="MARGINALIZED"):
+            evaluate_batch(mixture_spn, data, engine=engine)
+        with pytest.raises(ValueError, match="MARGINALIZED"):
+            evaluate_log_batch(mixture_spn, data, engine=engine)
+
+    def test_row_evidence_rejects_fractional_rows(self):
+        with pytest.raises(ValueError, match="MARGINALIZED"):
+            row_evidence(np.array([0.7, 1.0]))
+        assert row_evidence(np.array([1.0, -1.0, 0.0])) == {0: 1, 2: 0}
+
+    def test_huge_unsigned_values_rejected(self):
+        # uint64 >= 2**63 would wrap negative on a downstream int64 cast
+        # and silently read as MARGINALIZED.
+        with pytest.raises(ValueError, match="int64 range"):
+            as_evidence_array(np.array([[2**64 - 1, 1]], dtype=np.uint64))
+        small = np.array([[3, 1]], dtype=np.uint32)
+        assert as_evidence_array(small) is small
+
+    def test_huge_integral_floats_rejected(self, mixture_spn):
+        # 1e19 is finite and integral but wraps negative on the int64 cast,
+        # which would silently read as MARGINALIZED.
+        with pytest.raises(ValueError, match="int64 range"):
+            evaluate_batch(mixture_spn, np.array([[1e19, 1.0]]))
+
+    def test_non_numeric_dtype_rejected(self):
+        with pytest.raises(ValueError, match="integer array"):
+            as_evidence_array(np.array([["a", "b"]]))
+
+    def test_booleans_coerce(self):
+        coerced = as_evidence_array(np.array([[True, False]]))
+        assert coerced.dtype == np.int64
+        assert np.array_equal(coerced, [[1, 0]])

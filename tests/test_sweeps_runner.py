@@ -159,3 +159,51 @@ class TestNamedSweepsStillWork:
             "GPU shared-memory bank allocation",
         ):
             assert section in text
+
+
+class TestPlatformFilter:
+    def test_filter_keeps_only_requested_platforms(self):
+        points = all_sweep_points(BENCHMARK)
+        gpu_only = sweeps.filter_points(points, ["GPU"])
+        assert gpu_only
+        assert {p.platform for p in gpu_only} == {"GPU"}
+        assert sweeps.filter_points(points, None) == list(points)
+
+    def test_filter_rejects_unknown_platform(self):
+        with pytest.raises(ValueError, match="no sweep points on platform"):
+            sweeps.filter_points(all_sweep_points(BENCHMARK), ["TPU"])
+
+    def test_filter_rejects_empty_list(self):
+        # An accidentally-empty filter must fail loudly, not run zero points.
+        with pytest.raises(ValueError, match="filter is empty"):
+            sweeps.filter_points(all_sweep_points(BENCHMARK), [])
+
+    def test_filtered_json_merges_into_existing_sweeps(self, two_points, tmp_path):
+        # A platform-filtered --json run must update its own rows without
+        # dropping the other platforms' rows from the artifact.
+        path = tmp_path / "bench.json"
+        full = run_sweep(all_sweep_points(BENCHMARK), parallel=False, cache_dir=None)
+        write_bench_json(full, path, BENCHMARK)
+        gpu_only = run_sweep(two_points, parallel=False, cache_dir=None)
+        payload = sweeps.write_bench_json(gpu_only, path, BENCHMARK, merge_sweeps=True)
+        assert len(payload["sweeps"]) == len(full)
+        platforms = {entry["platform"] for entry in payload["sweeps"]}
+        assert "GPU" in platforms and len(platforms) > 1
+
+    def test_cli_platforms_flag(self, tmp_path, capsys):
+        exit_code = sweeps._cli(
+            [
+                "--benchmark", BENCHMARK,
+                "--serial",
+                "--skip-speedup",
+                "--cache-dir", str(tmp_path / "sweeps"),
+                "--platforms", "GPU",
+                "--json", str(tmp_path / "bench.json"),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "GPU shared-memory bank allocation" in out
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert payload["sweeps"]
+        assert {entry["platform"] for entry in payload["sweeps"]} == {"GPU"}
