@@ -1,34 +1,33 @@
 #!/usr/bin/env python3
-"""Quickstart: build an SPN, query it, compile it for the SPN processor, run it.
+"""Quickstart: build an SPN, query it through one session, compile it, run it.
 
 This walks through the full public API in a few dozen lines:
 
 1. build a small sum-product network by hand,
-2. answer probabilistic queries with the reference evaluator,
-3. lower it to the flat operation list every backend consumes,
-4. compile it for the paper's ``Ptree`` processor configuration,
-5. execute the compiled program on the cycle-accurate simulator and compare
-   its throughput against the CPU and GPU baseline models,
-6. evaluate a large evidence batch with the vectorized NumPy engine and
-   compare it against reference execution (correctness and speed).
+2. bind it to an `InferenceSession` — the single front door for every
+   query kind — and answer marginal, conditional and MPE queries as typed
+   objects (batched, log-domain where it matters),
+3. measure the same model on the CPU and GPU platform engines through the
+   very same session (the paper's ops/cycle metric),
+4. compile it for the paper's ``Ptree`` processor configuration and execute
+   the compiled program on the cycle-accurate simulator,
+5. run a *batched* conditional on a larger network and compare it against
+   the per-row scalar path (correctness and speed) — the workload the
+   typed query API makes fast.
 """
 
 import time
 
 import numpy as np
 
-from repro.baselines import execute_baseline, simulate_cpu, simulate_gpu
+from repro.api import MPE, Conditional, InferenceSession, Marginal
 from repro.compiler import compile_spn
 from repro.processor import ptree_config
 from repro.spn import (
     RatSpnConfig,
     SPN,
-    compile_tape,
-    conditional,
     evaluate,
     generate_rat_spn,
-    linearize,
-    most_probable_explanation,
     random_evidence,
 )
 
@@ -57,24 +56,27 @@ def main() -> None:
     spn = build_weather_model()
     print("model:", spn.stats())
 
-    # --- probabilistic queries -------------------------------------------- #
-    print("\nqueries:")
-    print("  P(wet grass)               =", round(evaluate(spn, {2: 1}), 4))
-    print("  P(wet grass | cloudy)      =", round(conditional(spn, {2: 1}, {0: 1}), 4))
-    print("  P(wet grass | not cloudy)  =", round(conditional(spn, {2: 1}, {0: 0}), 4))
-    print("  most probable explanation  =", most_probable_explanation(spn, {2: 1}))
+    # --- one session, every query kind ------------------------------------ #
+    session = InferenceSession(spn)
+    print("\nqueries (one InferenceSession, typed query objects):")
+    p_wet = session.run(Marginal({2: 1}))[0]
+    print("  P(wet grass)               =", round(p_wet, 4))
+    p_wet_given_cloudy = session.run(Conditional(query={2: 1}, evidence={0: 1}))[0]
+    print("  P(wet grass | cloudy)      =", round(p_wet_given_cloudy, 4))
+    p_wet_given_clear = session.run(Conditional(query={2: 1}, evidence={0: 0}))[0]
+    print("  P(wet grass | not cloudy)  =", round(p_wet_given_clear, 4))
+    print("  most probable explanation  =", session.run(MPE({2: 1}))[0])
+    plan = session.plan(Conditional(query={2: 1}, evidence={0: 1}))
+    print(
+        f"  (a Conditional plans into exactly {plan.n_evaluations} log-domain "
+        "tape passes, whatever the batch size)"
+    )
 
-    # --- lower to the execution kernel ------------------------------------ #
-    ops = linearize(spn)
-    print("\nlowered kernel:", ops.n_operations, "binary operations,",
-          ops.n_inputs, "inputs, depth", ops.depth())
-
-    # --- baselines --------------------------------------------------------- #
-    cpu = simulate_cpu(ops)
-    gpu = simulate_gpu(ops)
-    print("\nbaseline models:")
-    print(f"  CPU : {cpu.ops_per_cycle:6.3f} ops/cycle ({cpu.cycles} cycles)")
-    print(f"  GPU : {gpu.ops_per_cycle:6.3f} ops/cycle ({gpu.cycles} cycles)")
+    # --- platform throughput through the same session ---------------------- #
+    print("\nplatform engines (ops/cycle, same session):")
+    for platform in ("CPU", "GPU"):
+        result = session.throughput(platform)
+        print(f"  {platform:4s}: {result.ops_per_cycle:6.3f} ops/cycle ({result.cycles} cycles)")
 
     # --- the custom processor ---------------------------------------------- #
     kernel = compile_spn(spn, ptree_config())
@@ -87,36 +89,40 @@ def main() -> None:
     print(f"  throughput {result.ops_per_cycle:6.3f} ops/cycle ({result.cycles} cycles)")
     assert abs(result.value - reference) < 1e-9
 
-    # --- the vectorized engine on a larger network ------------------------- #
+    # --- batched conditionals on a larger network --------------------------- #
     big = generate_rat_spn(
         RatSpnConfig(n_vars=64, depth=64, repetitions=2, n_sums=2,
                      split_balance=0.1, seed=7)
     )
-    big_ops = linearize(big)
-    data = random_evidence(64, observed_fraction=0.8, seed=0, n_samples=500)
+    fast = InferenceSession(big, warm=True)          # vectorized tape, pinned
+    reference_session = InferenceSession(big, engine="python")
+
+    n_rows = 500
+    evidence = random_evidence(64, observed_fraction=0.8, seed=0, n_samples=n_rows)
+    evidence[:, 0] = -1                               # the queried variable
+    query = np.full_like(evidence, -1)
+    query[:, 0] = 1
+    batch = Conditional(evidence=evidence, query=query)
 
     start = time.perf_counter()
-    ref_values = execute_baseline(big_ops, data, engine="python")
-    t_reference = time.perf_counter() - start
+    batched = fast.run(batch)                         # two tape passes, all rows
+    t_batched = time.perf_counter() - start
 
-    tape = compile_tape(big_ops)
-    t_vectorized, vec_values = min(
-        (_timed(lambda: tape.execute_batch(data)) for _ in range(3)),
-        key=lambda timed: timed[0],
-    )
-    assert np.allclose(vec_values, ref_values, rtol=1e-9, atol=0.0)
-
-    print(f"\nvectorized engine ({big_ops.n_operations} ops, {len(data)} rows):")
-    print(f"  reference execution  {t_reference * 1e3:8.1f} ms")
-    print(f"  vectorized tape      {t_vectorized * 1e3:8.1f} ms")
-    print(f"  speedup: vectorized engine is {t_reference / t_vectorized:.1f}x "
-          "faster than reference execution")
-
-
-def _timed(fn):
+    n_scalar = 50                                     # per-row path, a sample
     start = time.perf_counter()
-    result = fn()
-    return time.perf_counter() - start, result
+    per_row = np.array([
+        reference_session.run(Conditional(evidence=evidence[i], query=query[i]))[0]
+        for i in range(n_scalar)
+    ])
+    t_per_row = (time.perf_counter() - start) / n_scalar * n_rows
+
+    assert np.allclose(batched[:n_scalar], per_row, rtol=1e-9, atol=0.0)
+
+    print(f"\nbatched conditionals ({n_rows} rows, 64-variable network):")
+    print(f"  per-row scalar path (reference walk)  {t_per_row * 1e3:8.1f} ms (extrapolated)")
+    print(f"  one batched Conditional (2 passes)    {t_batched * 1e3:8.1f} ms")
+    print(f"  speedup: batched queries are {t_per_row / t_batched:.1f}x "
+          "faster than the per-row scalar path")
 
 
 if __name__ == "__main__":

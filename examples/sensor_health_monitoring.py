@@ -24,14 +24,13 @@ import time
 
 import numpy as np
 
+from repro.api import InferenceSession, LogLikelihood, Marginal
 from repro.serving import AsyncInferenceClient, BatchingPolicy, InferenceServer
 from repro.spn import (
     DatasetSpec,
     LearnConfig,
-    evaluate_log_batch,
     generate_dataset,
     learn_spn,
-    log_likelihood,
     train_test_split,
 )
 
@@ -68,10 +67,15 @@ def main() -> None:
     train, test = train_test_split(data, test_fraction=0.2, seed=0)
     model = learn_spn(train, LearnConfig(min_instances=64, seed=1))
     print("learned SPN:", model.stats())
-    print("  held-out log-likelihood per row:", round(log_likelihood(model, test), 3))
+    # One typed-query session answers the offline questions (batched,
+    # normalized log-marginals) and later doubles as the exactness oracle.
+    session = InferenceSession(model)
+    held_out = float(np.mean(session.run(Marginal(test, log=True, normalize=True))))
+    print("  held-out log-likelihood per row:", round(held_out, 3))
 
     # --- 2. stream readings through the serving layer ------------------------ #
-    threshold = log_likelihood(model, train) - 3.0  # crude anomaly threshold
+    train_ll = float(np.mean(session.run(Marginal(train, log=True, normalize=True))))
+    threshold = train_ll - 3.0  # crude anomaly threshold
     stream = build_stream(test)
     policy = BatchingPolicy(max_batch_size=32, max_wait_s=0.002)
     with InferenceServer(models={MODEL: model}, policy=policy) as server:
@@ -98,7 +102,7 @@ def main() -> None:
     start = time.perf_counter()
     one_at_a_time = np.array(
         [
-            evaluate_log_batch(model, stream[i : i + 1], engine="vectorized")[0]
+            session.run(LogLikelihood(stream[i : i + 1]))[0]
             for i in range(len(stream))
         ]
     )

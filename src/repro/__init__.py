@@ -2,6 +2,10 @@
 
 The package is organized as follows:
 
+* :mod:`repro.api` — the unified typed query API: ``Likelihood`` /
+  ``LogLikelihood`` / ``Marginal`` / ``Conditional`` / ``MPE`` query
+  objects and the :class:`~repro.api.session.InferenceSession` front door
+  (planning, execution, platform throughput);
 * :mod:`repro.spn` — sum-product network substrate (data structures, exact
   evaluation, lowering to operation lists, structure learning, serialization);
 * :mod:`repro.suite` — the benchmark suite used in the paper's evaluation;

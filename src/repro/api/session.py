@@ -1,0 +1,370 @@
+"""The inference session: one front door for every query, engine and platform.
+
+:class:`InferenceSession` binds a model — an :class:`~repro.spn.graph.SPN`
+object or a suite-registry benchmark name — to an execution engine
+(``"vectorized"`` tape or ``"python"`` reference walk) and answers every
+typed query of :mod:`repro.api.queries` through the same batched dispatch:
+
+* :meth:`plan` turns a query into its :class:`QueryPlan` — the minimal set
+  of vectorized tape evaluations (a :class:`~repro.api.queries.Conditional`
+  batch is exactly **two** log-domain passes: joint and evidence,
+  subtracted — never a per-row python walk);
+* :meth:`run` executes that plan with the existing cached-tape machinery
+  (:func:`repro.spn.compiled.cached_tape`) and optional ``check=True``
+  engine cross-checking;
+* :meth:`throughput` measures the bound model on any registered *platform*
+  engine (:mod:`repro.platforms`) — the paper's ops/cycle metric — so the
+  experiments issue queries and throughput probes through one object.
+
+Every evaluation pass is observable: the session counts tape evaluations
+(:attr:`InferenceSession.evaluations`) and calls an optional
+:attr:`on_evaluate` hook, which is how the tests assert the planning
+guarantees (e.g. two passes per conditional batch, not ``2 * n_rows``).
+
+Sessions are cheap — the heavy artifacts (SPN, tape, operation list,
+partition function) are cached per model — and single-row sessions back the
+deprecated scalar wrappers in :mod:`repro.spn.queries`, so the scalar and
+batched paths cannot drift.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..spn.compiled import resolve_engine
+from ..spn.evaluate import evaluate_batch, evaluate_log_batch, row_evidence
+from ..spn.graph import SPN
+from ..spn.linearize import OperationList, linearize
+from ..spn.nodes import IndicatorLeaf
+from .queries import (
+    MPE,
+    Conditional,
+    Likelihood,
+    LogLikelihood,
+    Marginal,
+    Query,
+    QueryKind,
+    evidence_rows,
+)
+
+__all__ = ["EvalPass", "QueryPlan", "InferenceSession", "session_for"]
+
+
+@dataclass(frozen=True)
+class EvalPass:
+    """One planned tape evaluation: its domain and what it evaluates."""
+
+    domain: str  # "linear" | "log"
+    operand: str  # "evidence" | "joint" | "partition"
+    cached: bool = False  # True: served from the session cache when warm
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The evaluation recipe for one query batch.
+
+    ``passes`` lists the tape evaluations in execution order;
+    ``postprocess`` names the elementwise combination applied afterwards.
+    ``n_evaluations`` is the number of *uncached* batched tape passes the
+    plan performs — the quantity the evaluation-count hook observes.
+    """
+
+    kind: QueryKind
+    n_rows: int
+    passes: Tuple[EvalPass, ...]
+    postprocess: str = ""
+
+    @property
+    def n_evaluations(self) -> int:
+        return sum(1 for p in self.passes if not p.cached)
+
+
+class InferenceSession:
+    """Bind one model to one engine and answer every typed query through it.
+
+    Parameters
+    ----------
+    model:
+        An :class:`~repro.spn.graph.SPN` or a suite-registry benchmark name
+        (resolved via :func:`repro.suite.registry.build_benchmark`).
+    engine:
+        Functional execution engine for the tape passes, as accepted by
+        :func:`repro.spn.evaluate.evaluate_batch` (``"vectorized"``
+        default; ``"python"`` for the reference walk).
+    check:
+        Cross-check every vectorized pass against the reference engine on a
+        batch prefix (:class:`~repro.spn.compiled.EngineMismatchError` on
+        disagreement).
+    warm:
+        Compile and pin the model's tape at construction instead of on the
+        first query (keeps compilation latency out of the serving path).
+    """
+
+    def __init__(
+        self,
+        model: Union[SPN, str],
+        engine: str = "vectorized",
+        check: bool = False,
+        warm: bool = False,
+    ) -> None:
+        if isinstance(model, str):
+            from ..suite.registry import benchmark_n_vars, build_benchmark
+
+            self.name: Optional[str] = model
+            self.spn: SPN = build_benchmark(model)
+            self.n_vars: int = benchmark_n_vars(model)
+        else:
+            self.name = None
+            self.spn = model
+            self.n_vars = (
+                max(
+                    (n.var for n in model.nodes() if isinstance(n, IndicatorLeaf)),
+                    default=-1,
+                )
+                + 1
+            )
+        self.engine = resolve_engine(engine)
+        self.check = check
+        # Guards the evaluation counter and the lazy caches: sessions are
+        # shared by serving worker pools (n_workers > 1).
+        self._lock = threading.Lock()
+        #: Batched tape evaluations performed so far (the plan-count hook).
+        self.evaluations: int = 0
+        #: Optional callback ``(domain, n_rows)`` invoked per tape pass.
+        self.on_evaluate: Optional[Callable[[str, int], None]] = None
+        self._log_z: Optional[float] = None
+        self._log_z_fingerprint: Optional[tuple] = None
+        self._ops: Optional[OperationList] = None
+        self.tape = None
+        if warm and self.engine == "vectorized":
+            from ..spn.compiled import cached_tape
+
+            self.tape = cached_tape(self.spn)
+
+    # ------------------------------------------------------------------ #
+    # Evidence handling
+    # ------------------------------------------------------------------ #
+    def encode(self, evidence) -> np.ndarray:
+        """Normalize evidence to a 2-D batch at least ``n_vars`` wide.
+
+        Wider rows are kept — no indicator reads the surplus columns
+        (exact for value queries), and out-of-range observed entries
+        survive into MPE completions.  Fixed-width policies on top of this
+        (rejecting observed surplus entries, trimming to the model width)
+        belong to the serving layer's admission
+        (:meth:`repro.serving.server.InferenceServer._encode`).
+        """
+        return evidence_rows(evidence, self.n_vars)
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(self, query: Query) -> QueryPlan:
+        """The minimal evaluation recipe for ``query`` (no execution).
+
+        Planning rules:
+
+        * ``Likelihood`` — one linear pass over the evidence batch.
+        * ``LogLikelihood`` — one log pass.
+        * ``Marginal`` — one log pass (log or normalized output; the
+          normalizing partition pass is cached per session) or one linear
+          pass (the raw linear case).
+        * ``Conditional`` — exactly **two** log passes, joint and evidence,
+          combined elementwise; never a per-row walk, and never more than
+          two passes regardless of the batch size.
+        * ``MPE`` — a per-row search whose candidate scoring batches
+          through the log tape internally (pass count depends on the
+          network, so it is not enumerated here).
+        """
+        if isinstance(query, Conditional):
+            return QueryPlan(
+                kind=query.kind,
+                n_rows=query.n_rows,
+                passes=(EvalPass("log", "joint"), EvalPass("log", "evidence")),
+                postprocess="subtract" if query.log else "exp(subtract)",
+            )
+        if isinstance(query, Marginal):
+            passes: List[EvalPass] = []
+            if query.log or query.normalize:
+                passes.append(EvalPass("log", "evidence"))
+            else:
+                passes.append(EvalPass("linear", "evidence"))
+            if query.normalize:
+                passes.append(
+                    EvalPass("log", "partition", cached=self._log_z is not None)
+                )
+            post = ""
+            if query.normalize:
+                post = "subtract log Z" if query.log else "exp(subtract log Z)"
+            return QueryPlan(query.kind, query.n_rows, tuple(passes), post)
+        if isinstance(query, LogLikelihood):
+            return QueryPlan(
+                query.kind, query.n_rows, (EvalPass("log", "evidence"),)
+            )
+        if isinstance(query, Likelihood):
+            return QueryPlan(
+                query.kind, query.n_rows, (EvalPass("linear", "evidence"),)
+            )
+        if isinstance(query, MPE):
+            return QueryPlan(
+                query.kind, query.n_rows, (), postprocess="per-row MPE search"
+            )
+        raise TypeError(f"unknown query type {type(query).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, query: Query):
+        """Execute ``query`` and return its batched result.
+
+        Value kinds return a ``(n_rows,)`` float vector; :class:`MPE`
+        returns a list of ``{var: value}`` completions.  Results are
+        bit-identical for a row whether it runs alone, inside a larger
+        batch, or through the serving layer — the tape kernels are
+        elementwise across rows.
+        """
+        if not isinstance(query, Query):
+            raise TypeError(
+                f"expected a typed query (repro.api), got {type(query).__name__}"
+            )
+        if isinstance(query, Conditional):
+            log_joint = self._evaluate(self.encode(query.joint), log_domain=True)
+            log_evidence = self._evaluate(self.encode(query.evidence), log_domain=True)
+            with np.errstate(invalid="ignore"):
+                diff = log_joint - log_evidence  # -inf - -inf -> nan (P(e) = 0)
+            return diff if query.log else np.exp(diff)
+        if isinstance(query, Marginal):
+            if query.log or query.normalize:
+                values = self._evaluate(self.encode(query.evidence), log_domain=True)
+                if query.normalize:
+                    values = values - self.log_partition()
+                return values if query.log else np.exp(values)
+            return self._evaluate(self.encode(query.evidence), log_domain=False)
+        if isinstance(query, LogLikelihood):
+            return self._evaluate(self.encode(query.evidence), log_domain=True)
+        if isinstance(query, Likelihood):
+            return self._evaluate(self.encode(query.evidence), log_domain=False)
+        if isinstance(query, MPE):
+            from ..spn.queries import mpe_row
+
+            return [
+                mpe_row(self.spn, row_evidence(row), refine=query.refine)
+                for row in self.encode(query.evidence)
+            ]
+        raise TypeError(f"unknown query type {type(query).__name__}")
+
+    def _evaluate(self, data: np.ndarray, log_domain: bool) -> np.ndarray:
+        """One batched tape pass (the unit the evaluation hook observes)."""
+        with self._lock:
+            self.evaluations += 1
+        if self.on_evaluate is not None:
+            self.on_evaluate("log" if log_domain else "linear", data.shape[0])
+        if log_domain:
+            return evaluate_log_batch(
+                self.spn, data, engine=self.engine, check=self.check
+            )
+        return evaluate_batch(self.spn, data, engine=self.engine, check=self.check)
+
+    def log_partition(self) -> float:
+        """Log partition function ``log Z``, computed once per session.
+
+        The cache is guarded by the same cheap content fingerprint the tape
+        cache uses, so a structurally mutated model recomputes instead of
+        serving a stale normalizer.
+        """
+        from ..spn.compiled import _fingerprint_parts
+
+        tag, children = _fingerprint_parts(self.spn)
+        fingerprint = (tag, tuple(map(id, children)))
+        with self._lock:
+            cached = (
+                self._log_z if self._log_z_fingerprint == fingerprint else None
+            )
+        if cached is not None:
+            return cached
+        row = np.full((1, max(self.n_vars, 1)), -1, dtype=np.int64)
+        log_z = float(self._evaluate(row, log_domain=True)[0])
+        with self._lock:
+            # Pin the fingerprinted children so a collected node's id can
+            # never be reused while this entry is considered fresh.
+            self._log_z = log_z
+            self._log_z_fingerprint = fingerprint
+            self._log_z_children = children
+        return log_z
+
+    # ------------------------------------------------------------------ #
+    # Platform throughput (the paper's ops/cycle metric)
+    # ------------------------------------------------------------------ #
+    def operation_list(self) -> OperationList:
+        """The bound model's lowered operation list (cached per session)."""
+        if self._ops is None:
+            if self.name is not None:
+                from ..suite.registry import benchmark_operation_list
+
+                self._ops = benchmark_operation_list(self.name)
+            else:
+                self._ops = linearize(self.spn)
+        return self._ops
+
+    def throughput(self, platform, options=None):
+        """Measure the bound model on a platform engine: ops/cycle.
+
+        ``platform`` is a registry name (:func:`repro.platforms.get_engine`)
+        or an already-configured :class:`~repro.platforms.PlatformEngine`
+        instance (how the thread-count and ablation sweeps pass
+        re-parameterized engines).  Returns the engine's
+        :class:`~repro.analysis.metrics.PlatformResult`.
+        """
+        from ..platforms import get_engine
+
+        engine = get_engine(platform) if isinstance(platform, str) else platform
+        return engine.run(
+            self.operation_list(), benchmark=self.name or "", options=options
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Per-model session cache (backs the scalar wrappers)
+# --------------------------------------------------------------------------- #
+#: (id(spn), engine) -> session, LRU-bounded.  The session strongly
+#: references its model (so a cached entry can never suffer id reuse), which
+#: also means weakref-based eviction could never fire — the bound is what
+#: keeps a model-churning caller (e.g. structure search scoring thousands of
+#: candidate SPNs through the scalar wrappers) from leaking sessions.
+_SESSION_CACHE: "OrderedDict[Tuple[int, str], InferenceSession]" = OrderedDict()
+_SESSION_CACHE_CAPACITY = 32
+
+
+def session_for(model: Union[SPN, str], engine: str = "vectorized") -> InferenceSession:
+    """A shared session for ``model`` (the scalar wrappers route through this).
+
+    Sessions hold only caches (tape pin, ``log Z``, operation list) — all
+    invalidation-safe or recomputed cheaply — so sharing one per
+    ``(model, engine)`` makes the deprecated scalar functions as cheap as
+    their pre-session implementations while guaranteeing they execute the
+    very same code path as batched callers.  The cache is a small LRU
+    (:data:`_SESSION_CACHE_CAPACITY` entries); suite-name models share the
+    registry's unbounded (nine-benchmark) cache instead.
+    """
+    if isinstance(model, str):
+        from ..suite.registry import benchmark_session
+
+        return benchmark_session(model, engine)
+    key = (id(model), engine)
+    session = _SESSION_CACHE.get(key)
+    # The strong reference inside the cached session guarantees `model`'s id
+    # cannot have been reused while the entry exists — but guard on identity
+    # anyway, since it is free and makes the invariant local.
+    if session is not None and session.spn is model:
+        _SESSION_CACHE.move_to_end(key)
+        return session
+    session = InferenceSession(model, engine=engine)
+    _SESSION_CACHE[key] = session
+    while len(_SESSION_CACHE) > _SESSION_CACHE_CAPACITY:
+        _SESSION_CACHE.popitem(last=False)
+    return session

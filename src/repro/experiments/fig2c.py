@@ -6,10 +6,12 @@ and reports (a) that a single GPU thread is slower than the CPU, and (b) that
 256 threads only bring a ~4.1x improvement over one thread — sublinear
 scaling caused by synchronization overhead, shared-memory bandwidth and
 divergence.  This driver regenerates the same series using the Audio
-benchmark (a Lowd-Davis dataset) as the representative SPN; both platforms
-are obtained from the engine registry, and the thread sweep is expressed as
-re-parameterized copies of the GPU engine
-(:meth:`~repro.platforms.PlatformEngine.configured`).
+benchmark (a Lowd-Davis dataset) as the representative SPN; the benchmark
+is bound once through its :class:`~repro.api.session.InferenceSession`
+(the unified front door), platforms resolve from the engine registry, and
+the thread sweep is expressed as re-parameterized copies of the GPU engine
+(:meth:`~repro.platforms.PlatformEngine.configured`) handed to
+:meth:`~repro.api.session.InferenceSession.throughput`.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from typing import Dict, Optional, Sequence
 from ..analysis.report import format_bar_chart, format_table
 from ..baselines.gpu import GpuConfig
 from ..platforms import PLATFORM_CPU, PLATFORM_GPU, get_engine
-from ..suite.registry import benchmark_operation_list
+from ..suite.registry import benchmark_session
 
 __all__ = ["THREAD_COUNTS", "DEFAULT_BENCHMARK", "run", "main"]
 
@@ -34,15 +36,15 @@ def run(
     gpu_config: Optional[GpuConfig] = None,
 ) -> Dict[str, float]:
     """Return the Fig. 2(c) series: CPU plus one entry per GPU block size."""
-    ops = benchmark_operation_list(benchmark)
+    session = benchmark_session(benchmark)
     gpu = get_engine(PLATFORM_GPU)
     if gpu_config is not None:
         gpu = gpu.with_config(gpu_config)
     series: Dict[str, float] = {
-        "CPU": get_engine(PLATFORM_CPU).run(ops, benchmark=benchmark).ops_per_cycle
+        "CPU": session.throughput(PLATFORM_CPU).ops_per_cycle
     }
     for threads in thread_counts:
-        result = gpu.configured(n_threads=threads).run(ops, benchmark=benchmark)
+        result = session.throughput(gpu.configured(n_threads=threads))
         series[f"GPU {threads} thr"] = result.ops_per_cycle
     return series
 

@@ -1,14 +1,20 @@
-"""Experiment-level entry points into the platform-engine registry.
+"""Experiment-level entry points into sessions and the platform registry.
 
 Every experiment (Fig. 2c, Fig. 4, the headline claims and the ablation
-sweeps) measures throughput through :func:`run_platform`, which is a thin
-veneer over :func:`repro.platforms.get_engine` — there is no platform
-``if``/``elif`` dispatch anywhere in the experiments: adding a platform to
-the registry makes it available to every driver by name.
+sweeps) measures throughput through the unified front door: a suite
+benchmark's :class:`~repro.api.session.InferenceSession`
+(:func:`repro.suite.registry.benchmark_session`), whose
+:meth:`~repro.api.session.InferenceSession.throughput` resolves platform
+engines by registry name — there is no platform ``if``/``elif`` dispatch
+anywhere in the experiments: adding a platform to the registry makes it
+available to every driver by name, and the same session object answers the
+functional (typed-query) side of the workload.
 
 The ``run_cpu`` / ``run_gpu`` / ``run_processor`` helpers are kept as
 backwards-compatible conveniences for callers that already hold a model
 configuration object; they construct the corresponding engine directly.
+:func:`run_platform` remains the ops-level veneer for callers holding a
+bare operation list rather than a model.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from ..platforms import (
 )
 from ..processor.config import ProcessorConfig
 from ..spn.linearize import OperationList
-from ..suite.registry import benchmark_names, benchmark_operation_list
+from ..suite.registry import benchmark_names
 
 __all__ = [
     "PLATFORM_CPU",
@@ -101,9 +107,17 @@ def run_benchmark(
     platforms: Iterable[str] = DEFAULT_PLATFORMS,
     options: Optional[ScheduleOptions] = None,
 ) -> Dict[str, PlatformResult]:
-    """Evaluate one suite benchmark on the requested platforms."""
-    ops = benchmark_operation_list(name)
-    return {p: run_platform(p, ops, benchmark=name, options=options) for p in platforms}
+    """Evaluate one suite benchmark on the requested platforms.
+
+    Dispatches through the benchmark's shared
+    :class:`~repro.api.session.InferenceSession` — the same object that
+    answers the benchmark's typed queries — so experiments and functional
+    callers share one model binding (and its cached operation list).
+    """
+    from ..suite.registry import benchmark_session
+
+    session = benchmark_session(name)
+    return {p: session.throughput(p, options=options) for p in platforms}
 
 
 def run_suite(

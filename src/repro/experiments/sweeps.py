@@ -58,8 +58,6 @@ from ..platforms import (
     PLATFORM_PVECT,
     get_engine,
 )
-from ..spn.linearize import OperationList
-from ..suite.registry import benchmark_operation_list
 
 __all__ = [
     "SweepPoint",
@@ -70,6 +68,7 @@ __all__ = [
     "filter_points",
     "measure_engine_speedup",
     "measure_simulator_speedup",
+    "measure_query_speedup",
     "write_bench_json",
     "update_bench_json",
     "tree_arrangement_sweep",
@@ -96,10 +95,6 @@ DEFAULT_CACHE_DIR = Path(".cache") / "sweeps"
 
 #: Bumped whenever the meaning of cached values changes; part of every key.
 CACHE_VERSION = 1
-
-
-def _ops(benchmark: str) -> OperationList:
-    return benchmark_operation_list(benchmark)
 
 
 # --------------------------------------------------------------------------- #
@@ -254,13 +249,20 @@ def filter_points(
 def evaluate_point(point: SweepPoint) -> Dict[str, float]:
     """Evaluate one design point (runs in a worker process under ``parallel``).
 
-    The platform engine always comes from the registry
+    The benchmark is bound through its shared
+    :class:`~repro.api.session.InferenceSession`
+    (:func:`repro.suite.registry.benchmark_session`) and the platform
+    engine always comes from the registry
     (:func:`repro.platforms.get_engine`); the ``kind`` recipe only decides
-    how the engine is re-parameterized and which scheduler options apply.
+    how the engine is re-parameterized and which scheduler options apply
+    before the session measures it
+    (:meth:`~repro.api.session.InferenceSession.throughput`).
     """
+    from ..suite.registry import benchmark_session
+
     if point.kind not in ("tree_arrangement", "allocation", "packing", "gpu_banks"):
         raise ValueError(f"unknown sweep point kind {point.kind!r}")
-    ops = _ops(point.benchmark)
+    session = benchmark_session(point.benchmark)
     engine = get_engine(point.platform)
     options: Optional[ScheduleOptions] = None
     if point.kind == "tree_arrangement":
@@ -279,7 +281,7 @@ def evaluate_point(point: SweepPoint) -> Dict[str, float]:
         options = ScheduleOptions(pack_multiple_cones=bool(point.param("pack")))
     elif point.kind == "gpu_banks":
         engine = engine.configured(bank_allocation=str(point.param("allocation")))
-    result = engine.run(ops, benchmark=point.benchmark, options=options)
+    result = session.throughput(engine, options=options)
     return {"ops_per_cycle": float(result.ops_per_cycle)}
 
 
@@ -573,6 +575,150 @@ def measure_simulator_speedup(
 
 
 # --------------------------------------------------------------------------- #
+# Query-API speedup measurement (batched Conditional vs per-row scalar path)
+# --------------------------------------------------------------------------- #
+#: Benchmark used by the query-API measurement: the suite network with the
+#: widest gap between the per-row reference walk and the batched tape.
+QUERY_BENCHMARK = "Netflix"
+
+
+def measure_query_speedup(
+    benchmark: str = QUERY_BENCHMARK,
+    n_rows: int = 256,
+    n_scalar_rows: int = 48,
+    repeats: int = 5,
+    seed: int = 21,
+) -> Dict[str, float]:
+    """Time a batched ``Conditional`` against the per-row scalar path.
+
+    Conditionals are the newly-batchable workload of the typed query API:
+    one :class:`~repro.api.queries.Conditional` batch is planned as exactly
+    **two** log-domain tape passes (joint and evidence, subtracted),
+    regardless of the row count, while the scalar path pays two *per-row*
+    network evaluations — plus construction and dispatch — per answer.
+
+    Draws ``n_rows`` random evidence rows on the benchmark (one queried
+    variable per row, the rest partially observed) and measures three ways
+    of answering the same conditionals:
+
+    * ``t_scalar_reference`` — the per-row scalar path as it existed before
+      the typed API (and still exists as ``engine="python"``): one
+      single-row query at a time, each executing two log-domain *reference
+      walks* of the network.  Conditionals could not reach the batched
+      engines at all before this API — this is the honest "what a caller
+      previously paid per answer" baseline (measured on
+      ``n_scalar_rows`` rows, best of 3 loops; it dominates the runtime).
+    * ``t_scalar_session`` — the deprecated scalar wrapper
+      (:func:`repro.spn.queries.conditional`), now itself a single-row
+      vectorized session per call.
+    * ``t_batched`` — one batched ``session.run(Conditional(...))`` over
+      all ``n_rows`` rows (best of ``repeats``).
+
+    The batched result is asserted **bit-identical** to the per-row
+    vectorized path (the tape kernels are elementwise across rows, and the
+    scalar wrapper *is* a single-row session) and ``allclose`` to the
+    reference walk.  Returns a flat dict — timings, derived speedups, the
+    plan's evaluation count — ready for the ``query_api`` section of
+    ``BENCH_sweeps.json``.  The headline ``speedup_batched_vs_scalar``
+    compares against the reference per-row path.
+    """
+    import warnings
+
+    import numpy as np
+
+    from ..api import Conditional, InferenceSession
+    from ..spn.generate import random_evidence
+    from ..spn.queries import conditional
+    from ..suite.registry import build_benchmark
+
+    spn = build_benchmark(benchmark)
+    session = InferenceSession(benchmark, warm=True)
+    reference_session = InferenceSession(benchmark, engine="python")
+    n_vars = session.n_vars
+    rng = np.random.default_rng(seed)
+    evidence = random_evidence(n_vars, observed_fraction=0.5, seed=seed, n_samples=n_rows)
+    query = np.full_like(evidence, -1)
+    queried = rng.integers(0, n_vars, size=n_rows)
+    evidence[np.arange(n_rows), queried] = -1  # the queried var is never evidence
+    query[np.arange(n_rows), queried] = rng.integers(0, 2, size=n_rows)
+
+    batch = Conditional(evidence=evidence, query=query)
+    plan = session.plan(batch)
+
+    before = session.evaluations
+    start = time.perf_counter()
+    batched = session.run(batch)
+    t_batched = time.perf_counter() - start
+    passes = session.evaluations - before
+    for _ in range(max(0, repeats - 1)):
+        start = time.perf_counter()
+        again = session.run(batch)
+        t_batched = min(t_batched, time.perf_counter() - start)
+        if not np.array_equal(again, batched):  # pragma: no cover - determinism guard
+            raise AssertionError("batched conditional is not deterministic")
+
+    # Per-row reference path: one single-row query per answer, two log
+    # reference walks each (best of 3 loops over the measured prefix).
+    n_scalar = min(n_scalar_rows, n_rows)
+    singles = [
+        Conditional(evidence=evidence[i], query=query[i]) for i in range(n_scalar)
+    ]
+    t_scalar_reference = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        reference = np.array([reference_session.run(q)[0] for q in singles])
+        t_scalar_reference = min(t_scalar_reference, time.perf_counter() - start)
+    t_scalar_reference /= n_scalar
+
+    # Deprecated scalar wrapper (single-row vectorized sessions), per row —
+    # best of 3 loops, symmetric with the reference-path timing above.
+    t_scalar_session = float("inf")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for _ in range(3):
+            start = time.perf_counter()
+            wrapper = np.array(
+                [
+                    conditional(
+                        spn,
+                        {int(queried[i]): int(query[i, queried[i]])},
+                        {int(v): int(evidence[i, v]) for v in range(n_vars) if evidence[i, v] >= 0},
+                    )
+                    for i in range(n_scalar)
+                ]
+            )
+            t_scalar_session = min(t_scalar_session, time.perf_counter() - start)
+    t_scalar_session /= n_scalar
+
+    if not np.array_equal(batched[:n_scalar], wrapper):
+        raise AssertionError(
+            "batched Conditional disagrees with the per-row scalar wrapper"
+        )
+    if not np.allclose(batched[:n_scalar], reference, rtol=1e-9, atol=0.0):
+        raise AssertionError(
+            "batched Conditional disagrees with the per-row reference walk"
+        )
+
+    t_batched_per_row = t_batched / n_rows
+    return {
+        "benchmark": benchmark,
+        "n_rows": int(n_rows),
+        "n_vars": int(n_vars),
+        "tape_passes_per_batch": int(passes),
+        "planned_passes": int(plan.n_evaluations),
+        "t_scalar_reference_per_row_s": t_scalar_reference,
+        "t_scalar_session_per_row_s": t_scalar_session,
+        "t_batched_s": t_batched,
+        "throughput_scalar_reference_rps": 1.0 / t_scalar_reference,
+        "throughput_scalar_session_rps": 1.0 / t_scalar_session,
+        "throughput_batched_rps": n_rows / t_batched,
+        "speedup_batched_vs_scalar": t_scalar_reference / t_batched_per_row,
+        "speedup_batched_vs_scalar_session": t_scalar_session / t_batched_per_row,
+        "bit_identical": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # BENCH_sweeps.json emission
 # --------------------------------------------------------------------------- #
 def _read_bench_json(path: Path) -> Dict[str, object]:
@@ -810,7 +956,7 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=cache_dir,
     )
     print(render_sweeps(results, args.benchmark))
-    speedup = simulator_speedup = None
+    speedup = simulator_speedup = query_speedup = None
     if not args.skip_speedup:
         speedup = measure_engine_speedup()
         print(
@@ -824,6 +970,14 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
             f"{simulator_speedup['speedup_fast_vs_strict']:.1f}x strict mode "
             f"({simulator_speedup['n_instructions']} instructions)"
         )
+        query_speedup = measure_query_speedup()
+        print(
+            f"query-API speedup: one batched Conditional "
+            f"({query_speedup['tape_passes_per_batch']} tape passes, "
+            f"{query_speedup['n_rows']} rows) is "
+            f"{query_speedup['speedup_batched_vs_scalar']:.1f}x the per-row "
+            f"scalar path"
+        )
     if args.json is not None:
         write_bench_json(
             results,
@@ -835,6 +989,8 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
             # rows from an already-merged artifact.
             merge_sweeps=args.platforms is not None,
         )
+        if query_speedup is not None:
+            update_bench_json(args.json, query_api=query_speedup)
         print(f"wrote {args.json}")
     return 0
 

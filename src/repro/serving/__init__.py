@@ -3,27 +3,36 @@
 The engines in this repository (the compiled NumPy tape above all) are
 batch-oriented: evaluating 64 evidence rows costs barely more than
 evaluating one.  This package turns that batch advantage into a *service*:
-an :class:`InferenceServer` accepts individual likelihood / log-likelihood /
-MPE queries, coalesces them into micro-batches under a max-batch-size /
-max-wait policy (:class:`BatchingPolicy`), executes each batch through the
-same engine entry points a direct caller would use — responses are
-bit-identical to offline :func:`repro.spn.evaluate.evaluate_batch` calls —
-and reports latency/throughput/occupancy telemetry (:class:`ServingMetrics`).
+an :class:`InferenceServer` accepts individual **typed queries** — all five
+kinds of :mod:`repro.api` (likelihood, log-likelihood, marginal,
+conditional, MPE), as objects or serialized payloads — coalesces them into
+micro-batches under a max-batch-size / max-wait policy
+(:class:`BatchingPolicy`), executes each group through the same
+:meth:`repro.api.InferenceSession.run` a direct caller would use —
+responses are bit-identical to offline session execution — and reports
+latency/throughput/occupancy telemetry (:class:`ServingMetrics`).
 
 Quick tour::
 
+    from repro.api import Conditional
     from repro.serving import InferenceClient, InferenceServer
 
     with InferenceServer(models=["Audio"]) as server:
         client = InferenceClient(server, model="Audio")
         score = client.log_likelihood({3: 1, 7: 0})
+        prob = client.conditional({5: 1}, {3: 1})      # P(X5=1 | X3=1)
+        batch = client.submit(Conditional(query=q_rows, evidence=e_rows))
 
-See ``docs/serving.md`` for the batching policy and its trade-off knobs,
-``examples/sensor_health_monitoring.py`` for a streaming deployment, and
-``benchmarks/test_bench_serving.py`` for the measured batching speedup
+Query kinds are the shared :class:`repro.api.QueryKind` enum (``str``
+members, so the historical ``"likelihood"``-style strings keep working;
+unknown kinds fail at admission).  See ``docs/queries.md`` for the query
+taxonomy, ``docs/serving.md`` for the batching policy and its trade-off
+knobs, ``examples/sensor_health_monitoring.py`` for a streaming deployment,
+and ``benchmarks/test_bench_serving.py`` for the measured batching speedup
 (the ``serving`` section of ``BENCH_sweeps.json``).
 """
 
+from ..api.queries import QueryKind
 from .client import AsyncInferenceClient, InferenceClient, ModelRouter
 from .metrics import ServingMetrics
 from .queue import (
@@ -34,8 +43,10 @@ from .queue import (
     WorkItem,
 )
 from .server import (
+    KIND_CONDITIONAL,
     KIND_LIKELIHOOD,
     KIND_LOG_LIKELIHOOD,
+    KIND_MARGINAL,
     KIND_MPE,
     QUERY_KINDS,
     InferenceServer,
@@ -54,8 +65,11 @@ __all__ = [
     "QueueClosedError",
     "QueueFullError",
     "WorkItem",
+    "QueryKind",
     "KIND_LIKELIHOOD",
     "KIND_LOG_LIKELIHOOD",
+    "KIND_MARGINAL",
+    "KIND_CONDITIONAL",
     "KIND_MPE",
     "QUERY_KINDS",
     "InferenceServer",

@@ -2,15 +2,20 @@
 
 Three layers, each a thin veneer over :meth:`InferenceServer.submit`:
 
-* :class:`InferenceClient` — synchronous per-query calls
-  (``log_likelihood(reading)`` returns the float, ``mpe(partial)`` the
-  completion).  Scalar in, scalar out; the batching happens server-side.
+* :class:`InferenceClient` — synchronous per-query calls.  The verbs cover
+  all five typed kinds (``likelihood`` / ``log_likelihood`` / ``marginal``
+  / ``conditional`` / ``mpe``); scalar in, scalar out, with the batching
+  happening server-side.  ``submit`` also accepts a typed
+  :class:`repro.api.Query` object or its serialized payload directly.
 * :class:`AsyncInferenceClient` — the same surface as coroutines, for
   ``asyncio`` applications.  Thousands of concurrent ``await`` s naturally
   fill the server's micro-batches (see ``examples/sensor_health_monitoring.py``).
 * :class:`ModelRouter` — multi-model routing keyed by suite registry name:
   maps each model name to the server hosting it, so a deployment can shard
   models across servers while clients keep a single entry point.
+
+Kinds are :class:`repro.api.QueryKind` values (``str``-enum members — the
+historical raw strings still work, but unknown kinds fail at construction).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from ..api.queries import Conditional, Marginal, Query, QueryKind
 from .queue import BatchingPolicy
 from .server import (
     KIND_LIKELIHOOD,
@@ -32,7 +38,7 @@ from .server import (
 
 __all__ = ["AsyncInferenceClient", "InferenceClient", "ModelRouter"]
 
-Evidence = Union[Mapping[int, int], Sequence, np.ndarray]
+Evidence = Union[Query, Mapping[int, int], Sequence, np.ndarray]
 
 
 class InferenceClient:
@@ -51,12 +57,18 @@ class InferenceClient:
     def submit(
         self,
         evidence: Evidence,
-        kind: str = KIND_LOG_LIKELIHOOD,
+        kind: Union[str, QueryKind, None] = None,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
     ) -> Future:
         """Enqueue a query and return its future (the non-blocking primitive).
 
+        ``evidence`` may be a typed :class:`repro.api.Query` (or its
+        serialized payload), which carries its own kind — an explicitly
+        passed ``kind`` that disagrees with it is rejected at admission
+        (the named verbs rely on this: ``likelihood(LogLikelihood(...))``
+        raises instead of silently serving log-domain values).  For plain
+        evidence, ``kind=None`` defaults to ``log_likelihood``.
         ``timeout`` bounds the backpressure wait against a full admission
         queue (:class:`~repro.serving.queue.QueueFullError` on expiry) —
         the load-shedding knob under overload.
@@ -68,7 +80,7 @@ class InferenceClient:
     def query(
         self,
         evidence: Evidence,
-        kind: str = KIND_LOG_LIKELIHOOD,
+        kind: Union[str, QueryKind, None] = None,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
     ):
@@ -95,6 +107,43 @@ class InferenceClient:
             evidence, kind=KIND_LOG_LIKELIHOOD, model=model, timeout=timeout
         )
 
+    def marginal(
+        self,
+        evidence: Evidence,
+        log: bool = False,
+        normalize: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """(Log-)marginal probability of the evidence, optionally / Z."""
+        result = self.submit(
+            Marginal(evidence, log=log, normalize=normalize),
+            model=model,
+            timeout=timeout,
+        ).result()
+        return _unwrap(evidence, result)
+
+    def conditional(
+        self,
+        query: Evidence,
+        evidence: Evidence,
+        log: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Batched conditional P(query | evidence), served in the log domain.
+
+        Unwraps to a scalar only when *both* assignments are scalar-formed
+        (a mapping or a single row) — a 2-D batch on either side keeps the
+        vector shape.
+        """
+        result = self.submit(
+            Conditional(evidence=evidence, query=query, log=log),
+            model=model,
+            timeout=timeout,
+        ).result()
+        return result[0] if _is_scalar(query) and _is_scalar(evidence) else result
+
     def mpe(
         self,
         evidence: Evidence,
@@ -116,19 +165,22 @@ class AsyncInferenceClient:
     def __init__(self, server: InferenceServer, model: Optional[str] = None):
         self._sync = InferenceClient(server, model)
 
+    async def _submit(self, submit_fn, unwrap):
+        loop = asyncio.get_running_loop()
+        future = await loop.run_in_executor(None, submit_fn)
+        return unwrap(await asyncio.wrap_future(future))
+
     async def query(
         self,
         evidence: Evidence,
-        kind: str = KIND_LOG_LIKELIHOOD,
+        kind: Union[str, QueryKind, None] = None,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
     ):
-        loop = asyncio.get_running_loop()
-        future = await loop.run_in_executor(
-            None,
+        return await self._submit(
             lambda: self._sync.submit(evidence, kind=kind, model=model, timeout=timeout),
+            lambda result: _unwrap(evidence, result),
         )
-        return _unwrap(evidence, await asyncio.wrap_future(future))
 
     async def likelihood(
         self,
@@ -148,6 +200,41 @@ class AsyncInferenceClient:
     ):
         return await self.query(
             evidence, kind=KIND_LOG_LIKELIHOOD, model=model, timeout=timeout
+        )
+
+    async def marginal(
+        self,
+        evidence: Evidence,
+        log: bool = False,
+        normalize: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return await self._submit(
+            lambda: self._sync.submit(
+                Marginal(evidence, log=log, normalize=normalize),
+                model=model,
+                timeout=timeout,
+            ),
+            lambda result: _unwrap(evidence, result),
+        )
+
+    async def conditional(
+        self,
+        query: Evidence,
+        evidence: Evidence,
+        log: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        scalar = _is_scalar(query) and _is_scalar(evidence)
+        return await self._submit(
+            lambda: self._sync.submit(
+                Conditional(evidence=evidence, query=query, log=log),
+                model=model,
+                timeout=timeout,
+            ),
+            lambda result: result[0] if scalar else result,
         )
 
     async def mpe(
@@ -227,7 +314,7 @@ class ModelRouter:
         self,
         model: str,
         evidence: Evidence,
-        kind: str = KIND_LOG_LIKELIHOOD,
+        kind: Union[str, QueryKind, None] = None,
         timeout: Optional[float] = None,
     ):
         return self.client(model).query(evidence, kind=kind, timeout=timeout)
@@ -238,9 +325,20 @@ class ModelRouter:
             server.stop()
 
 
+def _is_scalar(evidence: Evidence) -> bool:
+    """True when an assignment is scalar-formed: a mapping or a single row."""
+    if isinstance(evidence, Query):
+        return False
+    if isinstance(evidence, Mapping):
+        return "kind" not in evidence  # payloads are batch-first
+    return np.asarray(evidence).ndim == 1
+
+
 def _unwrap(evidence: Evidence, result):
-    """Collapse a one-row result to its scalar when the query was scalar."""
-    single = isinstance(evidence, Mapping) or np.asarray(evidence).ndim == 1
-    if single:
-        return result[0]
-    return result
+    """Collapse a one-row result to its scalar when the query was scalar.
+
+    A mapping or a single evidence row is a scalar query; a typed
+    :class:`~repro.api.queries.Query` object, a serialized payload or a
+    2-D batch keeps its vector shape (the typed path is batch-first).
+    """
+    return result[0] if _is_scalar(evidence) else result

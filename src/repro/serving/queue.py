@@ -78,17 +78,21 @@ class BatchingPolicy:
 
 @dataclass
 class WorkItem:
-    """One evidence row awaiting execution.
+    """One query row awaiting execution.
 
-    ``request`` is the aggregate the row belongs to (see
-    :class:`repro.serving.server.PendingRequest`); ``index`` is the row's
-    position within that request, so multi-row requests reassemble their
-    result vector no matter how the rows were scattered across
-    micro-batches.
+    ``kind`` is the row's *group key* (:meth:`repro.api.Query.group_key`:
+    the query kind plus every execution flag) — workers coalesce only rows
+    with equal keys, so co-batching can never change a result.  ``row`` is
+    the row payload (an evidence row; a stacked ``(query, evidence)`` row
+    pair for conditionals).  ``request`` is the aggregate the row belongs
+    to (see :class:`repro.serving.server._PendingRequest`); ``index`` is
+    the row's position within that request, so multi-row requests
+    reassemble their result vector no matter how the rows were scattered
+    across micro-batches.
     """
 
     model: str
-    kind: str
+    kind: object
     row: object
     index: int
     request: object

@@ -1,29 +1,40 @@
-"""The inference server: request-level queries over batch-level engines.
+"""The inference server: typed queries over batch-level sessions.
 
 :class:`InferenceServer` owns a set of *served models* — suite benchmarks
 resolved by registry name (:mod:`repro.suite.registry`) or explicitly
-registered SPNs — each with its compiled tape pinned
-(:func:`repro.spn.compiled.cached_tape`), an admission queue
-(:class:`~repro.serving.queue.MicroBatchQueue`) and a pool of worker
-threads.  Clients submit individual evidence queries (likelihood,
-log-likelihood or MPE); workers pull micro-batches off the queue, group the
-rows by ``(model, kind)`` and execute each group through the **same**
-functions a direct caller would use (:func:`repro.spn.evaluate.evaluate_batch`
-and friends), so a served answer is bit-identical to an offline one — the
-batch kernels are elementwise across rows, making every row's value
-independent of its co-batched company.  The tests cross-check this exactly.
+registered SPNs — each bound to an
+:class:`~repro.api.session.InferenceSession` with its compiled tape pinned,
+an admission queue (:class:`~repro.serving.queue.MicroBatchQueue`) and a
+pool of worker threads.  Clients submit **typed query objects**
+(:mod:`repro.api.queries` — all five kinds: likelihood, log-likelihood,
+marginal, conditional, MPE) or their serialized payloads; workers pull
+micro-batches off the queue, group the rows by ``(model, query group
+key)`` — the group key carries the kind *and* every execution flag, so
+coalescing can never merge rows that execute differently — rebuild one
+batched query per group and execute it through the **same**
+:meth:`InferenceSession.run` a direct caller would use.  A served answer is
+therefore bit-identical to an offline one: the tape kernels are elementwise
+across rows, making every row's value independent of its co-batched
+company.  The tests cross-check this exactly, for conditionals included.
 
 Lifecycle::
+
+    from repro.api import Conditional
 
     with InferenceServer(models=["Audio", "CPU"]) as server:
         future = server.submit("Audio", {3: 1, 7: 0}, kind="log_likelihood")
         value = future.result()
+        cond = server.submit("Audio", Conditional(query={5: 1}, evidence={3: 1}))
 
 ``submit`` returns a :class:`concurrent.futures.Future` (awaitable from
 ``asyncio`` via the async client in :mod:`repro.serving.client`).  Exiting
 the context manager — or calling :meth:`InferenceServer.stop` — closes
 admission and **drains**: every request admitted before the close still
 completes with its correct value.
+
+Query kinds are :class:`repro.api.QueryKind` values (a ``str`` enum, so the
+historical raw strings still compare equal); an unknown kind string fails
+at admission (:func:`repro.api.as_kind`), never inside the worker pool.
 """
 
 from __future__ import annotations
@@ -36,17 +47,10 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from ..spn.compiled import CompiledTape, cached_tape, resolve_engine
-from ..spn.evaluate import (
-    MARGINALIZED,
-    as_evidence_array,
-    evaluate_batch,
-    evaluate_log_batch,
-    row_evidence,
-)
+from ..api.queries import Conditional, Query, QueryKind, as_kind, query_type
+from ..api.session import InferenceSession
+from ..spn.compiled import resolve_engine
 from ..spn.graph import SPN
-from ..spn.nodes import IndicatorLeaf
-from ..spn.queries import most_probable_explanation
 from .metrics import ServingMetrics
 from .queue import (
     BatchingPolicy,
@@ -59,6 +63,8 @@ from .queue import (
 __all__ = [
     "KIND_LIKELIHOOD",
     "KIND_LOG_LIKELIHOOD",
+    "KIND_MARGINAL",
+    "KIND_CONDITIONAL",
     "KIND_MPE",
     "QUERY_KINDS",
     "InferenceServer",
@@ -67,13 +73,17 @@ __all__ = [
     "UnknownModelError",
 ]
 
-#: The three query kinds a server answers.  ``likelihood`` and
-#: ``log_likelihood`` batch through the compiled tape; ``mpe`` runs the
-#: exact per-row MPE query (itself backed by the vectorized engine).
-KIND_LIKELIHOOD = "likelihood"
-KIND_LOG_LIKELIHOOD = "log_likelihood"
-KIND_MPE = "mpe"
-QUERY_KINDS = (KIND_LIKELIHOOD, KIND_LOG_LIKELIHOOD, KIND_MPE)
+#: The query kinds a server answers — the shared :class:`repro.api.QueryKind`
+#: vocabulary (``str``-valued enum members, so they compare equal to the
+#: historical raw strings).  The value kinds batch through the compiled
+#: tape; ``mpe`` runs the exact per-row MPE engine (itself backed by the
+#: vectorized log-domain tape).
+KIND_LIKELIHOOD = QueryKind.LIKELIHOOD
+KIND_LOG_LIKELIHOOD = QueryKind.LOG_LIKELIHOOD
+KIND_MARGINAL = QueryKind.MARGINAL
+KIND_CONDITIONAL = QueryKind.CONDITIONAL
+KIND_MPE = QueryKind.MPE
+QUERY_KINDS = tuple(QueryKind)
 
 
 class UnknownModelError(ValueError):
@@ -86,26 +96,42 @@ class ServerClosedError(RuntimeError):
 
 @dataclass(frozen=True)
 class ServedModel:
-    """One hosted model: its SPN, evidence width and pinned compiled tape.
+    """One hosted model: its name and its bound inference session.
 
-    ``n_vars`` is the model's evidence width: submitted rows are normalized
-    to exactly this many columns (shorter rows are padded with
-    :data:`~repro.spn.evaluate.MARGINALIZED`, longer rows are truncated —
-    exact in both directions, since no indicator reads a column the model
-    does not have).  ``tape`` pins the compiled tape so the per-object
-    cache can never evict it while the model is served.
+    ``session`` is the model's :class:`~repro.api.session.InferenceSession`
+    — the exact object an offline caller would use, so serving cannot drift
+    from direct execution; the SPN, evidence width and pinned tape are the
+    session's (exposed as read-through properties).  ``n_vars`` is the
+    model's evidence width: submitted rows are normalized to exactly this
+    many columns (shorter rows are padded with
+    :data:`~repro.spn.evaluate.MARGINALIZED`; unobserved surplus columns
+    are trimmed exactly, observed ones are rejected at admission).  The
+    session's pinned ``tape`` (compiled at registration under the warm
+    default) can never be evicted while the model is served.
     """
 
     name: str
-    spn: SPN
-    n_vars: int
-    tape: Optional[CompiledTape] = field(repr=False, default=None)
+    session: InferenceSession = field(repr=False)
+
+    @property
+    def spn(self) -> SPN:
+        return self.session.spn
+
+    @property
+    def n_vars(self) -> int:
+        return self.session.n_vars
+
+    @property
+    def tape(self):
+        return self.session.tape
 
 
 class _PendingRequest:
     """Aggregates the row-level results of one submitted request."""
 
-    def __init__(self, model: str, kind: str, n_rows: int, metrics: ServingMetrics):
+    def __init__(
+        self, model: str, kind: QueryKind, n_rows: int, metrics: ServingMetrics
+    ):
         self.model = model
         self.kind = kind
         self.future: Future = Future()
@@ -237,21 +263,10 @@ class InferenceServer:
         """Host ``spn`` under ``name``; a bare suite name resolves itself."""
         if name in self._models:
             raise ValueError(f"model {name!r} is already hosted")
-        if spn is None:
-            from ..suite.registry import benchmark_n_vars, build_benchmark
-
-            spn = build_benchmark(name)
-            n_vars = benchmark_n_vars(name)
-        else:
-            n_vars = (
-                max(
-                    (n.var for n in spn.nodes() if isinstance(n, IndicatorLeaf)),
-                    default=-1,
-                )
-                + 1
-            )
-        tape = cached_tape(spn) if self._warm and self.engine == "vectorized" else None
-        served = ServedModel(name=name, spn=spn, n_vars=n_vars, tape=tape)
+        session = InferenceSession(
+            spn if spn is not None else name, engine=self.engine, warm=self._warm
+        )
+        served = ServedModel(name=name, session=session)
         self._models[name] = served
         return served
 
@@ -314,31 +329,45 @@ class InferenceServer:
     def submit(
         self,
         model: str,
-        evidence: Union[Mapping[int, int], Sequence, np.ndarray],
-        kind: str = KIND_LOG_LIKELIHOOD,
+        evidence: Union[Query, Mapping, Sequence, np.ndarray],
+        kind: Union[str, QueryKind, None] = None,
         timeout: Optional[float] = None,
     ) -> Future:
         """Enqueue one query and return its :class:`~concurrent.futures.Future`.
 
-        ``evidence`` is a ``{var: value}`` mapping, a single evidence row,
-        or a 2-D array of rows (the :data:`~repro.spn.evaluate.MARGINALIZED`
-        convention; float arrays are validated and coerced by
-        :func:`~repro.spn.evaluate.as_evidence_array`).  The future resolves
-        to a ``(n_rows,)`` float vector for the likelihood kinds or a list
-        of ``{var: value}`` completions for ``mpe``.  ``timeout`` bounds the
-        backpressure wait when the queue is full
+        ``evidence`` is any of:
+
+        * a **typed query object** (:mod:`repro.api.queries`) — the primary
+          path, and the only way to submit conditionals; the object
+          carries its kind, and an explicitly passed ``kind`` that
+          disagrees with it is rejected (it would otherwise silently
+          serve values of the wrong kind);
+        * a **serialized query payload** (:func:`repro.api.serialize_query`
+          output — recognized by its ``"kind"`` discriminator), which is
+          deserialized and validated at admission, with the same
+          mismatch check;
+        * plain evidence — a ``{var: value}`` mapping, a single evidence
+          row, or a 2-D array of rows (the
+          :data:`~repro.spn.evaluate.MARGINALIZED` convention; float arrays
+          are validated and coerced by
+          :func:`~repro.spn.evaluate.as_evidence_array`) — paired with
+          ``kind`` (default ``log_likelihood``), which is validated
+          through :class:`repro.api.QueryKind` here, at construction time.
+
+        The future resolves to a ``(n_rows,)`` float vector for the value
+        kinds or a list of ``{var: value}`` completions for ``mpe``.
+        ``timeout`` bounds the backpressure wait when the queue is full
         (:class:`~repro.serving.queue.QueueFullError`).
         """
-        if kind not in QUERY_KINDS:
-            known = ", ".join(repr(k) for k in QUERY_KINDS)
-            raise ValueError(f"unknown query kind {kind!r}; expected one of {known}")
         served = self.model(model)
+        query = self._as_query(served, evidence, kind)
         if not self.running:
             raise ServerClosedError("server is not running; call start() first")
-        rows = self._encode(served, evidence)
-        request = _PendingRequest(model, kind, len(rows), self.metrics)
+        rows = query.split_rows()
+        key = query.group_key()
+        request = _PendingRequest(model, query.kind, len(rows), self.metrics)
         items = [
-            WorkItem(model=model, kind=kind, row=rows[i], index=i, request=request)
+            WorkItem(model=model, kind=key, row=rows[i], index=i, request=request)
             for i in range(len(rows))
         ]
         try:
@@ -352,45 +381,89 @@ class InferenceServer:
             raise
         return request.future
 
-    def query(self, model, evidence, kind=KIND_LOG_LIKELIHOOD, timeout=None):
+    def query(self, model, evidence, kind=None, timeout=None):
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(model, evidence, kind=kind, timeout=timeout).result()
 
+    # ------------------------------------------------------------------ #
+    # Query construction (everything becomes a typed query at admission)
+    # ------------------------------------------------------------------ #
+    def _as_query(self, served: ServedModel, evidence, kind) -> Query:
+        """Coerce any accepted submission form to a width-normalized query.
+
+        Typed queries pass through (re-encoded to the model's evidence
+        width); payload dicts (string-keyed, carrying a ``"kind"``
+        discriminator) deserialize; plain evidence pairs with ``kind``,
+        which :func:`repro.api.as_kind` validates here — an unknown kind
+        never reaches the worker pool.
+        """
+        if isinstance(evidence, Mapping) and "kind" in evidence:
+            from ..api.queries import deserialize_query
+
+            evidence = deserialize_query(evidence)
+        if isinstance(evidence, Query):
+            if kind is not None and as_kind(kind) != evidence.kind:
+                raise ValueError(
+                    f"kind {as_kind(kind).value!r} disagrees with the submitted "
+                    f"{evidence.kind.value!r} query object"
+                )
+            return self._normalize_query(served, evidence)
+        query_kind = as_kind(kind if kind is not None else KIND_LOG_LIKELIHOOD)
+        if query_kind == QueryKind.CONDITIONAL:
+            raise ValueError(
+                "conditional queries carry two assignments; submit a typed "
+                "repro.api.Conditional object (or its payload) instead of "
+                "plain evidence with kind='conditional'"
+            )
+        return query_type(query_kind)(evidence=self._encode(served, evidence))
+
+    def _normalize_query(self, served: ServedModel, query: Query) -> Query:
+        """Re-encode a typed query's arrays to the model's evidence width."""
+        if isinstance(query, Conditional):
+            return Conditional(
+                evidence=self._encode(served, query.evidence),
+                query=self._encode(served, query.query),
+                **query.params(),
+            )
+        return type(query)(
+            evidence=self._encode(served, query.evidence), **query.params()
+        )
+
     @staticmethod
     def _encode(served: ServedModel, evidence) -> np.ndarray:
-        """Normalize any accepted evidence form to a ``(k, n_vars)`` array."""
+        """Normalize any accepted evidence form to a ``(k, n_vars)`` array.
+
+        The mechanics — mapping layout, dtype validation, sentinel padding
+        — are the session's
+        (:meth:`repro.api.session.InferenceSession.encode`, one definition
+        for every caller).  The serving layer adds its fixed-width
+        admission policy on top, applied uniformly to every submission
+        form (mappings, rows, batches, typed queries):
+
+        * an **observed** variable outside the model's width is rejected —
+          trimming it away would silently change the query the caller
+          thinks they issued (unobserved surplus columns trim exactly:
+          no indicator reads them, and MPE completions never contained
+          them), which also keeps every served answer identical to
+          offline ``session.run`` on the same admitted rows;
+        * queued rows never alias a caller buffer that may be reused
+          before the batch window closes.
+        """
+        wide = served.session.encode(evidence)
         n_vars = max(served.n_vars, 1)
-        if isinstance(evidence, Mapping):
-            row = np.full((1, n_vars), MARGINALIZED, dtype=np.int64)
-            if not evidence:
-                return row
-            # One definition of the coercion rules: keys and values go
-            # through the same validator as array evidence (integral floats
-            # coerce exactly; fractional/NaN/out-of-int64 entries raise).
-            variables = as_evidence_array(np.asarray(list(evidence.keys())))
-            values = as_evidence_array(np.asarray(list(evidence.values())))
-            out_of_range = (variables < 0) | (variables >= n_vars)
-            if out_of_range.any():
+        if wide.shape[1] > n_vars:
+            surplus = wide[:, n_vars:]
+            observed = surplus >= 0
+            if observed.any():
+                var = n_vars + int(np.argwhere(observed.any(axis=0))[0, 0])
                 raise ValueError(
-                    f"evidence variable {variables[out_of_range][0]} out of range "
-                    f"for model {served.name!r} with {served.n_vars} variables"
+                    f"evidence variable {var} out of range for model "
+                    f"{served.name!r} with {served.n_vars} variables"
                 )
-            row[0, variables] = values
-            return row
-        rows = as_evidence_array(evidence)
-        if rows.ndim == 1:
-            rows = rows[None, :]
-        if rows.ndim != 2:
-            raise ValueError(f"expected a mapping, row or 2-D batch, got shape {rows.shape}")
-        if rows.shape[1] >= n_vars:
-            # Columns >= n_vars are never read by any indicator: exact trim.
-            # Always a fresh copy — the rows sit in the queue until the
-            # batch window closes, and must not alias a caller buffer that
-            # may be reused for the next reading meanwhile.
-            return rows[:, :n_vars].astype(np.int64, copy=True)
-        padded = np.full((rows.shape[0], n_vars), MARGINALIZED, dtype=np.int64)
-        padded[:, : rows.shape[1]] = rows
-        return padded
+            return wide[:, :n_vars].copy()
+        if isinstance(evidence, np.ndarray) and np.shares_memory(wide, evidence):
+            return wide.copy()
+        return wide
 
     # ------------------------------------------------------------------ #
     # Execution (worker side)
@@ -406,7 +479,7 @@ class InferenceServer:
                         ServerClosedError("server stopped without draining")
                     )
                 continue
-            groups: Dict[Tuple[str, str], List[WorkItem]] = {}
+            groups: Dict[Tuple[str, tuple], List[WorkItem]] = {}
             for item in batch:
                 # Rows whose request already failed (admission timeout) or
                 # was cancelled would compute and count for nobody.
@@ -430,20 +503,21 @@ class InferenceServer:
                 for item, value in zip(items, values):
                     item.request.deliver(item.index, value)
 
-    def _execute(self, model: str, kind: str, items: Sequence[WorkItem]) -> List[object]:
-        """Run one ``(model, kind)`` group through the shared engine path.
+    def _execute(
+        self, model: str, key: tuple, items: Sequence[WorkItem]
+    ) -> List[object]:
+        """Run one ``(model, group key)`` group through the shared session.
 
-        This is the bit-identical contract: the likelihood kinds call the
-        very same :func:`evaluate_batch` / :func:`evaluate_log_batch` a
-        direct caller uses (same cached tape, elementwise kernels), so a
-        row's value does not depend on which micro-batch it landed in.
+        The group key is :meth:`repro.api.Query.group_key` — the kind plus
+        every execution parameter — so the rows of a group can always be
+        rebuilt into **one batched query** of that kind and executed by the
+        model's :class:`~repro.api.session.InferenceSession`.  This is the
+        bit-identical contract: a served row runs through the very same
+        ``session.run`` (same cached tape, elementwise kernels) a direct
+        caller uses, so its value does not depend on which micro-batch it
+        landed in — for conditionals exactly as for likelihoods.
         """
         served = self.model(model)
-        rows = np.stack([item.row for item in items])
-        if kind == KIND_LIKELIHOOD:
-            return list(evaluate_batch(served.spn, rows, engine=self.engine))
-        if kind == KIND_LOG_LIKELIHOOD:
-            return list(evaluate_log_batch(served.spn, rows, engine=self.engine))
-        return [
-            most_probable_explanation(served.spn, row_evidence(row)) for row in rows
-        ]
+        kind, params = key[0], dict(key[1:])
+        batch = query_type(kind).join_rows([item.row for item in items], **params)
+        return list(served.session.run(batch))

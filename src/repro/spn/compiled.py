@@ -177,6 +177,11 @@ class CompiledTape:
         self._ind_values = np.array([s.value for s in ind], dtype=np.int64)
         self._const_slots = np.array([s.index for s in const], dtype=np.intp)
         self._const_probs = np.array([s.prob for s in const], dtype=np.float64)
+        # Log-domain passes fill the input block directly: indicator inputs
+        # are only ever 1.0/0.0 (log 0.0/-inf, no transcendental needed) and
+        # the constants' logs are precomputed here, once per tape.
+        with np.errstate(divide="ignore"):
+            self._const_log_probs = np.log(self._const_probs)
         # Contiguous operand ranges execute as copy-free slice views.
         self._arg0_views = [_as_slice(k.arg0) for k in self.kernels]
         self._arg1_views = [_as_slice(k.arg1) for k in self.kernels]
@@ -207,7 +212,12 @@ class CompiledTape:
     # ------------------------------------------------------------------ #
     # Input encoding
     # ------------------------------------------------------------------ #
-    def input_matrix(self, data: np.ndarray) -> np.ndarray:
+    def input_matrix(
+        self,
+        data: np.ndarray,
+        log_domain: bool = False,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Encode an evidence batch as the ``(n_inputs, n_rows)`` input block.
 
         ``data`` is an integer array of shape ``(n_rows, n_vars)`` using the
@@ -217,25 +227,38 @@ class CompiledTape:
         mirroring :func:`repro.spn.evaluate.evaluate_batch`.  The dtype is
         validated by :func:`repro.spn.evaluate.as_evidence_array` (integral
         floats coerce exactly, fractional/NaN entries raise).
+
+        With ``log_domain`` the block holds log-values directly: indicator
+        hits/misses become ``0.0``/``-inf`` without a transcendental log
+        over the whole block, and constants use the tape's precomputed log
+        probabilities — a large share of a log pass's cost on wide batches.
+        ``out`` (shape ``(n_inputs, n_rows)``) receives the encoding in
+        place, letting :meth:`execute_slots` fill its slot matrix without an
+        intermediate block copy.
         """
         data = as_evidence_array(data)
         if data.ndim != 2:
             raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
         n_rows, n_cols = data.shape
-        block = np.empty((self.n_inputs, n_rows), dtype=np.float64)
+        hit_value, miss_value = (0.0, -np.inf) if log_domain else (1.0, 0.0)
+        block = (
+            out if out is not None else np.empty((self.n_inputs, n_rows), dtype=np.float64)
+        )
         if self._ind_slots.size:
             if n_cols == 0:
-                block[self._ind_slots] = 1.0
+                block[self._ind_slots] = hit_value
             else:
                 # Clip out-of-range variable indices to a valid column, then
-                # force those indicators to 1.0 (unobserved) with the mask.
+                # force those indicators to "hit" (unobserved) with the mask.
                 in_range = self._ind_vars < n_cols
                 cols = data[:, np.minimum(self._ind_vars, n_cols - 1)].T
                 hit = (cols < 0) | (cols == self._ind_values[:, None])
                 hit |= ~in_range[:, None]
-                block[self._ind_slots] = hit
+                block[self._ind_slots] = np.where(hit, hit_value, miss_value)
         if self._const_slots.size:
-            block[self._const_slots] = self._const_probs[:, None]
+            block[self._const_slots] = (
+                self._const_log_probs if log_domain else self._const_probs
+            )[:, None]
         return block
 
     # ------------------------------------------------------------------ #
@@ -247,13 +270,12 @@ class CompiledTape:
         Returns the full ``(n_slots, n_rows)`` value matrix (in tape slot
         order); :meth:`execute_batch` is the root-only convenience wrapper.
         """
-        block = self.input_matrix(data)
-        n_rows = block.shape[1]
+        data = as_evidence_array(data)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
+        n_rows = data.shape[0]
         slots = np.empty((self.n_slots, n_rows), dtype=np.float64)
-        slots[: self.n_inputs] = block
-        if log_domain:
-            with np.errstate(divide="ignore"):
-                np.log(slots[: self.n_inputs], out=slots[: self.n_inputs])
+        self.input_matrix(data, log_domain=log_domain, out=slots[: self.n_inputs])
         for kernel, view0, view1 in zip(self.kernels, self._arg0_views, self._arg1_views):
             # A contiguous operand range is a copy-free view; scattered
             # operands gather through fancy indexing.  Operands always live

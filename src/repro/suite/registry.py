@@ -54,6 +54,7 @@ __all__ = [
     "build_benchmark",
     "benchmark_operation_list",
     "benchmark_tape",
+    "benchmark_session",
     "benchmark_evaluate_batch",
     "suite_summary",
 ]
@@ -190,6 +191,24 @@ def benchmark_operation_list(name: str, decompose: str = "balanced") -> Operatio
 def benchmark_tape(name: str, decompose: str = "balanced") -> CompiledTape:
     """Compile (and cache) the benchmark operation list into a vectorized tape."""
     return compile_tape(benchmark_operation_list(name, decompose))
+
+
+def benchmark_session(name: str, engine: str = "vectorized"):
+    """A shared :class:`~repro.api.session.InferenceSession` for a benchmark.
+
+    The typed-query front door for suite models: every caller asking for the
+    same ``(name, engine)`` gets one session, so its caches (pinned tape,
+    partition function, operation list) are shared.  Experiments and the
+    scalar wrappers route through this.
+    """
+    return _benchmark_session(name, engine)
+
+
+@lru_cache(maxsize=None)
+def _benchmark_session(name: str, engine: str):
+    from ..api.session import InferenceSession
+
+    return InferenceSession(name, engine=engine)
 
 
 def benchmark_evaluate_batch(

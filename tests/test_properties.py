@@ -1,12 +1,24 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
+import json
 import math
+import warnings
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.metrics import geometric_mean, normalize, speedup
+from repro.api import (
+    MPE,
+    Conditional,
+    InferenceSession,
+    Likelihood,
+    LogLikelihood,
+    Marginal,
+    deserialize_query,
+    serialize_query,
+)
 from repro.baselines.gpu import GpuConfig, execute_gpu_kernel
 from repro.spn import io
 from repro.spn.evaluate import evaluate, evaluate_batch, evaluate_log, partition_function
@@ -159,6 +171,114 @@ class TestLoweringProperties:
                         assert (arg - ops.n_inputs) in seen
             seen.update(group)
         assert len(seen) == ops.n_operations
+
+
+# --------------------------------------------------------------------------- #
+# Typed query API: scalar wrappers == single-row sessions, exact round-trips
+# --------------------------------------------------------------------------- #
+def _partial_evidence(spn, seed, keep=0.6):
+    rng = np.random.default_rng(seed)
+    return {
+        v: int(rng.integers(0, 2))
+        for v in spn.variables()
+        if rng.random() < keep
+    }
+
+
+class TestQueryApiProperties:
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_scalar_marginal_equals_single_row_session_exactly(self, config, seed):
+        from repro.spn.queries import log_marginal, marginal
+
+        spn = generate_rat_spn(config)
+        session = InferenceSession(spn)
+        evidence = _partial_evidence(spn, seed)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert marginal(spn, evidence) == session.run(Marginal(dict(evidence)))[0]
+            assert (
+                log_marginal(spn, evidence)
+                == session.run(Marginal(dict(evidence), log=True))[0]
+            )
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_scalar_conditional_equals_single_row_session_exactly(self, config, seed):
+        from repro.spn.queries import conditional
+
+        spn = generate_rat_spn(config)
+        session = InferenceSession(spn)
+        evidence = _partial_evidence(spn, seed)
+        rng = np.random.default_rng(seed + 1)
+        var = spn.variables()[seed % len(spn.variables())]
+        evidence.pop(var, None)
+        query = {var: int(rng.integers(0, 2))}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            try:
+                scalar = conditional(spn, query, evidence)
+            except ZeroDivisionError:
+                value = session.run(
+                    Conditional(evidence=dict(evidence), query=dict(query))
+                )[0]
+                assert math.isnan(value)
+                return
+        assert (
+            scalar
+            == session.run(Conditional(evidence=dict(evidence), query=dict(query)))[0]
+        )
+
+    @_SETTINGS
+    @given(config=rat_configs, seed=st.integers(0, 1000))
+    def test_scalar_mpe_equals_single_row_session_exactly(self, config, seed):
+        spn = generate_rat_spn(config)
+        session = InferenceSession(spn)
+        evidence = _partial_evidence(spn, seed, keep=0.4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            scalar = most_probable_explanation(spn, evidence)
+        assert scalar == session.run(MPE(dict(evidence)))[0]
+
+    @_SETTINGS
+    @given(
+        config=rat_configs,
+        n_samples=st.integers(1, 6),
+        seed=st.integers(0, 1000),
+        kind=st.sampled_from(["likelihood", "log_likelihood", "marginal", "conditional", "mpe"]),
+    )
+    def test_served_query_objects_round_trip_bit_identically(
+        self, config, n_samples, seed, kind
+    ):
+        spn = generate_rat_spn(config)
+        session = InferenceSession(spn)
+        rows = random_evidence(
+            config.n_vars, n_samples=n_samples, observed_fraction=0.7, seed=seed
+        )
+        if kind == "likelihood":
+            query = Likelihood(rows)
+        elif kind == "log_likelihood":
+            query = LogLikelihood(rows)
+        elif kind == "marginal":
+            query = Marginal(rows, log=bool(seed % 2), normalize=bool(seed % 3))
+        elif kind == "conditional":
+            q = np.full_like(rows, -1)
+            evidence = np.array(rows, copy=True)
+            var = seed % config.n_vars
+            evidence[:, var] = -1
+            q[:, var] = 1
+            query = Conditional(evidence=evidence, query=q, log=bool(seed % 2))
+        else:
+            query = MPE(rows[:2], refine=bool(seed % 2))
+        restored = deserialize_query(json.loads(json.dumps(serialize_query(query))))
+        assert np.array_equal(restored.evidence, query.evidence)
+        assert restored.params() == query.params()
+        expected = session.run(query)
+        got = session.run(restored)
+        if kind == "mpe":
+            assert got == expected
+        else:
+            assert np.array_equal(got, expected)
 
 
 # --------------------------------------------------------------------------- #

@@ -21,10 +21,20 @@ from repro.serving import (
     UnknownModelError,
     WorkItem,
 )
+from repro.api import (
+    MPE,
+    Conditional,
+    InferenceSession,
+    Likelihood,
+    Marginal,
+    QueryKind,
+    deserialize_query,
+    serialize_query,
+)
 from repro.serving.server import KIND_LIKELIHOOD, KIND_LOG_LIKELIHOOD, KIND_MPE
 from repro.spn.evaluate import MARGINALIZED, evaluate_batch, evaluate_log_batch, row_evidence
 from repro.spn.generate import RatSpnConfig, generate_rat_spn, random_evidence
-from repro.spn.queries import most_probable_explanation
+from repro.spn.queries import mpe_row as most_probable_explanation
 from repro.suite.registry import build_benchmark, get_profile
 
 BENCHMARK = "Banknote"
@@ -213,12 +223,18 @@ class TestServerCorrectness:
 
     def test_short_and_long_rows_normalize_exactly(self, spn):
         short = np.array([1, 0], dtype=np.int64)  # missing vars marginalize
-        long = np.array([1, 0, -1, -1, 5, 7], dtype=np.int64)  # extra cols ignored
+        # Unobserved surplus columns trim exactly; *observed* ones are
+        # rejected at admission (trimming them would silently change the
+        # query, and served MPE completions would diverge from offline).
+        long = np.array([1, 0, -1, -1, MARGINALIZED, MARGINALIZED], dtype=np.int64)
+        observed_surplus = np.array([1, 0, -1, -1, 5, 7], dtype=np.int64)
         full = np.array([[1, 0, MARGINALIZED, MARGINALIZED]], dtype=np.int64)
         expected = evaluate_batch(spn, full, engine="vectorized")[0]
         with InferenceServer(models=[BENCHMARK]) as server:
             assert server.query(BENCHMARK, short, kind=KIND_LIKELIHOOD)[0] == expected
             assert server.query(BENCHMARK, long, kind=KIND_LIKELIHOOD)[0] == expected
+            with pytest.raises(ValueError, match="out of range"):
+                server.submit(BENCHMARK, observed_surplus, kind=KIND_LIKELIHOOD)
 
     def test_empty_batch_resolves_immediately(self, spn):
         # A zero-row request has nothing to execute; it must resolve to an
@@ -286,6 +302,236 @@ class TestServerCorrectness:
         with InferenceServer(models=[("custom", custom)]) as server:
             served = server.query("custom", data, kind=KIND_LIKELIHOOD)
         assert np.array_equal(served, evaluate_batch(custom, data, engine="vectorized"))
+
+
+# --------------------------------------------------------------------------- #
+# Server: typed queries (all five kinds servable, bit-identical to offline)
+# --------------------------------------------------------------------------- #
+class TestTypedQueryServing:
+    def conditional(self, rows, var=0, value=1):
+        evidence = np.array(rows, copy=True)
+        evidence[:, var] = MARGINALIZED
+        query = np.full_like(evidence, MARGINALIZED)
+        query[:, var] = value
+        return Conditional(evidence=evidence, query=query)
+
+    def test_served_conditional_bit_identical_to_offline_session(self, spn, rows):
+        cond = self.conditional(rows)
+        offline = InferenceSession(spn).run(cond)
+        with InferenceServer(models=[BENCHMARK]) as server:
+            served = server.submit(BENCHMARK, cond).result(timeout=30)
+        assert np.array_equal(served, offline)  # exact, not allclose
+
+    def test_served_marginal_bit_identical_to_offline_session(self, spn, rows):
+        query = Marginal(rows, log=True, normalize=True)
+        offline = InferenceSession(spn).run(query)
+        with InferenceServer(models=[BENCHMARK]) as server:
+            served = server.submit(BENCHMARK, query).result(timeout=30)
+        assert np.array_equal(served, offline)
+
+    def test_every_query_kind_served(self, spn, rows):
+        session = InferenceSession(spn)
+        queries = [
+            Likelihood(rows),
+            Marginal(rows, log=True),
+            self.conditional(rows),
+            MPE(rows[:3]),
+        ]
+        with InferenceServer(models=[BENCHMARK]) as server:
+            for query in queries:
+                served = server.submit(BENCHMARK, query).result(timeout=30)
+                offline = session.run(query)
+                if query.kind == QueryKind.MPE:
+                    assert served == offline
+                else:
+                    assert np.array_equal(served, offline)
+            # The legacy evidence+kind path still covers its three kinds.
+            legacy = server.query(BENCHMARK, rows, kind="log_likelihood")
+        assert np.array_equal(legacy, evaluate_log_batch(spn, rows, engine="vectorized"))
+
+    def test_conditional_rows_scatter_across_micro_batches(self, spn, rows):
+        # One conditional request larger than max_batch_size spans several
+        # micro-batches and still reassembles bit-identically.
+        cond = self.conditional(rows)
+        offline = InferenceSession(spn).run(cond)
+        policy = BatchingPolicy(max_batch_size=8, max_wait_s=0.001)
+        with InferenceServer(models=[BENCHMARK], policy=policy) as server:
+            served = server.submit(BENCHMARK, cond).result(timeout=30)
+            assert server.metrics.n_batches >= len(rows) // 8
+        assert np.array_equal(served, offline)
+
+    def test_co_batched_conditionals_from_many_clients_exact(self, spn, rows):
+        cond = self.conditional(rows)
+        offline = InferenceSession(spn).run(cond)
+        policy = BatchingPolicy(max_batch_size=64, max_wait_s=0.05)
+        with InferenceServer(models=[BENCHMARK], policy=policy) as server:
+            futures = [
+                server.submit(
+                    BENCHMARK,
+                    Conditional(evidence=cond.evidence[i], query=cond.query[i]),
+                )
+                for i in range(len(rows))
+            ]
+            served = np.array([f.result(timeout=30)[0] for f in futures])
+        assert np.array_equal(served, offline)
+
+    def test_marginal_flag_variants_never_co_execute(self, spn, rows):
+        # normalize=True and normalize=False rows must land in different
+        # execution groups (the group key carries the flags); both answers
+        # stay exact.
+        session = InferenceSession(spn)
+        policy = BatchingPolicy(max_batch_size=64, max_wait_s=0.05)
+        with InferenceServer(models=[BENCHMARK], policy=policy) as server:
+            plain = server.submit(BENCHMARK, Marginal(rows[:8], log=True))
+            normalized = server.submit(
+                BENCHMARK, Marginal(rows[:8], log=True, normalize=True)
+            )
+            got_plain = plain.result(timeout=30)
+            got_normalized = normalized.result(timeout=30)
+            assert server.metrics.snapshot()["batches"] == 2  # two groups
+        assert np.array_equal(got_plain, session.run(Marginal(rows[:8], log=True)))
+        assert np.array_equal(
+            got_normalized, session.run(Marginal(rows[:8], log=True, normalize=True))
+        )
+
+    def test_serialized_payload_submission_round_trips(self, spn, rows):
+        import json
+
+        cond = self.conditional(rows)
+        payload = json.loads(json.dumps(serialize_query(cond)))
+        offline = InferenceSession(spn).run(cond)
+        with InferenceServer(models=[BENCHMARK]) as server:
+            served = server.submit(BENCHMARK, payload).result(timeout=30)
+        assert np.array_equal(served, offline)
+        assert np.array_equal(
+            InferenceSession(spn).run(deserialize_query(payload)), offline
+        )
+
+    def test_empty_batch_payload_still_resolves_empty(self, rows):
+        # Regression: a zero-row query submitted as its serialized payload
+        # must resolve to an empty result, not a one-row marginalized one.
+        import json
+
+        empty = np.zeros((0, N_VARS), dtype=np.int64)
+        payload = json.loads(json.dumps(serialize_query(Likelihood(empty))))
+        with InferenceServer(models=[BENCHMARK]) as server:
+            direct = server.submit(BENCHMARK, Likelihood(empty)).result(timeout=5)
+            served = server.submit(BENCHMARK, payload).result(timeout=5)
+        assert direct.shape == (0,)
+        assert served.shape == (0,)
+
+    def test_kind_mismatch_with_typed_query_rejected(self, rows):
+        # A verb must not silently serve values of a different kind than
+        # its name: an explicit kind that disagrees with the submitted
+        # query object fails at admission.
+        from repro.api import LogLikelihood
+
+        with InferenceServer(models=[BENCHMARK]) as server:
+            client = InferenceClient(server, model=BENCHMARK)
+            with pytest.raises(ValueError, match="disagrees with"):
+                client.likelihood(LogLikelihood(rows[:2]))
+            with pytest.raises(ValueError, match="disagrees with"):
+                server.submit(BENCHMARK, Likelihood(rows[:2]), kind="mpe")
+            # No explicit kind: the object's own kind executes — through
+            # the blocking convenience wrapper too.
+            served = server.submit(BENCHMARK, LogLikelihood(rows[:2])).result(30)
+            blocking = server.query(BENCHMARK, LogLikelihood(rows[:2]))
+            via_query_verb = server.query(BENCHMARK, Likelihood(rows[:2]))
+            spn = build_benchmark(BENCHMARK)
+            assert np.array_equal(
+                served, evaluate_log_batch(spn, rows[:2], engine="vectorized")
+            )
+            assert np.array_equal(blocking, served)
+            assert np.array_equal(
+                via_query_verb, evaluate_batch(spn, rows[:2], engine="vectorized")
+            )
+
+    def test_plain_conditional_kind_requires_typed_object(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="typed"):
+                server.submit(BENCHMARK, {0: 1}, kind="conditional")
+
+    def test_typed_query_encoded_to_model_width(self, spn):
+        # A typed query narrower/wider than the model normalizes exactly;
+        # observed entries beyond the model's width are rejected on every
+        # submission form (typed queries included), not silently trimmed.
+        with InferenceServer(models=[BENCHMARK]) as server:
+            narrow = server.submit(BENCHMARK, Likelihood({0: 1})).result(timeout=30)
+            wide = server.submit(
+                BENCHMARK, Likelihood(np.array([[1, -1, -1, -1, -1, -1]]))
+            ).result(timeout=30)
+            with pytest.raises(ValueError, match="out of range"):
+                server.submit(BENCHMARK, Likelihood(np.array([[1, -1, -1, -1, 7, 9]])))
+            with pytest.raises(ValueError, match="out of range"):
+                server.submit(BENCHMARK, Marginal({N_VARS + 5: 1}))
+            with pytest.raises(ValueError, match="out of range"):
+                server.submit(
+                    BENCHMARK, Conditional(query={N_VARS + 5: 1}, evidence={0: 1})
+                )
+        row = np.full((1, N_VARS), MARGINALIZED, dtype=np.int64)
+        row[0, 0] = 1
+        expected = evaluate_batch(spn, row, engine="vectorized")[0]
+        assert narrow[0] == expected
+        assert wide[0] == expected
+
+    def test_served_mpe_matches_offline_for_wide_rows(self, spn):
+        # Admitted wide rows (unobserved surplus) must produce the very
+        # same MPE completions offline and served.
+        wide = np.full((2, N_VARS + 3), MARGINALIZED, dtype=np.int64)
+        wide[:, 0] = 1
+        query = MPE(wide)
+        offline = InferenceSession(spn).run(query)
+        with InferenceServer(models=[BENCHMARK]) as server:
+            served = server.submit(BENCHMARK, query).result(timeout=30)
+        assert served == offline
+
+    def test_conditional_verb_unwraps_symmetrically(self, spn):
+        # A 2-D batch on *either* side keeps the vector shape; scalar only
+        # when both assignments are scalar-formed.
+        evidence_row = np.array([[MARGINALIZED, 0, MARGINALIZED, MARGINALIZED]])
+        query_row = np.array([[1, MARGINALIZED, MARGINALIZED, MARGINALIZED]])
+        with InferenceServer(models=[BENCHMARK]) as server:
+            client = InferenceClient(server, model=BENCHMARK)
+            scalar = client.conditional({0: 1}, {1: 0})
+            from_2d_evidence = client.conditional({0: 1}, evidence_row)
+            from_2d_query = client.conditional(query_row, {1: 0})
+        assert isinstance(scalar, float)
+        assert from_2d_evidence.shape == (1,)
+        assert from_2d_query.shape == (1,)
+        assert from_2d_evidence[0] == scalar
+        assert from_2d_query[0] == scalar
+
+    def test_client_verbs_for_marginal_and_conditional(self, spn):
+        session = InferenceSession(spn)
+        with InferenceServer(models=[BENCHMARK]) as server:
+            client = InferenceClient(server, model=BENCHMARK)
+            prob = client.conditional({0: 1}, {1: 0})
+            assert prob == session.run(Conditional(evidence={1: 0}, query={0: 1}))[0]
+            log_marg = client.marginal({0: 1}, log=True, normalize=True)
+            assert (
+                log_marg
+                == session.run(Marginal({0: 1}, log=True, normalize=True))[0]
+            )
+
+    def test_async_client_conditional_verb(self, spn, rows):
+        session = InferenceSession(spn)
+        cond = self.conditional(rows[:8])
+
+        async def run():
+            server = InferenceServer(models=[BENCHMARK]).start()
+            client = AsyncInferenceClient(server, model=BENCHMARK)
+            values = await client.conditional(cond.query, cond.evidence)
+            server.stop()
+            return values
+
+        values = asyncio.run(run())
+        assert np.array_equal(values, session.run(cond))
+
+    def test_queue_kind_is_group_key(self, rows):
+        # Unknown-kind strings fail at admission, before any WorkItem exists.
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="unknown query kind"):
+                server.submit(BENCHMARK, rows[0], kind=object())
 
 
 # --------------------------------------------------------------------------- #

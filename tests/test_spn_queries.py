@@ -1,4 +1,10 @@
-"""Tests for marginal, conditional, likelihood and MPE queries."""
+"""Tests for marginal, conditional, likelihood and MPE queries.
+
+These exercise the scalar dict-based entry points of
+:mod:`repro.spn.queries`, which are deprecated thin wrappers over
+single-row :class:`repro.api.InferenceSession` execution — the deprecation
+warnings are expected and silenced module-wide.
+"""
 
 import math
 
@@ -15,6 +21,8 @@ from repro.spn.queries import (
     marginal,
     most_probable_explanation,
 )
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestMarginals:
@@ -55,6 +63,36 @@ class TestConditionals:
         with pytest.raises(ZeroDivisionError):
             conditional(spn, {1: 1}, {0: 0})
 
+    def test_deep_network_underflow_no_spurious_zero_division(self):
+        # Regression: a deep product chain drives the evidence probability
+        # below the smallest positive float64 — the old linear-domain
+        # implementation raised a spurious ZeroDivisionError here.  The
+        # conditional itself is perfectly well-defined (the chain factor
+        # cancels), and the log-domain plan computes it exactly.
+        from repro.spn.graph import SPN
+
+        spn = SPN()
+        x0 = SPN.bernoulli_leaf(spn, 0, 0.25)
+        x1 = SPN.bernoulli_leaf(spn, 1, 0.5)
+        deep = [spn.add_parameter(1e-2) for _ in range(400)]  # P ~ 1e-800
+        spn.set_root(spn.add_product([x0, x1] + deep))
+        assert evaluate(spn, {1: 1}) == 0.0  # the linear domain underflows
+        assert conditional(spn, {0: 1}, {1: 1}) == pytest.approx(0.25)
+
+    def test_deep_network_conditional_distribution_still_normalizes(self):
+        from repro.spn.generate import RatSpnConfig, generate_rat_spn
+
+        # 1000 variables, all observed but one: the evidence probability
+        # underflows linearly, the conditional still sums to one.
+        spn = generate_rat_spn(
+            RatSpnConfig(n_vars=1000, depth=1000, repetitions=2, n_sums=2, seed=29)
+        )
+        rng = np.random.default_rng(5)
+        evidence = {v: int(rng.integers(0, 2)) for v in spn.variables() if v != 0}
+        assert evaluate(spn, evidence) == 0.0  # underflow, not zero probability
+        total = sum(conditional(spn, {0: v}, evidence) for v in (0, 1))
+        assert total == pytest.approx(1.0)
+
 
 class TestLogLikelihood:
     def test_average_of_rows(self, mixture_spn):
@@ -68,6 +106,17 @@ class TestLogLikelihood:
     def test_empty_data_rejected(self, mixture_spn):
         with pytest.raises(ValueError):
             log_likelihood(mixture_spn, np.zeros((0, 2), dtype=int))
+
+    def test_empty_list_rejected(self, mixture_spn):
+        # Regression: [] must not normalize to one marginalized row and
+        # "score" a perfect-looking 0.0.
+        with pytest.raises(ValueError, match="at least one row"):
+            log_likelihood(mixture_spn, [])
+
+    def test_zero_column_batch_with_rows_still_scores(self, mixture_spn):
+        # A (n, 0) batch has rows (all fully marginalized): log Z cancels
+        # and the average is 0.0, as before the typed-API rewrite.
+        assert log_likelihood(mixture_spn, np.zeros((3, 0), dtype=int)) == pytest.approx(0.0)
 
 
 class TestMpe:
