@@ -38,6 +38,7 @@ import numpy as np
 
 from ..spn.compiled import resolve_engine
 from ..spn.evaluate import evaluate_batch, evaluate_log_batch, row_evidence
+from ..spn.memplan import ExecutionOptions, resolve_execution
 from ..spn.graph import SPN
 from ..spn.linearize import OperationList, linearize
 from ..spn.nodes import IndicatorLeaf
@@ -72,16 +73,29 @@ class QueryPlan:
     ``postprocess`` names the elementwise combination applied afterwards.
     ``n_evaluations`` is the number of *uncached* batched tape passes the
     plan performs — the quantity the evaluation-count hook observes.
+
+    ``tape_slots``/``peak_slots`` are the memory-plan statistics of the
+    session's executor (:class:`~repro.spn.memplan.MemoryPlan`): the dense
+    slot count of the compiled tape and the physical working-set rows each
+    pass actually keeps resident (zero for the python reference engine,
+    which has no tape).  ``peak_bytes_per_row`` is the executor's peak
+    slot-buffer footprint per evidence row.
     """
 
     kind: QueryKind
     n_rows: int
     passes: Tuple[EvalPass, ...]
     postprocess: str = ""
+    tape_slots: int = 0
+    peak_slots: int = 0
 
     @property
     def n_evaluations(self) -> int:
         return sum(1 for p in self.passes if not p.cached)
+
+    @property
+    def peak_bytes_per_row(self) -> int:
+        return self.peak_slots * 8
 
 
 class InferenceSession:
@@ -103,6 +117,12 @@ class InferenceSession:
     warm:
         Compile and pin the model's tape at construction instead of on the
         first query (keeps compilation latency out of the serving path).
+    execution:
+        Executor for the vectorized tape passes — an
+        :class:`~repro.spn.memplan.ExecutionOptions` or a bare mode string
+        (``"planned"`` default, ``"sharded"``, ``"legacy"``).  All modes
+        are bit-identical; the knob chooses memory layout and shard
+        parallelism, and :meth:`plan` reports the resulting working set.
     """
 
     def __init__(
@@ -111,6 +131,7 @@ class InferenceSession:
         engine: str = "vectorized",
         check: bool = False,
         warm: bool = False,
+        execution: Union[ExecutionOptions, str, None] = None,
     ) -> None:
         if isinstance(model, str):
             from ..suite.registry import benchmark_n_vars, build_benchmark
@@ -130,6 +151,7 @@ class InferenceSession:
             )
         self.engine = resolve_engine(engine)
         self.check = check
+        self.execution = resolve_execution(execution)
         # Guards the evaluation counter and the lazy caches: sessions are
         # shared by serving worker pools (n_workers > 1).
         self._lock = threading.Lock()
@@ -180,13 +202,20 @@ class InferenceSession:
         * ``MPE`` — a per-row search whose candidate scoring batches
           through the log tape internally (pass count depends on the
           network, so it is not enumerated here).
+
+        Every plan also carries the executor's memory statistics
+        (``tape_slots``, ``peak_slots``): the compiled tape's dense slot
+        count and the physical rows the session's execution mode actually
+        keeps resident per pass.
         """
+        stats = self._plan_stats()
         if isinstance(query, Conditional):
             return QueryPlan(
                 kind=query.kind,
                 n_rows=query.n_rows,
                 passes=(EvalPass("log", "joint"), EvalPass("log", "evidence")),
                 postprocess="subtract" if query.log else "exp(subtract)",
+                **stats,
             )
         if isinstance(query, Marginal):
             passes: List[EvalPass] = []
@@ -201,20 +230,35 @@ class InferenceSession:
             post = ""
             if query.normalize:
                 post = "subtract log Z" if query.log else "exp(subtract log Z)"
-            return QueryPlan(query.kind, query.n_rows, tuple(passes), post)
+            return QueryPlan(query.kind, query.n_rows, tuple(passes), post, **stats)
         if isinstance(query, LogLikelihood):
             return QueryPlan(
-                query.kind, query.n_rows, (EvalPass("log", "evidence"),)
+                query.kind, query.n_rows, (EvalPass("log", "evidence"),), **stats
             )
         if isinstance(query, Likelihood):
             return QueryPlan(
-                query.kind, query.n_rows, (EvalPass("linear", "evidence"),)
+                query.kind, query.n_rows, (EvalPass("linear", "evidence"),), **stats
             )
         if isinstance(query, MPE):
             return QueryPlan(
-                query.kind, query.n_rows, (), postprocess="per-row MPE search"
+                query.kind, query.n_rows, (), postprocess="per-row MPE search",
+                **stats,
             )
         raise TypeError(f"unknown query type {type(query).__name__}")
+
+    def _plan_stats(self) -> dict:
+        """Memory statistics of the executor behind this session's passes."""
+        if self.engine != "vectorized":
+            return {"tape_slots": 0, "peak_slots": 0}
+        from ..spn.compiled import cached_tape
+
+        tape = self.tape if self.tape is not None else cached_tape(self.spn)
+        if self.execution.mode == "legacy" or not tape.kernels:
+            return {"tape_slots": tape.n_slots, "peak_slots": tape.n_slots}
+        plan = tape.memory_plan(
+            fuse=self.execution.fuse, fuse_width=self.execution.fuse_width
+        )
+        return {"tape_slots": tape.n_slots, "peak_slots": plan.n_physical}
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -266,9 +310,13 @@ class InferenceSession:
             self.on_evaluate("log" if log_domain else "linear", data.shape[0])
         if log_domain:
             return evaluate_log_batch(
-                self.spn, data, engine=self.engine, check=self.check
+                self.spn, data, engine=self.engine, check=self.check,
+                execution=self.execution,
             )
-        return evaluate_batch(self.spn, data, engine=self.engine, check=self.check)
+        return evaluate_batch(
+            self.spn, data, engine=self.engine, check=self.check,
+            execution=self.execution,
+        )
 
     def log_partition(self) -> float:
         """Log partition function ``log Z``, computed once per session.
@@ -331,31 +379,39 @@ class InferenceSession:
 # --------------------------------------------------------------------------- #
 # Per-model session cache (backs the scalar wrappers)
 # --------------------------------------------------------------------------- #
-#: (id(spn), engine) -> session, LRU-bounded.  The session strongly
+#: (id(spn), engine, execution options) -> session, LRU-bounded.  The
+#: session strongly
 #: references its model (so a cached entry can never suffer id reuse), which
 #: also means weakref-based eviction could never fire — the bound is what
 #: keeps a model-churning caller (e.g. structure search scoring thousands of
 #: candidate SPNs through the scalar wrappers) from leaking sessions.
-_SESSION_CACHE: "OrderedDict[Tuple[int, str], InferenceSession]" = OrderedDict()
+_SESSION_CACHE: "OrderedDict[Tuple[int, str, ExecutionOptions], InferenceSession]" = (
+    OrderedDict()
+)
 _SESSION_CACHE_CAPACITY = 32
 
 
-def session_for(model: Union[SPN, str], engine: str = "vectorized") -> InferenceSession:
+def session_for(
+    model: Union[SPN, str],
+    engine: str = "vectorized",
+    execution: Union[ExecutionOptions, str, None] = None,
+) -> InferenceSession:
     """A shared session for ``model`` (the scalar wrappers route through this).
 
     Sessions hold only caches (tape pin, ``log Z``, operation list) — all
     invalidation-safe or recomputed cheaply — so sharing one per
-    ``(model, engine)`` makes the deprecated scalar functions as cheap as
-    their pre-session implementations while guaranteeing they execute the
-    very same code path as batched callers.  The cache is a small LRU
-    (:data:`_SESSION_CACHE_CAPACITY` entries); suite-name models share the
-    registry's unbounded (nine-benchmark) cache instead.
+    ``(model, engine, execution)`` makes the deprecated scalar functions as
+    cheap as their pre-session implementations while guaranteeing they
+    execute the very same code path as batched callers.  The cache is a
+    small LRU (:data:`_SESSION_CACHE_CAPACITY` entries); suite-name models
+    share the registry's unbounded (nine-benchmark) cache instead.
     """
+    options = resolve_execution(execution)
     if isinstance(model, str):
         from ..suite.registry import benchmark_session
 
-        return benchmark_session(model, engine)
-    key = (id(model), engine)
+        return benchmark_session(model, engine, execution=options)
+    key = (id(model), engine, options)
     session = _SESSION_CACHE.get(key)
     # The strong reference inside the cached session guarantees `model`'s id
     # cannot have been reused while the entry exists — but guard on identity
@@ -363,7 +419,7 @@ def session_for(model: Union[SPN, str], engine: str = "vectorized") -> Inference
     if session is not None and session.spn is model:
         _SESSION_CACHE.move_to_end(key)
         return session
-    session = InferenceSession(model, engine=engine)
+    session = InferenceSession(model, engine=engine, execution=options)
     _SESSION_CACHE[key] = session
     while len(_SESSION_CACHE) > _SESSION_CACHE_CAPACITY:
         _SESSION_CACHE.popitem(last=False)

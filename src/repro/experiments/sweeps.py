@@ -69,6 +69,7 @@ __all__ = [
     "measure_engine_speedup",
     "measure_simulator_speedup",
     "measure_query_speedup",
+    "measure_tape_memory",
     "write_bench_json",
     "update_bench_json",
     "tree_arrangement_sweep",
@@ -94,7 +95,8 @@ TREE_ARRANGEMENTS: Tuple[Tuple[str, int, int], ...] = (
 DEFAULT_CACHE_DIR = Path(".cache") / "sweeps"
 
 #: Bumped whenever the meaning of cached values changes; part of every key.
-CACHE_VERSION = 1
+#: v2: sweep points carry the tape execution mode.
+CACHE_VERSION = 2
 
 
 # --------------------------------------------------------------------------- #
@@ -106,15 +108,18 @@ class SweepPoint:
 
     ``kind`` selects the evaluation recipe (see :func:`evaluate_point`),
     ``platform`` names the engine the point runs on (a registry key, part of
-    the on-disk cache identity), and ``params`` is a sorted tuple of
-    ``(name, value)`` pairs so that points are hashable, comparable and
-    JSON-stable.
+    the on-disk cache identity), ``execution`` the tape execution mode its
+    session uses (``""``: the repository default — part of the cache
+    identity, so planned/sharded/legacy measurements never collide), and
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so that points
+    are hashable, comparable and JSON-stable.
     """
 
     kind: str
     benchmark: str
     label: str
     platform: str = ""
+    execution: str = ""
     params: Tuple[Tuple[str, object], ...] = ()
 
     def param(self, name: str) -> object:
@@ -129,6 +134,7 @@ class SweepPoint:
             "benchmark": self.benchmark,
             "label": self.label,
             "platform": self.platform,
+            "execution": self.execution,
             "params": dict(self.params),
         }
 
@@ -262,7 +268,7 @@ def evaluate_point(point: SweepPoint) -> Dict[str, float]:
 
     if point.kind not in ("tree_arrangement", "allocation", "packing", "gpu_banks"):
         raise ValueError(f"unknown sweep point kind {point.kind!r}")
-    session = benchmark_session(point.benchmark)
+    session = benchmark_session(point.benchmark, execution=point.execution or None)
     engine = get_engine(point.platform)
     options: Optional[ScheduleOptions] = None
     if point.kind == "tree_arrangement":
@@ -315,28 +321,37 @@ def _code_fingerprint() -> str:
     return _CODE_FINGERPRINT
 
 
-def cache_key(point: SweepPoint) -> str:
+def cache_key(point: SweepPoint, code: Optional[str] = None) -> str:
     """Stable content hash of a design point (the on-disk cache key).
 
-    Any change to the point's kind, benchmark or parameters — or to
-    :data:`CACHE_VERSION` or the ``repro`` package source
+    Any change to the point's kind, benchmark, execution mode or parameters
+    — or to :data:`CACHE_VERSION` or the ``repro`` package source
     (:func:`_code_fingerprint`) — yields a different key, so stale entries
     are never returned for a modified configuration or modified code.
+    ``code`` lets a caller that keys many points pass the package
+    fingerprint once (:func:`run_sweep` hoists it per call) instead of
+    re-resolving it per point.
     """
     payload = json.dumps(
-        {"version": CACHE_VERSION, "code": _code_fingerprint(), **point.as_dict()},
+        {
+            "version": CACHE_VERSION,
+            "code": code if code is not None else _code_fingerprint(),
+            **point.as_dict(),
+        },
         sort_keys=True,
         default=str,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
-def _cache_path(cache_dir: Path, point: SweepPoint) -> Path:
-    return Path(cache_dir) / f"{cache_key(point)}.json"
+def _cache_path(cache_dir: Path, point: SweepPoint, code: Optional[str]) -> Path:
+    return Path(cache_dir) / f"{cache_key(point, code)}.json"
 
 
-def _cache_load(cache_dir: Path, point: SweepPoint) -> Optional[Dict[str, float]]:
-    path = _cache_path(cache_dir, point)
+def _cache_load(
+    cache_dir: Path, point: SweepPoint, code: Optional[str]
+) -> Optional[Dict[str, float]]:
+    path = _cache_path(cache_dir, point, code)
     try:
         with open(path, "r", encoding="utf-8") as handle:
             entry = json.load(handle)
@@ -348,8 +363,10 @@ def _cache_load(cache_dir: Path, point: SweepPoint) -> Optional[Dict[str, float]
     return dict(values) if isinstance(values, dict) else None
 
 
-def _cache_store(cache_dir: Path, point: SweepPoint, values: Mapping[str, float]) -> None:
-    path = _cache_path(cache_dir, point)
+def _cache_store(
+    cache_dir: Path, point: SweepPoint, values: Mapping[str, float], code: Optional[str]
+) -> None:
+    path = _cache_path(cache_dir, point, code)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
@@ -382,10 +399,14 @@ def run_sweep(
     are returned in the order of ``points``.
     """
     caching = cache_dir is not None
+    # The package source hash is part of every key; resolve it once per
+    # call instead of once per point (it digests every .py file on first
+    # use, and worker processes must never each redo that).
+    code = _code_fingerprint() if caching else None
     results: List[Optional[SweepResult]] = [None] * len(points)
     misses: List[int] = []
     for i, point in enumerate(points):
-        values = _cache_load(cache_dir, point) if caching else None
+        values = _cache_load(cache_dir, point, code) if caching else None
         if values is not None:
             results[i] = SweepResult(point=point, values=values, cached=True, elapsed=0.0)
         else:
@@ -404,7 +425,7 @@ def run_sweep(
                 point=points[i], values=values, cached=False, elapsed=elapsed
             )
             if caching:
-                _cache_store(cache_dir, points[i], values)
+                _cache_store(cache_dir, points[i], values, code)
 
     return [r for r in results if r is not None]
 
@@ -719,6 +740,109 @@ def measure_query_speedup(
 
 
 # --------------------------------------------------------------------------- #
+# Tape-memory measurement (memory-planned executor vs the legacy slot matrix)
+# --------------------------------------------------------------------------- #
+def measure_tape_memory(
+    benchmark: Optional[str] = None,
+    n_rows: int = 8192,
+    repeats: int = 3,
+    seed: int = 33,
+) -> Dict[str, object]:
+    """Measure the memory-planned tape executor against the legacy one.
+
+    The legacy executor materializes a dense ``(n_slots, n_rows)`` slot
+    matrix per row block; the planner (:mod:`repro.spn.memplan`) shrinks
+    the working set to ``plan.n_physical`` rows via liveness-based slot
+    reuse, lazy input encoding and broadcast-constant operands.  On the
+    largest suite profile (``benchmark=None`` picks it by tape slots) this
+    measures, over an ``n_rows`` batch:
+
+    * **peak slot-buffer memory** per row — ``8 * n_slots`` legacy vs
+      ``8 * plan.n_physical`` planned (the ``memory_reduction`` ratio);
+    * **throughput** — legacy vs planned wall-clock in both domains,
+      interleaved within each repeat so machine drift hits all executors
+      alike (best of ``repeats``);
+    * **shard scaling** — planned single-thread vs sharded execution with
+      the thread count the CPU platform engine recommends
+      (:meth:`repro.platforms.base.PlatformEngine.execution_options`),
+      reported for the log domain, whose ``logaddexp`` kernels release the
+      GIL for the longest stretches.  Scaling above 1 needs real cores:
+      ``cpu_count`` travels with the result so the benchmark gate can
+      restrict itself to hosts with >= 4.
+
+    All three executors' outputs are asserted **bit-identical**
+    (``array_equal``) before any number is reported.  Returns a flat dict
+    for the ``tape_memory`` section of ``BENCH_sweeps.json``.
+    """
+    import numpy as np
+
+    from ..platforms import PLATFORM_CPU, get_engine
+    from ..spn.generate import random_evidence
+    from ..suite.registry import benchmark_n_vars, benchmark_names, benchmark_tape
+
+    if benchmark is None:
+        benchmark = max(benchmark_names(), key=lambda n: benchmark_tape(n).n_slots)
+    tape = benchmark_tape(benchmark)
+    plan = tape.memory_plan()
+    n_vars = benchmark_n_vars(benchmark)
+    data = random_evidence(n_vars, observed_fraction=0.6, seed=seed, n_samples=n_rows)
+
+    sharded = get_engine(PLATFORM_CPU).execution_options()
+    runs = {
+        "legacy": lambda log: tape.execute_batch(data, log_domain=log, execution="legacy"),
+        "planned": lambda log: tape.execute_batch(data, log_domain=log),
+        "sharded": lambda log: tape.execute_batch(data, log_domain=log, execution=sharded),
+    }
+    times: Dict[str, float] = {}
+    outputs: Dict[str, "np.ndarray"] = {}
+    for log in (False, True):
+        suffix = "_log" if log else ""
+        for _ in range(max(1, repeats)):
+            for name, fn in runs.items():  # interleaved: drift hits all alike
+                start = time.perf_counter()
+                out = fn(log)
+                elapsed = time.perf_counter() - start
+                key = name + suffix
+                if elapsed < times.get(key, float("inf")):
+                    times[key] = elapsed
+                outputs[key] = out
+        for name in ("planned", "sharded"):
+            if not np.array_equal(
+                outputs[name + suffix], outputs["legacy" + suffix], equal_nan=True
+            ):
+                raise AssertionError(
+                    f"{name} execution is not bit-identical to legacy "
+                    f"(log_domain={log})"
+                )
+
+    return {
+        "benchmark": benchmark,
+        "n_rows": int(n_rows),
+        "n_vars": int(n_vars),
+        "n_slots": int(tape.n_slots),
+        "n_physical": int(plan.n_physical),
+        "max_live": int(plan.max_live),
+        "n_kernels": int(plan.n_kernels),
+        "memory_reduction": tape.n_slots / plan.n_physical,
+        "peak_bytes_per_row_legacy": 8 * int(tape.n_slots),
+        "peak_bytes_per_row_planned": 8 * int(plan.n_physical),
+        "t_legacy_s": times["legacy"],
+        "t_planned_s": times["planned"],
+        "t_sharded_s": times["sharded"],
+        "t_legacy_log_s": times["legacy_log"],
+        "t_planned_log_s": times["planned_log"],
+        "t_sharded_log_s": times["sharded_log"],
+        "throughput_planned_rps": n_rows / times["planned"],
+        "speedup_planned_vs_legacy": times["legacy"] / times["planned"],
+        "speedup_planned_vs_legacy_log": times["legacy_log"] / times["planned_log"],
+        "sharded_threads": int(sharded.n_threads),
+        "sharded_scaling_log": times["planned_log"] / times["sharded_log"],
+        "cpu_count": int(os.cpu_count() or 1),
+        "bit_identical": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # BENCH_sweeps.json emission
 # --------------------------------------------------------------------------- #
 def _read_bench_json(path: Path) -> Dict[str, object]:
@@ -730,18 +854,42 @@ def _read_bench_json(path: Path) -> Dict[str, object]:
     return existing if isinstance(existing, dict) else {}
 
 
+def _round_floats(value: object) -> object:
+    """Round every float to 6 significant digits, recursively.
+
+    Applied to the whole ``BENCH_sweeps.json`` payload on every write:
+    sub-microsecond timing noise in the 15th digit otherwise rewrites all
+    ~40 lines of the artifact on every PR without carrying information
+    (bools pass through — they are ints to ``isinstance``; non-finite
+    floats have no significant digits to round).
+    """
+    if isinstance(value, bool) or not isinstance(value, float):
+        if isinstance(value, dict):
+            return {k: _round_floats(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [_round_floats(v) for v in value]
+        return value
+    if value != value or value in (float("inf"), float("-inf")):
+        return value
+    return float(f"{value:.6g}")
+
+
 def update_bench_json(path: Path, **sections: object) -> Dict[str, object]:
     """Merge ``sections`` into the artifact at ``path``, preserving other keys.
 
     Several benchmark writers contribute to the same ``BENCH_sweeps.json``
     (the sweep grid, the engine speedup, the simulator speedup); merging
-    keeps the artifact whole no matter which writer runs last.
+    keeps the artifact whole no matter which writer runs last.  The file is
+    emitted deterministically — sections and keys sorted, floats rounded to
+    6 significant digits — so re-running a benchmark only rewrites the
+    lines whose measurements genuinely moved.
     """
     payload = _read_bench_json(Path(path))
     payload.setdefault("schema", "BENCH_sweeps/v1")
     payload.update(sections)
+    payload = _round_floats(payload)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, default=str)
+        json.dump(payload, handle, indent=2, default=str, sort_keys=True)
         handle.write("\n")
     return payload
 
@@ -956,7 +1104,7 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=cache_dir,
     )
     print(render_sweeps(results, args.benchmark))
-    speedup = simulator_speedup = query_speedup = None
+    speedup = simulator_speedup = query_speedup = tape_memory = None
     if not args.skip_speedup:
         speedup = measure_engine_speedup()
         print(
@@ -978,6 +1126,14 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
             f"{query_speedup['speedup_batched_vs_scalar']:.1f}x the per-row "
             f"scalar path"
         )
+        tape_memory = measure_tape_memory()
+        print(
+            f"tape memory: planner shrinks the working set "
+            f"{tape_memory['memory_reduction']:.1f}x "
+            f"({tape_memory['n_slots']} -> {tape_memory['n_physical']} rows on "
+            f"{tape_memory['benchmark']}), planned executor "
+            f"{tape_memory['speedup_planned_vs_legacy']:.2f}x legacy"
+        )
     if args.json is not None:
         write_bench_json(
             results,
@@ -991,6 +1147,8 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
         )
         if query_speedup is not None:
             update_bench_json(args.json, query_api=query_speedup)
+        if tape_memory is not None:
+            update_bench_json(args.json, tape_memory=tape_memory)
         print(f"wrote {args.json}")
     return 0
 

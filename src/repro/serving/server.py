@@ -51,6 +51,7 @@ from ..api.queries import Conditional, Query, QueryKind, as_kind, query_type
 from ..api.session import InferenceSession
 from ..spn.compiled import resolve_engine
 from ..spn.graph import SPN
+from ..spn.memplan import ExecutionOptions, resolve_execution
 from .metrics import ServingMetrics
 from .queue import (
     BatchingPolicy,
@@ -217,6 +218,15 @@ class InferenceServer:
     warm:
         Compile every hosted model's tape at registration instead of on the
         first request (keeps compilation latency out of the serving path).
+    execution:
+        Tape executor for the hosted sessions — an
+        :class:`~repro.spn.memplan.ExecutionOptions` or a mode string
+        (``"planned"`` default, ``"sharded"``, ``"legacy"``; all
+        bit-identical).  Under the planned modes every worker thread
+        executes a model's micro-batches in one per-model scratch buffer,
+        preallocated up to the batching policy's ``max_batch_size`` when
+        the worker starts, instead of allocating a fresh ``(n_slots,
+        n_rows)`` matrix per micro-batch.
     """
 
     def __init__(
@@ -226,11 +236,13 @@ class InferenceServer:
         n_workers: int = 1,
         engine: str = "vectorized",
         warm: bool = True,
+        execution: Union[ExecutionOptions, str, None] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.policy = policy or BatchingPolicy()
         self.engine = resolve_engine(engine)
+        self.execution = resolve_execution(execution)
         self.metrics = ServingMetrics()
         self._warm = warm
         self._models: Dict[str, ServedModel] = {}
@@ -264,7 +276,10 @@ class InferenceServer:
         if name in self._models:
             raise ValueError(f"model {name!r} is already hosted")
         session = InferenceSession(
-            spn if spn is not None else name, engine=self.engine, warm=self._warm
+            spn if spn is not None else name,
+            engine=self.engine,
+            warm=self._warm,
+            execution=self.execution,
         )
         served = ServedModel(name=name, session=session)
         self._models[name] = served
@@ -469,6 +484,7 @@ class InferenceServer:
     # Execution (worker side)
     # ------------------------------------------------------------------ #
     def _worker_loop(self) -> None:
+        self._prewarm_workspaces()
         while True:
             batch = self._queue.get_batch()
             if batch is None:
@@ -502,6 +518,29 @@ class InferenceServer:
                 self.metrics.record_batch(len(items), self.policy.max_batch_size)
                 for item, value in zip(items, values):
                     item.request.deliver(item.index, value)
+
+    def _prewarm_workspaces(self) -> None:
+        """Preallocate this worker thread's per-model tape scratch buffers.
+
+        The memory-planned executor keeps one reusable physical-slot buffer
+        per (plan, thread); reserving it up to the batching policy's
+        ``max_batch_size`` here means no micro-batch of a model hosted at
+        worker startup ever pays a slot-matrix allocation — the buffers
+        live as long as the worker and are shared by every micro-batch of
+        the model.  A model registered *after* :meth:`start` warms on its
+        first micro-batch instead (the executor allocates the same
+        thread-local buffer on first use).  Iterates a snapshot: a
+        concurrent :meth:`add_model` must not kill the worker mid-scan.
+        """
+        if self.execution.mode == "legacy":
+            return
+        for served in list(self._models.values()):
+            tape = served.tape
+            if tape is not None and tape.kernels:
+                plan = tape.memory_plan(
+                    fuse=self.execution.fuse, fuse_width=self.execution.fuse_width
+                )
+                plan.reserve(self.policy.max_batch_size)
 
     def _execute(
         self, model: str, key: tuple, items: Sequence[WorkItem]

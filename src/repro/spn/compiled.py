@@ -22,15 +22,19 @@ Compilation (:func:`compile_tape`) lowers an
 3. **Pack** — each group becomes one :class:`TapeKernel` carrying its two
    gather index vectors and its destination slice.
 
-Execution (:meth:`CompiledTape.execute_batch`) keeps a ``(n_slots, n_rows)``
-value matrix, fills the input rows with a vectorized evidence encoding, and
-then runs one ``np.add``/``np.multiply`` (or ``np.logaddexp``/``np.add`` in
-the log domain) per kernel, reading operands through copy-free slice views
-when a kernel's operand range is contiguous (the common case after the
-reorder step) and fancy-indexed gathers otherwise.  The whole batch is
-evaluated with
-``O(depth)`` NumPy calls instead of ``O(n_operations * n_rows)`` Python
-bytecode.
+Execution (:meth:`CompiledTape.execute_batch`) runs one
+``np.add``/``np.multiply`` (or ``np.logaddexp``/``np.add`` in the log
+domain) per kernel, reading operands through copy-free slice views when a
+kernel's operand range is contiguous (the common case after the reorder
+step) and fancy-indexed gathers otherwise.  The whole batch is evaluated
+with ``O(depth)`` NumPy calls instead of ``O(n_operations * n_rows)``
+Python bytecode.  The value buffer depends on the execution mode
+(``execution=``, see :mod:`repro.spn.memplan`): the default **planned**
+mode runs a memory-planned physical-slot program whose working set is the
+tape's liveness peak (several times smaller than ``n_slots``), **sharded**
+adds row-shard thread parallelism for very large batches, and **legacy**
+keeps the original dense ``(n_slots, n_rows)`` slot matrix — all three
+bit-identical.
 
 A log-domain variant (``log_domain=True``) evaluates the same tape with
 ``+`` for products and ``logaddexp`` for sums, which is numerically safe for
@@ -48,6 +52,7 @@ operation list to its tape slot, so a full slot-by-slot comparison against
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -57,17 +62,30 @@ import numpy as np
 from .evaluate import MARGINALIZED, as_evidence_array
 from .graph import SPN
 from .linearize import OP_ADD, InputSlot, OperationList, linearize
+from .memplan import (
+    DEFAULT_FUSE_WIDTH,
+    ExecutionOptions,
+    MemoryPlan,
+    _as_stride_slice as _as_slice,
+    _blocked_plan,
+    execute_sharded,
+    plan_memory,
+    resolve_execution,
+    verify_plan,
+)
 
 __all__ = [
     "ENGINES",
     "CHECK_ROWS",
     "EngineMismatchError",
+    "ExecutionOptions",
     "TapeKernel",
     "CompiledTape",
     "compile_tape",
     "cached_tape",
     "cross_check",
     "resolve_engine",
+    "resolve_execution",
 ]
 
 #: Names accepted by every ``engine=`` switch in the repository.
@@ -185,6 +203,12 @@ class CompiledTape:
         # Contiguous operand ranges execute as copy-free slice views.
         self._arg0_views = [_as_slice(k.arg0) for k in self.kernels]
         self._arg1_views = [_as_slice(k.arg1) for k in self.kernels]
+        # Memory plans, cached per (fuse, fuse_width); see memory_plan().
+        # The lock makes concurrent first calls (serving worker pools
+        # prewarming one tape) share a single plan — and therefore a
+        # single set of per-thread scratch buffers.
+        self._plan_cache: Dict[Tuple[bool, int], MemoryPlan] = {}
+        self._plan_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Shape
@@ -291,25 +315,80 @@ class CompiledTape:
                 np.add(a, b, out=dest) if kernel.is_add else np.multiply(a, b, out=dest)
         return slots
 
-    def execute_batch(self, data: np.ndarray, log_domain: bool = False) -> np.ndarray:
+    def memory_plan(
+        self, fuse: bool = True, fuse_width: Optional[int] = None
+    ) -> MemoryPlan:
+        """The tape's :class:`~repro.spn.memplan.MemoryPlan` (cached).
+
+        Planning runs once per tape and parameter set; the plan is what the
+        default (``"planned"``) and ``"sharded"`` execution modes run, with
+        a working set of ``plan.n_physical`` rows instead of the legacy
+        ``n_slots``.
+        """
+        width = DEFAULT_FUSE_WIDTH if fuse_width is None else int(fuse_width)
+        key = (bool(fuse), width)
+        with self._plan_lock:
+            plan = self._plan_cache.get(key)
+            if plan is None:
+                plan = plan_memory(self, fuse=fuse, fuse_width=width)
+                self._plan_cache[key] = plan
+        return plan
+
+    def execute_batch(
+        self,
+        data: np.ndarray,
+        log_domain: bool = False,
+        execution: Union[ExecutionOptions, str, None] = None,
+    ) -> np.ndarray:
         """Evaluate the root for a batch of evidence rows.
 
         Returns a ``(n_rows,)`` vector of root values (log-values with
-        ``log_domain=True``).  Large batches are processed in row blocks
-        sized so the slot matrix stays cache-resident (big-batch execution
-        otherwise degrades superlinearly once the matrix spills to RAM).
+        ``log_domain=True``).  ``execution`` selects the executor
+        (:class:`~repro.spn.memplan.ExecutionOptions` or a bare mode
+        string): the default **planned** mode runs the memory-planned
+        physical-slot program — working set ``plan.n_physical`` rows
+        instead of ``n_slots``, root written directly into the output
+        vector — **sharded** additionally fans row shards out on a thread
+        pool, and **legacy** keeps the original dense slot matrix.  All
+        modes are bit-identical; ``execution.check`` verifies planned
+        output against the legacy slot matrix on a batch prefix.  Large
+        batches are processed in row blocks sized so the working set stays
+        cache-resident (big-batch execution otherwise degrades
+        superlinearly once the matrix spills to RAM) — the planned modes
+        fit several times more rows per block.
         """
         data = np.asarray(data)
         if data.ndim != 2:
             raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
+        options = resolve_execution(execution)
         n_rows = data.shape[0]
-        block = max(64, _BLOCK_BYTES // (8 * max(self.n_slots, 1)))
-        if n_rows <= block:
-            return self.execute_slots(data, log_domain=log_domain)[self.root_slot].copy()
+        if options.mode == "legacy" or not self.kernels:
+            # A kernel-less tape (the SPN is a single leaf) has no program
+            # to plan; the dense path answers it directly.
+            block = max(64, _BLOCK_BYTES // (8 * max(self.n_slots, 1)))
+            if n_rows <= block:
+                return self.execute_slots(data, log_domain=log_domain)[
+                    self.root_slot
+                ].copy()
+            out = np.empty(n_rows, dtype=np.float64)
+            for start in range(0, n_rows, block):
+                chunk = self.execute_slots(
+                    data[start : start + block], log_domain=log_domain
+                )
+                out[start : start + block] = chunk[self.root_slot]
+            return out
+        plan = self.memory_plan(fuse=options.fuse, fuse_width=options.fuse_width)
+        data = as_evidence_array(data)
+        if options.check:
+            verify_plan(self, plan, data[:CHECK_ROWS], log_domain=log_domain)
+        block = max(64, _BLOCK_BYTES // (8 * max(plan.n_physical, 1)))
         out = np.empty(n_rows, dtype=np.float64)
-        for start in range(0, n_rows, block):
-            chunk = self.execute_slots(data[start : start + block], log_domain=log_domain)
-            out[start : start + block] = chunk[self.root_slot]
+        if options.mode == "sharded":
+            return execute_sharded(
+                plan, data, log_domain=log_domain, out=out,
+                options=options, block_rows=block,
+            )
+        _blocked_plan(plan, data, log_domain, out, block)
         return out
 
     def execute(
@@ -322,26 +401,6 @@ class CompiledTape:
             if 0 <= var < n_vars:
                 row[0, var] = value
         return float(self.execute_batch(row, log_domain=log_domain)[0])
-
-
-def _as_slice(indices: np.ndarray) -> Optional[slice]:
-    """Return the equivalent slice when ``indices`` is a constant positive stride run.
-
-    Binary-tree reductions produce interleaved operand patterns (stride 2:
-    ``[p, p+2, p+4, ...]`` vs ``[p+1, p+3, ...]``), so strided views cover
-    the majority of kernels and skip the gather copy entirely.
-    """
-    if not indices.size:
-        return None
-    if indices.size == 1:
-        start = int(indices[0])
-        return slice(start, start + 1)
-    steps = np.diff(indices)
-    step = int(steps[0])
-    if step > 0 and bool((steps == step).all()):
-        start = int(indices[0])
-        return slice(start, start + (indices.size - 1) * step + 1, step)
-    return None
 
 
 def _group_operations(ops: OperationList) -> List[List[int]]:

@@ -200,7 +200,8 @@ def evaluate_log(spn: SPN, evidence: Optional[Mapping[int, int]] = None) -> floa
 
 
 def evaluate_batch(
-    spn: SPN, data: np.ndarray, engine: str = "python", check: bool = False
+    spn: SPN, data: np.ndarray, engine: str = "python", check: bool = False,
+    execution=None,
 ) -> np.ndarray:
     """Evaluate the SPN on a batch of samples.
 
@@ -218,6 +219,11 @@ def evaluate_batch(
         With the vectorized engine, additionally evaluate the first few rows
         with the reference engine and raise
         :class:`~repro.spn.compiled.EngineMismatchError` on disagreement.
+    execution:
+        Executor for the vectorized engine — an
+        :class:`~repro.spn.memplan.ExecutionOptions` or a bare mode string
+        (``"planned"`` default, ``"sharded"``, ``"legacy"``; all
+        bit-identical).  Ignored by the python engine.
 
     Returns
     -------
@@ -228,7 +234,7 @@ def evaluate_batch(
 
     if resolve_engine(engine) == "vectorized":
         data = as_evidence_array(data)
-        result = cached_tape(spn).execute_batch(data)
+        result = cached_tape(spn).execute_batch(data, execution=execution)
         if check:
             cross_check(
                 result,
@@ -275,7 +281,8 @@ def evaluate_batch(
 
 
 def evaluate_log_batch(
-    spn: SPN, data: np.ndarray, engine: str = "python", check: bool = False
+    spn: SPN, data: np.ndarray, engine: str = "python", check: bool = False,
+    execution=None,
 ) -> np.ndarray:
     """Log-domain batched evaluation (numerically robust for deep networks).
 
@@ -284,8 +291,8 @@ def evaluate_log_batch(
     ``"vectorized"`` engine runs the compiled tape in the log domain
     (products add, sums combine with ``logaddexp``).  Rows with zero
     probability return ``-inf``.  ``data`` follows the
-    :data:`MARGINALIZED` convention; ``check`` behaves as in
-    :func:`evaluate_batch`.
+    :data:`MARGINALIZED` convention; ``check`` and ``execution`` behave as
+    in :func:`evaluate_batch`.
     """
     from .compiled import cached_tape, cross_check, resolve_engine
 
@@ -293,7 +300,7 @@ def evaluate_log_batch(
     if data.ndim != 2:
         raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
     if resolve_engine(engine) == "vectorized":
-        result = cached_tape(spn).execute_batch(data, log_domain=True)
+        result = cached_tape(spn).execute_batch(data, log_domain=True, execution=execution)
         if check:
             cross_check(
                 result,

@@ -1,0 +1,886 @@
+"""Memory planning for compiled tapes: liveness-based slot reuse and fusion.
+
+The source paper's central observation is that SPN inference is
+*memory-bound*: throughput on every platform is set by how much live state
+the evaluation has to keep close to the arithmetic units, not by the
+arithmetic itself.  The legacy executor of :mod:`repro.spn.compiled`
+ignores that lesson on the software side — it materializes one row per tape
+slot, so the working set of a batch grows with the *length* of the tape
+(``n_slots``) even though only a small band of values is ever live at once.
+
+This module plans the tape's memory the way a register allocator plans
+registers:
+
+* :func:`plan_memory` runs a **liveness analysis** over the levelized
+  kernel list and performs linear-scan style *interval allocation*: every
+  tape slot is assigned a reusable **physical row** of a buffer whose
+  height is the liveness peak (plus possible fragmentation), typically a
+  small multiple of the tape's width instead of its length.  Inputs are
+  encoded **lazily** — an indicator or constant row is materialized at the
+  kernel that first reads it and freed after its last read — which is what
+  shrinks the peak below ``n_inputs`` (on the deep suite networks most of
+  the input vector is weight slots consumed at a single sum level).
+* An optional **fusion** pass merges runs of adjacent narrow kernels with
+  the same opcode into one gather/compute call when they are provably
+  independent, cutting Python dispatch on the deep, narrow tapes the suite
+  profiles produce (one kernel per level pair means depth ~ dispatch
+  count).
+* :func:`execute_plan` executes a planned tape over a row block, reusing a
+  per-thread scratch buffer (``plan.workspace``), and
+  :func:`execute_sharded` splits very large batches into row shards run on
+  a shared thread pool — the NumPy reduction kernels release the GIL, so
+  shards overlap on multicore hosts.
+
+Every physical-slot program computes exactly the same elementwise
+operations in exactly the same order as the legacy executor, so planned
+(and sharded) results are **bit-identical** to the legacy ``(n_slots,
+n_rows)`` matrix; :func:`verify_plan` checks that slot by slot and backs
+the ``check=True`` switch of :meth:`CompiledTape.execute_batch`.
+
+The executor knob is :class:`ExecutionOptions` (``mode``:
+``"planned"`` (default) | ``"sharded"`` | ``"legacy"``), accepted — as an
+options object or a bare mode string — by every batched entry point from
+:meth:`CompiledTape.execute_batch` up through
+:class:`repro.api.session.InferenceSession` and the serving layer.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .linearize import OP_ADD
+
+__all__ = [
+    "EXECUTION_MODES",
+    "DEFAULT_FUSE_WIDTH",
+    "ExecutionOptions",
+    "resolve_execution",
+    "InputEncoding",
+    "PlannedKernel",
+    "MemoryPlan",
+    "plan_memory",
+    "execute_plan",
+    "execute_sharded",
+    "verify_plan",
+]
+
+#: Modes accepted by every ``execution=`` switch in the repository.
+EXECUTION_MODES = ("planned", "sharded", "legacy")
+
+#: Default cap on the combined width of a fused kernel.  Fusion trades a
+#: strided operand view for a gather copy, which only pays off while the
+#: per-call dispatch overhead dominates the per-element work.
+DEFAULT_FUSE_WIDTH = 128
+
+#: Minimum rows per shard; below this the dispatch overhead of an extra
+#: thread outweighs the overlapped compute.
+DEFAULT_MIN_SHARD_ROWS = 512
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How a compiled tape executes a batch.
+
+    ``mode`` selects the executor: ``"planned"`` (default) runs the
+    memory-planned physical-slot program, ``"sharded"`` additionally splits
+    large batches into row shards on a thread pool, ``"legacy"`` keeps the
+    original dense ``(n_slots, n_rows)`` slot matrix.  ``threads`` sizes the
+    shard pool (``0``: one per CPU); ``min_shard_rows`` keeps small batches
+    on one thread.  ``fuse``/``fuse_width`` control the kernel-fusion pass
+    of the planner.  All executors are bit-identical; the knob only chooses
+    memory layout and parallelism.
+    """
+
+    mode: str = "planned"
+    threads: int = 0
+    min_shard_rows: int = DEFAULT_MIN_SHARD_ROWS
+    fuse: bool = True
+    fuse_width: int = DEFAULT_FUSE_WIDTH
+    #: Cross-check planned/sharded execution bit-exactly against the legacy
+    #: slot matrix on a batch prefix (:func:`verify_plan`) on every call.
+    check: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in EXECUTION_MODES:
+            known = ", ".join(repr(m) for m in EXECUTION_MODES)
+            raise ValueError(
+                f"unknown execution mode {self.mode!r}; expected one of {known}"
+            )
+        if self.threads < 0:
+            raise ValueError(f"threads must be >= 0, got {self.threads}")
+        if self.min_shard_rows < 1:
+            raise ValueError(
+                f"min_shard_rows must be >= 1, got {self.min_shard_rows}"
+            )
+
+    @property
+    def n_threads(self) -> int:
+        """Effective shard-pool size (``threads`` or the host's CPU count)."""
+        return self.threads if self.threads > 0 else (os.cpu_count() or 1)
+
+
+#: The repository-wide default: memory-planned execution, auto-sized pool.
+DEFAULT_EXECUTION = ExecutionOptions()
+
+
+def resolve_execution(
+    execution: Union[ExecutionOptions, str, None],
+) -> ExecutionOptions:
+    """Normalize an ``execution=`` argument to an :class:`ExecutionOptions`.
+
+    Accepts ``None`` (the repository default, planned execution), a bare
+    mode string (``"planned"``/``"sharded"``/``"legacy"``) or an options
+    object, mirroring how ``resolve_engine`` validates engine names.
+    """
+    if execution is None:
+        return DEFAULT_EXECUTION
+    if isinstance(execution, ExecutionOptions):
+        return execution
+    if isinstance(execution, str):
+        return replace(DEFAULT_EXECUTION, mode=execution)
+    raise TypeError(
+        f"execution must be an ExecutionOptions, a mode string or None, "
+        f"got {type(execution).__name__}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Planned program representation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class InputEncoding:
+    """Input rows to materialize immediately before one planned kernel.
+
+    Lazy counterpart of ``CompiledTape.input_matrix``: ``ind_*`` describe
+    the indicator rows first read by the kernel (physical row, variable,
+    matching value), ``const_*`` the parameter/weight rows (physical row,
+    linear probability, precomputed log).  Row index arrays collapse to
+    slices when contiguous, so the common case is a plain slice store.
+    """
+
+    ind_rows: np.ndarray
+    ind_vars: np.ndarray
+    ind_values: np.ndarray
+    ind_slice: Optional[slice]
+    const_rows: np.ndarray
+    const_probs: np.ndarray
+    const_log_probs: np.ndarray
+    const_slice: Optional[slice]
+
+
+@dataclass(frozen=True)
+class PlannedKernel:
+    """One fused array operation over physical rows.
+
+    ``dest`` is always a contiguous physical interval (the allocator hands
+    every kernel one); ``arg0``/``arg1`` are physical row indices with
+    ``arg0_slice``/``arg1_slice`` carrying the copy-free view when the
+    pattern is a constant positive stride.  ``encode`` lists the input rows
+    that become live at this kernel (lazy input materialization).
+
+    When an operand consists *entirely* of constant input slots read only
+    by this kernel — the ``weight * child`` lanes of every weighted sum —
+    the planner never materializes those rows at all: ``const_arg0`` /
+    ``const_arg1`` carry the values as a ``(width, 1)`` column that NumPy
+    broadcasts across the batch, eliminating one full operand's worth of
+    buffer traffic per lane.
+    """
+
+    op: str
+    dest_start: int
+    dest_stop: int
+    arg0: np.ndarray
+    arg1: np.ndarray
+    arg0_slice: Optional[slice]
+    arg1_slice: Optional[slice]
+    encode: Optional[InputEncoding]
+    const_arg0: Optional[np.ndarray] = None
+    const_arg0_log: Optional[np.ndarray] = None
+    const_arg1: Optional[np.ndarray] = None
+    const_arg1_log: Optional[np.ndarray] = None
+    #: Source tape slots written by this kernel, in dest order (used by
+    #: :func:`verify_plan` to compare against the legacy slot matrix).
+    source_slots: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def width(self) -> int:
+        return self.dest_stop - self.dest_start
+
+    @property
+    def is_add(self) -> bool:
+        return self.op == OP_ADD
+
+
+@dataclass
+class MemoryPlan:
+    """A compiled tape rewritten over a reusable physical slot buffer.
+
+    ``n_physical`` is the buffer height actually needed (the allocator's
+    address high-water mark) and :attr:`max_live` the true liveness peak —
+    the maximum number of rows simultaneously live across any kernel
+    boundary.  ``n_physical >= max_live`` always, with equality when
+    interval allocation suffers no fragmentation; both are bounded by the
+    source tape's ``n_slots``, and the ratio ``n_slots / n_physical`` is
+    the working-set reduction the plan buys.
+    """
+
+    kernels: List[PlannedKernel]
+    n_physical: int
+    max_live: int
+    n_slots: int
+    n_inputs: int
+    root_phys: int
+    #: True when the final kernel's sole dest row is the root: the executor
+    #: then writes the root directly into the caller's output vector
+    #: instead of copying it out of the buffer afterwards.
+    root_direct: bool
+    n_source_kernels: int
+    fused: bool
+
+    def __post_init__(self) -> None:
+        self._scratch = threading.local()
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def reduction(self) -> float:
+        """Working-set reduction vs the legacy dense slot matrix."""
+        return self.n_slots / max(self.n_physical, 1)
+
+    def peak_bytes(self, n_rows: int) -> int:
+        """Peak slot-buffer bytes for an ``n_rows`` block under this plan."""
+        return self.n_physical * int(n_rows) * 8
+
+    # ------------------------------------------------------------------ #
+    # Per-thread scratch buffer
+    # ------------------------------------------------------------------ #
+    def workspace(self, n_rows: int) -> np.ndarray:
+        """A ``(n_physical, n_rows)`` scratch block, reused across calls.
+
+        Each thread keeps (at most) one buffer per plan, grown to the
+        largest row count seen; serving workers therefore execute every
+        micro-batch of a model in the same preallocated block instead of
+        allocating a fresh slot matrix per batch.
+        """
+        buffer = getattr(self._scratch, "buffer", None)
+        if buffer is None or buffer.shape[1] < n_rows:
+            buffer = np.empty((self.n_physical, int(n_rows)), dtype=np.float64)
+            self._scratch.buffer = buffer
+        return buffer[:, :n_rows]
+
+    def reserve(self, n_rows: int) -> None:
+        """Preallocate the calling thread's scratch for ``n_rows`` rows."""
+        self.workspace(max(int(n_rows), 1))
+
+
+# --------------------------------------------------------------------------- #
+# Planning
+# --------------------------------------------------------------------------- #
+class _FreeIntervals:
+    """Best-fit interval allocator over physical rows with coalescing."""
+
+    def __init__(self) -> None:
+        self._free: List[Tuple[int, int]] = []  # (start, length), sorted
+        self.high_water = 0
+
+    def alloc(self, width: int) -> int:
+        best = -1
+        best_len = 0
+        for i, (_, length) in enumerate(self._free):
+            if length >= width and (best < 0 or length < best_len):
+                best, best_len = i, length
+        if best >= 0:
+            start, length = self._free[best]
+            if length == width:
+                del self._free[best]
+            else:
+                self._free[best] = (start + width, length - width)
+            return start
+        start = self.high_water
+        self.high_water += width
+        return start
+
+    def free(self, start: int, width: int) -> None:
+        if width <= 0:
+            return
+        lo = 0
+        hi = len(self._free)
+        while lo < hi:  # insertion point by start
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (start, width))
+        # Coalesce with the neighbours.
+        if lo + 1 < len(self._free):
+            s, w = self._free[lo]
+            s2, w2 = self._free[lo + 1]
+            if s + w == s2:
+                self._free[lo] = (s, w + w2)
+                del self._free[lo + 1]
+        if lo > 0:
+            s, w = self._free[lo - 1]
+            s2, w2 = self._free[lo]
+            if s + w == s2:
+                self._free[lo - 1] = (s, w + w2)
+                del self._free[lo]
+
+
+def _as_stride_slice(indices: np.ndarray) -> Optional[slice]:
+    """The equivalent slice when ``indices`` is a constant positive-stride run.
+
+    Binary-tree reductions produce interleaved operand patterns (stride 2:
+    ``[p, p+2, p+4, ...]`` vs ``[p+1, p+3, ...]``), so strided views cover
+    the majority of kernels and skip the gather copy entirely.  The single
+    definition of the strided-view test — the legacy executor in
+    :mod:`repro.spn.compiled` imports it as ``_as_slice``.
+    """
+    if not indices.size:
+        return None
+    if indices.size == 1:
+        start = int(indices[0])
+        return slice(start, start + 1)
+    steps = np.diff(indices)
+    step = int(steps[0])
+    if step > 0 and bool((steps == step).all()):
+        start = int(indices[0])
+        return slice(start, start + (indices.size - 1) * step + 1, step)
+    return None
+
+
+def _reads_any(kernel, dest_ranges: Sequence[Tuple[int, int]]) -> bool:
+    for args in (kernel.arg0, kernel.arg1):
+        for lo, hi in dest_ranges:
+            if bool(((args >= lo) & (args < hi)).any()):
+                return True
+    return False
+
+
+def _fusion_groups(tape, fuse: bool, fuse_width: int) -> List[List[int]]:
+    """Group kernels for fused execution (one gather/compute call each).
+
+    The tape alternates add and mul kernels level by level, so same-opcode
+    kernels are almost never *adjacent*; instead the pass keeps one open
+    candidate group per opcode and appends each kernel to its opcode's
+    group when the combined width stays within ``fuse_width`` and the
+    kernel is provably independent of the group (it reads none of the
+    group's destinations).  A kernel that *does* read an open group's
+    destinations forces that group to be emitted first, which fixes the
+    emitted order as a valid topological reordering of the tape — on the
+    deep narrow suite tapes this fuses the sum kernels of consecutive
+    levels (each reads only the product side) and roughly halves the
+    per-level Python dispatch.  The emitted order is re-verified
+    structurally before planning (:func:`plan_memory` raises on any
+    violation) and value-checked by :func:`verify_plan`.
+    """
+    if not fuse:
+        return [[i] for i in range(len(tape.kernels))]
+    groups: List[List[int]] = []
+    # op -> (kernel indices, combined width, dest ranges) of the open group.
+    open_groups: Dict[str, Tuple[List[int], int, List[Tuple[int, int]]]] = {}
+    open_order: List[str] = []  # opcodes by group opening time
+
+    def flush(op: str) -> None:
+        entry = open_groups.pop(op, None)
+        if entry is not None:
+            groups.append(entry[0])
+            open_order.remove(op)
+
+    for i, kernel in enumerate(tape.kernels):
+        # A group whose destinations this kernel reads must execute first.
+        for op in list(open_order):
+            if op != kernel.op and _reads_any(kernel, open_groups[op][2]):
+                flush(op)
+        entry = open_groups.get(kernel.op)
+        if entry is not None:
+            members, width, dests = entry
+            if width + kernel.width <= fuse_width and not _reads_any(kernel, dests):
+                members.append(i)
+                dests.append((kernel.dest_start, kernel.dest_stop))
+                open_groups[kernel.op] = (members, width + kernel.width, dests)
+                continue
+            flush(kernel.op)
+        open_groups[kernel.op] = (
+            [i],
+            kernel.width,
+            [(kernel.dest_start, kernel.dest_stop)],
+        )
+        open_order.append(kernel.op)
+    for op in list(open_order):
+        flush(op)
+    return groups
+
+
+def _check_topological(tape, groups: Sequence[Sequence[int]]) -> None:
+    """Assert the fused emission order respects every tape dependency."""
+    produced = np.zeros(tape.n_slots, dtype=bool)
+    produced[: tape.n_inputs] = True
+    for group in groups:
+        for ki in group:
+            kernel = tape.kernels[ki]
+            for args in (kernel.arg0, kernel.arg1):
+                if not produced[args].all():
+                    raise AssertionError(
+                        "kernel fusion produced an invalid schedule "
+                        f"(kernel {ki} reads an unproduced slot)"
+                    )
+        for ki in group:
+            kernel = tape.kernels[ki]
+            produced[kernel.dest_start : kernel.dest_stop] = True
+
+
+def plan_memory(
+    tape, fuse: bool = True, fuse_width: int = DEFAULT_FUSE_WIDTH
+) -> MemoryPlan:
+    """Plan physical-slot execution for a :class:`~repro.spn.compiled.CompiledTape`.
+
+    Runs the liveness analysis at (fused-)kernel granularity — a slot is
+    live from the kernel that defines it (for inputs: the kernel that first
+    *reads* it, since inputs are encoded lazily) through the kernel that
+    last reads it, the root surviving to the end — and assigns every slot a
+    physical row via best-fit interval allocation, each kernel's dest block
+    staying one contiguous physical interval so the executor keeps its
+    slice-store fast path.  Requires a tape with at least one kernel
+    (slot-matrix execution is trivial without one; ``execute_batch`` keeps
+    such tapes on the legacy path).
+    """
+    if not tape.kernels:
+        raise ValueError("cannot plan an empty tape (no kernels)")
+    groups = _fusion_groups(tape, fuse, fuse_width)
+    if fuse:
+        _check_topological(tape, groups)
+    n_slots = tape.n_slots
+    n_inputs = tape.n_inputs
+    n_groups = len(groups)
+
+    # Broadcast-constant operands: when every lane of a group's arg0 (or
+    # arg1) is a constant input read nowhere else, the values travel as a
+    # (width, 1) column broadcast across the batch instead of materialized
+    # rows — the ``weight * child`` lanes of every weighted sum.
+    is_const = np.zeros(n_slots, dtype=bool)
+    const_prob = np.zeros(n_inputs, dtype=np.float64)
+    for spec in tape.inputs:
+        if spec.kind != "indicator":
+            is_const[spec.index] = True
+            const_prob[spec.index] = spec.prob
+    total_reads = np.zeros(n_slots, dtype=np.int64)
+    for kernel in tape.kernels:
+        np.add.at(total_reads, kernel.arg0, 1)
+        np.add.at(total_reads, kernel.arg1, 1)
+    group_args: List[Tuple[np.ndarray, np.ndarray]] = []
+    broadcast: List[Tuple[bool, bool]] = []
+    for group in groups:
+        arg0v = np.concatenate([tape.kernels[ki].arg0 for ki in group])
+        arg1v = np.concatenate([tape.kernels[ki].arg1 for ki in group])
+        group_args.append((arg0v, arg1v))
+        flags = []
+        for args in (arg0v, arg1v):
+            ok = bool(is_const[args].all())
+            if ok:
+                occurrences = np.bincount(args, minlength=n_slots)[args]
+                ok = bool((total_reads[args] == occurrences).all())
+            flags.append(ok)
+        broadcast.append((flags[0], flags[1]))
+
+    # Liveness at fused-kernel granularity.  first_use/last_use are fused
+    # indices; -1 marks a slot never read (dead inputs are never encoded,
+    # dead op slots still occupy their kernel's dest interval but free
+    # immediately afterwards).  Broadcast operand lanes do not count as
+    # reads: their slots are never materialized.
+    first_use = np.full(n_slots, -1, dtype=np.int64)
+    last_use = np.full(n_slots, -1, dtype=np.int64)
+    defined_at = np.full(n_slots, -1, dtype=np.int64)
+    for gi, group in enumerate(groups):
+        for ki in group:
+            kernel = tape.kernels[ki]
+            defined_at[kernel.dest_start : kernel.dest_stop] = gi
+        bc0, bc1 = broadcast[gi]
+        for args, skip in ((group_args[gi][0], bc0), (group_args[gi][1], bc1)):
+            if skip:
+                continue
+            fresh = first_use[args] < 0
+            if fresh.any():
+                first_use[args[fresh]] = gi
+            last_use[args] = gi
+    last_use[tape.root_slot] = n_groups  # the root survives the whole run
+
+    inputs_by_group: Dict[int, List[int]] = {}
+    for slot in range(n_inputs):
+        if first_use[slot] >= 0:
+            inputs_by_group.setdefault(int(first_use[slot]), []).append(slot)
+
+    expire: List[List[Tuple[int, int]]] = [[] for _ in range(n_groups + 1)]
+
+    allocator = _FreeIntervals()
+    phys_of = np.full(n_slots, -1, dtype=np.intp)
+    input_kind = {s.index: s for s in tape.inputs}
+    in_use = 0
+    max_live = 0
+    planned: List[PlannedKernel] = []
+
+    for gi, group in enumerate(groups):
+        # 1. Retire slots whose last read was the previous kernel.
+        for start, width in expire[gi]:
+            allocator.free(start, width)
+            in_use -= width
+        # 2. Materialize the inputs this kernel reads first, as one
+        #    contiguous interval in slot order.
+        encode = None
+        fresh_inputs = inputs_by_group.get(gi, [])
+        if fresh_inputs:
+            base = allocator.alloc(len(fresh_inputs))
+            in_use += len(fresh_inputs)
+            ind_rows: List[int] = []
+            ind_vars: List[int] = []
+            ind_values: List[int] = []
+            const_rows: List[int] = []
+            const_probs: List[float] = []
+            for offset, slot in enumerate(fresh_inputs):
+                phys_of[slot] = base + offset
+                spec = input_kind[slot]
+                if spec.kind == "indicator":
+                    ind_rows.append(base + offset)
+                    ind_vars.append(spec.var)
+                    ind_values.append(spec.value)
+                else:
+                    const_rows.append(base + offset)
+                    const_probs.append(spec.prob)
+            _queue_expiry(expire, fresh_inputs, last_use, phys_of, default_last=gi)
+            const_probs_arr = np.array(const_probs, dtype=np.float64)
+            with np.errstate(divide="ignore"):
+                const_logs = np.log(const_probs_arr)
+            ind_rows_arr = np.array(ind_rows, dtype=np.intp)
+            const_rows_arr = np.array(const_rows, dtype=np.intp)
+            encode = InputEncoding(
+                ind_rows=ind_rows_arr,
+                ind_vars=np.array(ind_vars, dtype=np.intp),
+                ind_values=np.array(ind_values, dtype=np.int64),
+                ind_slice=_as_stride_slice(ind_rows_arr),
+                const_rows=const_rows_arr,
+                const_probs=const_probs_arr,
+                const_log_probs=const_logs,
+                const_slice=_as_stride_slice(const_rows_arr),
+            )
+        # 3. Allocate this kernel's dest interval and emit the fused kernel.
+        width = sum(tape.kernels[ki].width for ki in group)
+        dest = allocator.alloc(width)
+        in_use += width
+        offset = dest
+        source_slots: List[int] = []
+        for ki in group:
+            kernel = tape.kernels[ki]
+            for slot in range(kernel.dest_start, kernel.dest_stop):
+                phys_of[slot] = offset
+                source_slots.append(slot)
+                offset += 1
+        dest_slots = np.array(source_slots, dtype=np.intp)
+        _queue_expiry(expire, source_slots, last_use, phys_of, default_last=gi)
+        arg0v, arg1v = group_args[gi]
+        bc0, bc1 = broadcast[gi]
+        empty = np.empty(0, dtype=np.intp)
+
+        def _operand(args: np.ndarray, bc: bool):
+            if bc:
+                column = const_prob[args].reshape(-1, 1)
+                with np.errstate(divide="ignore"):
+                    log_column = np.log(column)
+                return empty, None, column, log_column
+            rows = phys_of[args].astype(np.intp, copy=False)
+            return rows, _as_stride_slice(rows), None, None
+
+        arg0, arg0_slice, const0, const0_log = _operand(arg0v, bc0)
+        arg1, arg1_slice, const1, const1_log = _operand(arg1v, bc1)
+        planned.append(
+            PlannedKernel(
+                op=tape.kernels[group[0]].op,
+                dest_start=dest,
+                dest_stop=dest + width,
+                arg0=arg0,
+                arg1=arg1,
+                arg0_slice=arg0_slice,
+                arg1_slice=arg1_slice,
+                encode=encode,
+                const_arg0=const0,
+                const_arg0_log=const0_log,
+                const_arg1=const1,
+                const_arg1_log=const1_log,
+                source_slots=dest_slots,
+            )
+        )
+        max_live = max(max_live, in_use)
+
+    final = planned[-1]
+    root_phys = int(phys_of[tape.root_slot])
+    root_direct = final.width == 1 and final.dest_start == root_phys
+    return MemoryPlan(
+        kernels=planned,
+        n_physical=allocator.high_water,
+        max_live=max_live,
+        n_slots=n_slots,
+        n_inputs=n_inputs,
+        root_phys=root_phys,
+        root_direct=root_direct,
+        n_source_kernels=len(tape.kernels),
+        fused=fuse,
+    )
+
+
+def _queue_expiry(expire, slots, last_use, phys_of, default_last: int) -> None:
+    """Queue freshly placed slots for retirement after their last read.
+
+    A slot retires at the start of the kernel after its last read
+    (never-read slots retire right after their defining kernel,
+    ``default_last``); slots whose last read is past the final kernel — the
+    root — simply survive the run.  Adjacent physical rows expiring
+    together merge into one interval so the allocator frees (and
+    re-coalesces) runs, not single rows.
+    """
+    by_group: Dict[int, List[int]] = {}
+    for slot in slots:
+        last = int(last_use[slot])
+        if last < 0:  # never read: retire immediately after definition
+            last = default_last
+        if last + 1 >= len(expire):  # lives to the end (the root)
+            continue
+        by_group.setdefault(last, []).append(int(phys_of[slot]))
+    for last, rows in by_group.items():
+        rows.sort()
+        start = rows[0]
+        prev = rows[0]
+        bucket = expire[last + 1]
+        for row in rows[1:]:
+            if row == prev + 1:
+                prev = row
+                continue
+            bucket.append((start, prev - start + 1))
+            start = prev = row
+        bucket.append((start, prev - start + 1))
+
+
+# --------------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------------- #
+def _encode_inputs(
+    encode: InputEncoding,
+    block: np.ndarray,
+    data: np.ndarray,
+    log_domain: bool,
+) -> None:
+    """Materialize one kernel's fresh input rows into the physical buffer."""
+    n_cols = data.shape[1]
+    hit_value, miss_value = (0.0, -np.inf) if log_domain else (1.0, 0.0)
+    if encode.ind_rows.size:
+        target = encode.ind_slice if encode.ind_slice is not None else encode.ind_rows
+        if n_cols == 0:
+            block[target] = hit_value
+        else:
+            in_range = encode.ind_vars < n_cols
+            cols = data[:, np.minimum(encode.ind_vars, n_cols - 1)].T
+            hit = (cols < 0) | (cols == encode.ind_values[:, None])
+            hit |= ~in_range[:, None]
+            block[target] = np.where(hit, hit_value, miss_value)
+    if encode.const_rows.size:
+        target = (
+            encode.const_slice if encode.const_slice is not None else encode.const_rows
+        )
+        block[target] = (
+            encode.const_log_probs if log_domain else encode.const_probs
+        )[:, None]
+
+
+def execute_plan(
+    plan: MemoryPlan,
+    data: np.ndarray,
+    log_domain: bool = False,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Run a planned tape over one (already validated) evidence block.
+
+    Writes the root values into ``out`` (allocated when ``None``) and
+    returns it.  When the plan's final kernel produces exactly the root
+    (``root_direct``), that kernel computes straight into ``out`` — no
+    root-row copy at all; otherwise the root's physical row is copied out
+    once.  The physical buffer is the calling thread's reusable scratch.
+    """
+    n_rows = data.shape[0]
+    if out is None:
+        out = np.empty(n_rows, dtype=np.float64)
+    block = plan.workspace(n_rows)
+    last = len(plan.kernels) - 1
+    for i, kernel in enumerate(plan.kernels):
+        if kernel.encode is not None:
+            _encode_inputs(kernel.encode, block, data, log_domain)
+        a = _operand_block(kernel, block, log_domain, 0)
+        b = _operand_block(kernel, block, log_domain, 1)
+        if i == last and plan.root_direct:
+            dest = out[None, :]
+        else:
+            dest = block[kernel.dest_start : kernel.dest_stop]
+        if log_domain:
+            if kernel.op == OP_ADD:
+                np.logaddexp(a, b, out=dest)
+            else:
+                np.add(a, b, out=dest)
+        else:
+            if kernel.op == OP_ADD:
+                np.add(a, b, out=dest)
+            else:
+                np.multiply(a, b, out=dest)
+    if not plan.root_direct:
+        out[:] = block[plan.root_phys]
+    return out
+
+
+def _operand_block(
+    kernel: PlannedKernel, block: np.ndarray, log_domain: bool, which: int
+) -> np.ndarray:
+    """Fetch one operand: broadcast constant column, slice view, or gather."""
+    if which == 0:
+        if kernel.const_arg0 is not None:
+            return kernel.const_arg0_log if log_domain else kernel.const_arg0
+        return block[
+            kernel.arg0_slice if kernel.arg0_slice is not None else kernel.arg0
+        ]
+    if kernel.const_arg1 is not None:
+        return kernel.const_arg1_log if log_domain else kernel.const_arg1
+    return block[kernel.arg1_slice if kernel.arg1_slice is not None else kernel.arg1]
+
+
+# Shared shard pools, one per requested size.  ThreadPoolExecutor joins its
+# workers at interpreter exit, so module-level pools need no teardown hook.
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shard_pool(n_threads: int) -> ThreadPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(n_threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=n_threads, thread_name_prefix="tape-shard"
+            )
+            _POOLS[n_threads] = pool
+        return pool
+
+
+def shard_bounds(n_rows: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Split ``n_rows`` into ``n_shards`` near-equal contiguous row ranges."""
+    n_shards = max(1, min(n_shards, n_rows))
+    edges = np.linspace(0, n_rows, n_shards + 1, dtype=np.int64)
+    return [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(n_shards)
+        if edges[i + 1] > edges[i]
+    ]
+
+
+def execute_sharded(
+    plan: MemoryPlan,
+    data: np.ndarray,
+    log_domain: bool = False,
+    out: Optional[np.ndarray] = None,
+    options: ExecutionOptions = DEFAULT_EXECUTION,
+    block_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Run a planned tape over row shards on the shared thread pool.
+
+    Each shard executes the planned block loop independently (with its own
+    thread-local scratch buffer) into a disjoint range of ``out``; NumPy's
+    reduction kernels release the GIL, so shards overlap on multicore
+    hosts.  Batches too small to shard (fewer than two
+    ``options.min_shard_rows`` spans) run on the calling thread.
+    """
+    n_rows = data.shape[0]
+    if out is None:
+        out = np.empty(n_rows, dtype=np.float64)
+    n_shards = min(options.n_threads, max(1, n_rows // options.min_shard_rows))
+    bounds = shard_bounds(n_rows, n_shards)
+
+    def run_shard(lo: int, hi: int) -> None:
+        _blocked_plan(plan, data[lo:hi], log_domain, out[lo:hi], block_rows)
+
+    if len(bounds) <= 1:
+        run_shard(0, n_rows)
+        return out
+    pool = _shard_pool(options.n_threads)
+    futures = [pool.submit(run_shard, lo, hi) for lo, hi in bounds]
+    for future in futures:
+        future.result()
+    return out
+
+
+def _blocked_plan(
+    plan: MemoryPlan,
+    data: np.ndarray,
+    log_domain: bool,
+    out: np.ndarray,
+    block_rows: Optional[int],
+) -> None:
+    """Planned execution of one shard, in cache-sized row blocks."""
+    n_rows = data.shape[0]
+    block = block_rows or n_rows
+    if n_rows <= block:
+        execute_plan(plan, data, log_domain=log_domain, out=out)
+        return
+    for start in range(0, n_rows, block):
+        stop = min(start + block, n_rows)
+        execute_plan(plan, data[start:stop], log_domain=log_domain, out=out[start:stop])
+
+
+# --------------------------------------------------------------------------- #
+# Verification against the legacy slot matrix
+# --------------------------------------------------------------------------- #
+def verify_plan(
+    tape, plan: MemoryPlan, data: np.ndarray, log_domain: bool = False
+) -> None:
+    """Check a plan slot-by-slot against the legacy dense execution.
+
+    Replays the planned program on ``data`` and, after every kernel,
+    compares each freshly defined physical row **bit-exactly**
+    (``array_equal``, NaN-aware) against the corresponding row of the
+    legacy ``(n_slots, n_rows)`` slot matrix.  This is the ``check=True``
+    path of planned/sharded execution; a mismatch raises
+    :class:`~repro.spn.compiled.EngineMismatchError` naming the first
+    diverging tape slot.
+    """
+    from .compiled import EngineMismatchError
+
+    reference = tape.execute_slots(data, log_domain=log_domain)
+    n_rows = data.shape[0]
+    block = np.empty((plan.n_physical, n_rows), dtype=np.float64)
+    for kernel in plan.kernels:
+        if kernel.encode is not None:
+            _encode_inputs(kernel.encode, block, data, log_domain)
+        a = _operand_block(kernel, block, log_domain, 0)
+        b = _operand_block(kernel, block, log_domain, 1)
+        dest = block[kernel.dest_start : kernel.dest_stop]
+        if log_domain:
+            np.logaddexp(a, b, out=dest) if kernel.op == OP_ADD else np.add(
+                a, b, out=dest
+            )
+        else:
+            np.add(a, b, out=dest) if kernel.op == OP_ADD else np.multiply(
+                a, b, out=dest
+            )
+        for offset, slot in enumerate(kernel.source_slots):
+            got = block[kernel.dest_start + offset]
+            want = reference[int(slot)]
+            if not np.array_equal(got, want, equal_nan=True):
+                raise EngineMismatchError(
+                    f"planned execution diverges from the legacy slot matrix "
+                    f"at tape slot {int(slot)}: {got} vs {want}"
+                )
+    root = block[plan.root_phys]
+    if not np.array_equal(root, reference[tape.root_slot], equal_nan=True):
+        raise EngineMismatchError(
+            "planned execution diverges from the legacy slot matrix at the root"
+        )

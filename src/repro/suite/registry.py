@@ -193,22 +193,27 @@ def benchmark_tape(name: str, decompose: str = "balanced") -> CompiledTape:
     return compile_tape(benchmark_operation_list(name, decompose))
 
 
-def benchmark_session(name: str, engine: str = "vectorized"):
+def benchmark_session(name: str, engine: str = "vectorized", execution=None):
     """A shared :class:`~repro.api.session.InferenceSession` for a benchmark.
 
     The typed-query front door for suite models: every caller asking for the
-    same ``(name, engine)`` gets one session, so its caches (pinned tape,
-    partition function, operation list) are shared.  Experiments and the
-    scalar wrappers route through this.
+    same ``(name, engine, execution)`` gets one session, so its caches
+    (pinned tape, partition function, operation list) are shared.
+    ``execution`` selects the tape executor
+    (:class:`~repro.spn.memplan.ExecutionOptions` or a mode string;
+    ``None`` is the planned default).  Experiments and the scalar wrappers
+    route through this.
     """
-    return _benchmark_session(name, engine)
+    from ..spn.memplan import resolve_execution
+
+    return _benchmark_session(name, engine, resolve_execution(execution))
 
 
 @lru_cache(maxsize=None)
-def _benchmark_session(name: str, engine: str):
+def _benchmark_session(name: str, engine: str, execution):
     from ..api.session import InferenceSession
 
-    return InferenceSession(name, engine=engine)
+    return InferenceSession(name, engine=engine, execution=execution)
 
 
 def benchmark_evaluate_batch(
@@ -217,6 +222,7 @@ def benchmark_evaluate_batch(
     engine: str = "vectorized",
     check: bool = False,
     log_domain: bool = False,
+    execution=None,
 ) -> np.ndarray:
     """Evaluate a suite benchmark on an evidence batch with the chosen engine.
 
@@ -225,16 +231,20 @@ def benchmark_evaluate_batch(
     ``engine="python"`` falls back to the per-node reference walk of
     :func:`repro.spn.evaluate.evaluate_batch` (linear domain) or its per-row
     log counterpart.  ``check=True`` cross-checks the vectorized result
-    against the reference on a prefix of the batch.
+    against the reference on a prefix of the batch; ``execution`` selects
+    the tape executor (planned default, sharded, legacy — bit-identical).
 
     Performance note: the tape is orders of magnitude faster than the
     row-by-row operation-list executor and several times faster than the
-    per-node walk on small-to-medium batches; on very large batches
-    (thousands of rows) of the deep suite networks the per-node walk
-    reaches rough parity — both engines are always available.
+    per-node walk — since the memory-planned executor became the default
+    that holds through multi-thousand-row batches too (the planned working
+    set stays cache-resident where the dense slot matrix spilled); both
+    engines are always available.
     """
     if resolve_engine(engine) == "vectorized":
-        result = benchmark_tape(name).execute_batch(np.asarray(data), log_domain=log_domain)
+        result = benchmark_tape(name).execute_batch(
+            np.asarray(data), log_domain=log_domain, execution=execution
+        )
         if check:
             cross_check(
                 result,
