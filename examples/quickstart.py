@@ -6,7 +6,9 @@ This walks through the full public API in a few dozen lines:
 1. build a small sum-product network by hand,
 2. bind it to an `InferenceSession` — the single front door for every
    query kind — and answer marginal, conditional and MPE queries as typed
-   objects (batched, log-domain where it matters),
+   objects (batched, log-domain where it matters), plus the analysis
+   kinds: `Classify` (posterior over one variable, with the classic
+   explaining-away effect) and seeded conditional `Sample`,
 3. measure the same model on the CPU and GPU platform engines through the
    very same session (the paper's ops/cycle metric),
 4. compile it for the paper's ``Ptree`` processor configuration and execute
@@ -20,7 +22,7 @@ import time
 
 import numpy as np
 
-from repro.api import MPE, Conditional, InferenceSession, Marginal
+from repro.api import MPE, Classify, Conditional, InferenceSession, Marginal, Sample
 from repro.compiler import compile_spn
 from repro.processor import ptree_config
 from repro.spn import (
@@ -71,6 +73,22 @@ def main() -> None:
         f"  (a Conditional plans into exactly {plan.n_evaluations} log-domain "
         "tape passes, whatever the batch size)"
     )
+
+    # --- analysis queries: classification and sampling --------------------- #
+    # Classify is predict_proba: the posterior over one variable's states
+    # given everything observed — here, "was it cloudy?" from the grass.
+    print("\nanalysis queries (same session):")
+    posterior = session.run(Classify(evidence={2: 1}, target=0))[0]
+    print("  P(cloudy | wet grass)      =", round(posterior[1], 4),
+          " (clear:", str(round(posterior[0], 4)) + ")")
+    posterior = session.run(Classify(evidence={1: 1, 2: 1}, target=0))[0]
+    print("  P(cloudy | sprinkler, wet) =", round(posterior[1], 4),
+          " -- the sprinkler explains the grass away")
+    # Seeded conditional sampling: complete the unobserved variables by
+    # exact ancestral draws.  Same seed, same rows -> same samples, always.
+    draws = session.run(Sample(evidence={2: 1}, n_samples=5, seed=4))[0]
+    print("  5 sampled worlds | wet     =", draws.tolist(),
+          " (columns: cloudy, sprinkler, wet)")
 
     # --- platform throughput through the same session ---------------------- #
     print("\nplatform engines (ops/cycle, same session):")

@@ -3,7 +3,9 @@
 This package is the public entry point for probabilistic inference in the
 repository.  Queries are typed objects (:class:`Likelihood`,
 :class:`LogLikelihood`, :class:`Marginal`, :class:`Conditional`,
-:class:`MPE` — all carrying batched evidence arrays in the canonical
+:class:`MPE`, plus the analysis kinds :class:`Sample`,
+:class:`Expectation`, :class:`Entropy`, :class:`MutualInformation` and
+:class:`Classify` — all carrying batched evidence arrays in the canonical
 :data:`~repro.spn.evaluate.MARGINALIZED` convention) and an
 :class:`InferenceSession` binds a model to an engine, plans each query into
 the minimal set of vectorized tape evaluations, executes it, and measures
@@ -32,12 +34,17 @@ lifecycle and planning rules.
 from .queries import (
     MPE,
     QUERY_KINDS,
+    Classify,
     Conditional,
+    Entropy,
+    Expectation,
     Likelihood,
     LogLikelihood,
     Marginal,
+    MutualInformation,
     Query,
     QueryKind,
+    Sample,
     as_kind,
     deserialize_query,
     evidence_rows,
@@ -56,6 +63,11 @@ __all__ = [
     "Marginal",
     "Conditional",
     "MPE",
+    "Sample",
+    "Expectation",
+    "Entropy",
+    "MutualInformation",
+    "Classify",
     "evidence_rows",
     "query_type",
     "serialize_query",

@@ -9,13 +9,20 @@ query *kind* is a small frozen dataclass carrying batched evidence arrays
 :class:`~repro.api.session.InferenceSession` plans any of them into the
 minimal set of vectorized tape evaluations.
 
-Five kinds, one hierarchy::
+Ten kinds, one hierarchy::
 
     Likelihood(evidence)                    # linear root values, 1 pass
     LogLikelihood(evidence)                 # log root values,    1 pass
     Marginal(evidence, log, normalize)      # (log-)marginal, optionally / Z
     Conditional(query=q, evidence=e, log=l) # P(q | e): exactly 2 log passes
     MPE(evidence, refine)                   # per-row most probable completion
+    Sample(evidence, n_samples, seed)       # seeded conditional sampling
+    Expectation(evidence, variables,        # conditional moments per variable
+                moment, center)
+    Entropy(evidence, variables)            # conditional entropy per variable
+    MutualInformation(evidence, variables,  # pairwise (normalized) MI matrix
+                      normalize)
+    Classify(evidence, target, log)         # posterior over a target's states
 
 Queries are *data*: they validate at construction (conflicting assignments,
 bad dtypes and unknown kinds fail immediately, not deep inside a worker
@@ -50,6 +57,11 @@ __all__ = [
     "Marginal",
     "Conditional",
     "MPE",
+    "Sample",
+    "Expectation",
+    "Entropy",
+    "MutualInformation",
+    "Classify",
     "evidence_rows",
     "query_type",
     "serialize_query",
@@ -58,7 +70,7 @@ __all__ = [
 
 
 class QueryKind(str, enum.Enum):
-    """The five query kinds of the unified API (one shared vocabulary).
+    """The ten query kinds of the unified API (one shared vocabulary).
 
     Subclasses ``str`` so members compare equal to the historical raw kind
     strings (``KIND_LIKELIHOOD == "likelihood"``), but construction of an
@@ -71,6 +83,11 @@ class QueryKind(str, enum.Enum):
     MARGINAL = "marginal"
     CONDITIONAL = "conditional"
     MPE = "mpe"
+    SAMPLE = "sample"
+    EXPECTATION = "expectation"
+    ENTROPY = "entropy"
+    MUTUAL_INFORMATION = "mutual_information"
+    CLASSIFY = "classify"
 
 
 #: All query kinds, in declaration order.
@@ -132,6 +149,22 @@ def evidence_rows(evidence, n_vars: Optional[int] = None) -> np.ndarray:
     return rows
 
 
+def _variables_tuple(variables) -> Optional[Tuple[int, ...]]:
+    """Coerce a variable selection to a validated tuple (``None`` = all).
+
+    Order is preserved — it is the column order of the result — and
+    duplicates or negative ids are rejected at construction.
+    """
+    if variables is None:
+        return None
+    result = tuple(int(v) for v in variables)
+    if any(v < 0 for v in result):
+        raise ValueError(f"variables must be non-negative, got {result}")
+    if len(set(result)) != len(result):
+        raise ValueError(f"variables contain duplicates: {result}")
+    return result
+
+
 @dataclass(frozen=True, eq=False)
 class Query:
     """Base of the typed query hierarchy: one batched evidence array.
@@ -162,8 +195,14 @@ class Query:
             return False
         if not np.array_equal(self.evidence, other.evidence):
             return False
-        mine, theirs = getattr(self, "query", None), getattr(other, "query", None)
-        return np.array_equal(mine, theirs) if mine is not None else theirs is None
+        for name in ("query", "row_ids"):
+            mine, theirs = getattr(self, name, None), getattr(other, name, None)
+            if mine is None:
+                if theirs is not None:
+                    return False
+            elif not np.array_equal(mine, theirs):
+                return False
+        return True
 
     __hash__ = object.__hash__
 
@@ -182,11 +221,17 @@ class Query:
     # Parameters and grouping
     # ------------------------------------------------------------------ #
     def params(self) -> Dict[str, object]:
-        """The kind-specific execution parameters (everything but the arrays)."""
+        """The kind-specific execution parameters (everything but the arrays).
+
+        ``row_ids`` (the per-row sampling identities of :class:`Sample`) is
+        array data, not an execution parameter: it is excluded so the
+        serving layer's :meth:`group_key` co-batching stays row-scatter
+        safe.
+        """
         return {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("evidence", "query")
+            if f.name not in ("evidence", "query", "row_ids")
         }
 
     def group_key(self) -> tuple:
@@ -210,6 +255,17 @@ class Query:
         """Rebuild a batched query from row payloads (inverse of split)."""
         return cls(evidence=np.stack(rows) if len(rows) else
                    np.zeros((0, 1), dtype=np.int64), **params)
+
+    @classmethod
+    def assemble_rows(cls, results: Sequence[object]):
+        """Combine per-row results back into this kind's batched result.
+
+        The inverse of ``list(session.run(query))`` on the serving side:
+        value kinds stack their per-row float results (scalars or vectors)
+        into one float64 array; :class:`MPE` and :class:`Sample` override
+        this to keep their list / int64-array result types.
+        """
+        return np.asarray(list(results), dtype=np.float64)
 
     # ------------------------------------------------------------------ #
     # Serialization
@@ -373,6 +429,211 @@ class MPE(Query):
     kind: ClassVar[QueryKind] = QueryKind.MPE
     refine: bool = True
 
+    @classmethod
+    def assemble_rows(cls, results: Sequence[object]):
+        return list(results)
+
+
+@dataclass(frozen=True, eq=False)
+class Sample(Query):
+    """Seeded conditional samples: ``n_samples`` completions of each row.
+
+    Each evidence row's unobserved variables are drawn from the network's
+    conditional distribution given the observed ones, by exact chain-rule
+    (ancestral) sampling over batched log tape passes — one pass per free
+    variable, shared by the whole batch, never a per-row walk.  The result
+    is an ``(n_rows, n_samples, n_vars)`` int64 array whose observed
+    columns echo the evidence.
+
+    Determinism is a contract, not an accident: the random draw for a row
+    depends only on ``(seed, row id, variable)`` — ``row_ids`` defaults to
+    the row's position in the batch — so the same seed returns bit-identical
+    samples whether a row runs alone, inside a larger batch, through any
+    execution mode, or scattered across serving micro-batches.  Rows whose
+    evidence has probability zero raise ``ValueError`` (there is no
+    conditional to sample from).
+    """
+
+    kind: ClassVar[QueryKind] = QueryKind.SAMPLE
+    n_samples: int = 1
+    seed: int = 0
+    row_ids: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if int(self.n_samples) < 1:
+            raise ValueError(f"n_samples must be >= 1, got {self.n_samples}")
+        if int(self.seed) < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+        object.__setattr__(self, "n_samples", int(self.n_samples))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.row_ids is None:
+            ids = np.arange(self.n_rows, dtype=np.int64)
+        else:
+            ids = np.asarray(self.row_ids, dtype=np.int64).reshape(-1)
+            if ids.shape[0] != self.n_rows:
+                raise ValueError(
+                    f"row_ids has {ids.shape[0]} entries for {self.n_rows} rows"
+                )
+            if ids.size and ids.min() < 0:
+                raise ValueError(f"row_ids must be non-negative, got {ids.min()}")
+        object.__setattr__(self, "row_ids", ids)
+
+    def split_rows(self) -> List[np.ndarray]:
+        # Each row payload stacks (evidence row, broadcast row id) so the
+        # serving layer can scatter rows across micro-batches without
+        # losing the identity that seeds the row's draws.
+        return [
+            np.stack([
+                self.evidence[i],
+                np.full(self.n_cols, self.row_ids[i], dtype=np.int64),
+            ])
+            for i in range(self.n_rows)
+        ]
+
+    @classmethod
+    def join_rows(cls, rows: Sequence[np.ndarray], **params) -> "Sample":
+        if not len(rows):
+            return cls(
+                evidence=np.zeros((0, 1), dtype=np.int64),
+                row_ids=np.zeros(0, dtype=np.int64),
+                **params,
+            )
+        stacked = np.stack(rows)  # (n_rows, 2, n_vars)
+        return cls(evidence=stacked[:, 0], row_ids=stacked[:, 1, 0], **params)
+
+    @classmethod
+    def assemble_rows(cls, results: Sequence[object]):
+        if not len(results):
+            return np.zeros((0, 0, 0), dtype=np.int64)
+        return np.stack([np.asarray(r, dtype=np.int64) for r in results])
+
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        payload["row_ids"] = self.row_ids.tolist()
+        return payload
+
+
+@dataclass(frozen=True, eq=False)
+class Expectation(Query):
+    """Conditional moments of each variable under each evidence row.
+
+    For every requested variable ``v`` (``variables=None`` means every
+    model variable, in ascending id order) the session computes the
+    conditional distribution :math:`P(X_v \\mid e)` from one shared
+    state-sweep log pass plus one evidence pass — two passes total for any
+    number of variables — and returns its ``moment``-th (optionally
+    ``center``-ed, i.e. variance for ``moment=2``) moment of the
+    variable's integer states, as an ``(n_rows, len(variables))`` float
+    array.  A variable observed in a row contributes its observed value's
+    point mass; rows whose evidence has probability zero yield ``nan``.
+    """
+
+    kind: ClassVar[QueryKind] = QueryKind.EXPECTATION
+    variables: Optional[Tuple[int, ...]] = None
+    moment: int = 1
+    center: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "variables", _variables_tuple(self.variables))
+        if int(self.moment) < 1:
+            raise ValueError(f"moment must be >= 1, got {self.moment}")
+        object.__setattr__(self, "moment", int(self.moment))
+        object.__setattr__(self, "center", bool(self.center))
+
+
+@dataclass(frozen=True, eq=False)
+class Entropy(Query):
+    """Per-variable conditional entropy (nats) under each evidence row.
+
+    Plans exactly like :class:`Expectation` (one shared state-sweep pass
+    plus one evidence pass) and returns
+    :math:`H(X_v \\mid e) = -\\sum_s P(s \\mid e) \\log P(s \\mid e)` as an
+    ``(n_rows, len(variables))`` float array, with the ``0 log 0 = 0``
+    convention.  Observed variables have entropy zero; zero-probability
+    evidence rows yield ``nan``.
+    """
+
+    kind: ClassVar[QueryKind] = QueryKind.ENTROPY
+    variables: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "variables", _variables_tuple(self.variables))
+
+
+@dataclass(frozen=True, eq=False)
+class MutualInformation(Query):
+    """Pairwise conditional mutual information matrix under each row.
+
+    ``evidence`` may be omitted (``None``): the unconditional case is one
+    fully-marginalized row.  Returns an ``(n_rows, k, k)`` symmetric float
+    array over the ``k`` requested variables whose off-diagonal entries are
+    :math:`I(X_u; X_v \\mid e)` in nats, whose diagonal carries the
+    per-variable entropies :math:`H(X_v \\mid e)`, and whose entries
+    involving a variable observed in the row are zero (an observed
+    variable carries no information).  With ``normalize=True`` every entry
+    is divided by :math:`\\sqrt{H(X_u) H(X_v)}` — a correlation-style
+    matrix with unit diagonal — with zero-entropy denominators mapping to
+    zero.  Plans to exactly three log passes (pair sweep, state sweep,
+    evidence) regardless of ``k`` or the batch size; zero-probability
+    evidence rows yield ``nan``.
+    """
+
+    kind: ClassVar[QueryKind] = QueryKind.MUTUAL_INFORMATION
+    evidence: np.ndarray = None
+    variables: Optional[Tuple[int, ...]] = None
+    normalize: bool = False
+
+    def __post_init__(self) -> None:
+        if self.evidence is None:
+            object.__setattr__(self, "evidence", {})
+        super().__post_init__()
+        object.__setattr__(self, "variables", _variables_tuple(self.variables))
+        object.__setattr__(self, "normalize", bool(self.normalize))
+
+
+@dataclass(frozen=True, eq=False)
+class Classify(Query):
+    """Posterior over one target variable's states: ``predict_proba``.
+
+    The batched classification sweep: for each evidence row, the
+    distribution :math:`P(X_t = s \\mid e)` over every state ``s`` of the
+    ``target`` variable, as an ``(n_rows, n_states)`` float array (states
+    in ascending value order; log-domain with ``log=True``).  Reuses the
+    :class:`Conditional` plan shape — exactly two log passes, a joint
+    sweep and an evidence pass, subtracted — regardless of batch size or
+    state count, so each row's posterior sums to one by construction.
+
+    A row that already observes the target is rejected at construction
+    (the conditional would be a degenerate point mass and almost certainly
+    a caller bug); zero-probability evidence rows yield ``nan``.
+    """
+
+    kind: ClassVar[QueryKind] = QueryKind.CLASSIFY
+    target: int = None
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.target is None:
+            raise ValueError("Classify requires a target variable")
+        target = int(self.target)
+        if target < 0:
+            raise ValueError(f"target must be non-negative, got {target}")
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "log", bool(self.log))
+        if target < self.n_cols:
+            observed = self.evidence[:, target] >= 0
+            if observed.any():
+                row = int(np.argwhere(observed)[0, 0])
+                raise ValueError(
+                    f"Classify target variable {target} is observed in "
+                    f"evidence row {row}; remove it from the evidence to "
+                    "classify it"
+                )
+
 
 _QUERY_TYPES: Dict[QueryKind, type] = {
     QueryKind.LIKELIHOOD: Likelihood,
@@ -380,6 +641,11 @@ _QUERY_TYPES: Dict[QueryKind, type] = {
     QueryKind.MARGINAL: Marginal,
     QueryKind.CONDITIONAL: Conditional,
     QueryKind.MPE: MPE,
+    QueryKind.SAMPLE: Sample,
+    QueryKind.EXPECTATION: Expectation,
+    QueryKind.ENTROPY: Entropy,
+    QueryKind.MUTUAL_INFORMATION: MutualInformation,
+    QueryKind.CLASSIFY: Classify,
 }
 
 

@@ -44,12 +44,17 @@ from ..spn.linearize import OperationList, linearize
 from ..spn.nodes import IndicatorLeaf
 from .queries import (
     MPE,
+    Classify,
     Conditional,
+    Entropy,
+    Expectation,
     Likelihood,
     LogLikelihood,
     Marginal,
+    MutualInformation,
     Query,
     QueryKind,
+    Sample,
     evidence_rows,
 )
 
@@ -96,6 +101,18 @@ class QueryPlan:
     @property
     def peak_bytes_per_row(self) -> int:
         return self.peak_slots * 8
+
+
+def _entropy_terms(probs: np.ndarray) -> np.ndarray:
+    """Shannon entropy (nats) of each row of ``probs``, with 0 log 0 = 0.
+
+    ``nan`` rows (zero-probability evidence) come out finite here — the
+    callers re-mask them from the evidence pass, which keeps this helper a
+    pure elementwise reduction.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(probs > 0, probs * np.log(probs), 0.0)
+    return -terms.sum(axis=1)
 
 
 class InferenceSession:
@@ -161,6 +178,8 @@ class InferenceSession:
         self.on_evaluate: Optional[Callable[[str, int], None]] = None
         self._log_z: Optional[float] = None
         self._log_z_fingerprint: Optional[tuple] = None
+        self._domains: Optional[dict] = None
+        self._domains_fingerprint: Optional[tuple] = None
         self._ops: Optional[OperationList] = None
         self.tape = None
         if warm and self.engine == "vectorized":
@@ -199,6 +218,19 @@ class InferenceSession:
         * ``Conditional`` — exactly **two** log passes, joint and evidence,
           combined elementwise; never a per-row walk, and never more than
           two passes regardless of the batch size.
+        * ``Classify`` — the same two-pass shape as ``Conditional``: one
+          joint sweep over the target's states and one evidence pass,
+          subtracted, for any batch size and state count.
+        * ``Expectation`` / ``Entropy`` — exactly **two** log passes: one
+          shared state sweep over every requested variable's states and
+          one evidence pass; the moments / entropies are elementwise
+          post-processing.
+        * ``MutualInformation`` — exactly **three** log passes: a pair
+          sweep over all requested variable pairs, the single-variable
+          state sweep, and the evidence pass.
+        * ``Sample`` — one log pass per *free* variable of the batch (a
+          multi-valued model variable unobserved in at least one row):
+          the exact chain-rule sweep, batched across rows and samples.
         * ``MPE`` — a per-row search whose candidate scoring batches
           through the log tape internally (pass count depends on the
           network, so it is not enumerated here).
@@ -239,6 +271,47 @@ class InferenceSession:
             return QueryPlan(
                 query.kind, query.n_rows, (EvalPass("linear", "evidence"),), **stats
             )
+        if isinstance(query, Classify):
+            return QueryPlan(
+                kind=query.kind,
+                n_rows=query.n_rows,
+                passes=(EvalPass("log", "joint"), EvalPass("log", "evidence")),
+                postprocess="subtract" if query.log else "exp(subtract)",
+                **stats,
+            )
+        if isinstance(query, (Expectation, Entropy)):
+            post = (
+                "conditional moments" if isinstance(query, Expectation)
+                else "-sum p log p"
+            )
+            return QueryPlan(
+                kind=query.kind,
+                n_rows=query.n_rows,
+                passes=(EvalPass("log", "state-sweep"), EvalPass("log", "evidence")),
+                postprocess=post,
+                **stats,
+            )
+        if isinstance(query, MutualInformation):
+            return QueryPlan(
+                kind=query.kind,
+                n_rows=query.n_rows,
+                passes=(
+                    EvalPass("log", "pair-sweep"),
+                    EvalPass("log", "state-sweep"),
+                    EvalPass("log", "evidence"),
+                ),
+                postprocess="pairwise mutual information",
+                **stats,
+            )
+        if isinstance(query, Sample):
+            chain = self._sample_chain(self.encode(query.evidence), self.domains())
+            return QueryPlan(
+                kind=query.kind,
+                n_rows=query.n_rows,
+                passes=tuple(EvalPass("log", f"chain:{var}") for var in chain),
+                postprocess="inverse-CDF draw per pass",
+                **stats,
+            )
         if isinstance(query, MPE):
             return QueryPlan(
                 query.kind, query.n_rows, (), postprocess="per-row MPE search",
@@ -266,11 +339,15 @@ class InferenceSession:
     def run(self, query: Query):
         """Execute ``query`` and return its batched result.
 
-        Value kinds return a ``(n_rows,)`` float vector; :class:`MPE`
-        returns a list of ``{var: value}`` completions.  Results are
-        bit-identical for a row whether it runs alone, inside a larger
-        batch, or through the serving layer — the tape kernels are
-        elementwise across rows.
+        Value kinds return a ``(n_rows,)`` float vector; the analysis
+        kinds return per-row vectors or matrices (``Expectation`` /
+        ``Entropy``: ``(n_rows, k)``, ``MutualInformation``: ``(n_rows,
+        k, k)``, ``Classify``: ``(n_rows, n_states)``, ``Sample``:
+        ``(n_rows, n_samples, n_vars)`` int64); :class:`MPE` returns a
+        list of ``{var: value}`` completions.  Results are bit-identical
+        for a row whether it runs alone, inside a larger batch, or through
+        the serving layer — the tape kernels are elementwise across rows,
+        and :class:`Sample` seeds each row's draws by its row id.
         """
         if not isinstance(query, Query):
             raise TypeError(
@@ -293,6 +370,16 @@ class InferenceSession:
             return self._evaluate(self.encode(query.evidence), log_domain=True)
         if isinstance(query, Likelihood):
             return self._evaluate(self.encode(query.evidence), log_domain=False)
+        if isinstance(query, Classify):
+            return self._run_classify(query)
+        if isinstance(query, Expectation):
+            return self._run_expectation(query)
+        if isinstance(query, Entropy):
+            return self._run_entropy(query)
+        if isinstance(query, MutualInformation):
+            return self._run_mutual_information(query)
+        if isinstance(query, Sample):
+            return self._run_sample(query)
         if isinstance(query, MPE):
             from ..spn.queries import mpe_row
 
@@ -301,6 +388,265 @@ class InferenceSession:
                 for row in self.encode(query.evidence)
             ]
         raise TypeError(f"unknown query type {type(query).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Analysis kinds (sampling, moments, entropy, MI, classification)
+    # ------------------------------------------------------------------ #
+    def domains(self) -> Dict[int, Tuple[int, ...]]:
+        """Per-variable value domains read off the model's indicator leaves.
+
+        ``{var: (sorted values)}`` — the state spaces every analysis kind
+        sweeps over.  Cached under the same content fingerprint as the
+        tape and ``log Z`` caches, so a structurally mutated model
+        recomputes instead of sweeping stale states.
+        """
+        from ..spn.compiled import _fingerprint_parts
+        from ..spn.queries import _indicator_domains
+
+        tag, children = _fingerprint_parts(self.spn)
+        fingerprint = (tag, tuple(map(id, children)))
+        with self._lock:
+            if self._domains_fingerprint == fingerprint:
+                return self._domains
+        domains = {
+            var: tuple(sorted(values))
+            for var, values in sorted(_indicator_domains(self.spn).items())
+        }
+        with self._lock:
+            # Pin the fingerprinted children (id-reuse guard, as for log Z).
+            self._domains = domains
+            self._domains_fingerprint = fingerprint
+            self._domains_children = children
+        return domains
+
+    def _resolve_variables(self, variables, domains) -> Tuple[int, ...]:
+        """Validate a query's variable selection (``None`` = every model var)."""
+        if variables is None:
+            return tuple(sorted(domains))
+        for var in variables:
+            if var not in domains:
+                known = ", ".join(map(str, sorted(domains))) or "none"
+                raise ValueError(
+                    f"variable {var} is not a model variable (known: {known})"
+                )
+        return tuple(variables)
+
+    def _state_sweep(self, evidence: np.ndarray, entries) -> np.ndarray:
+        """One batched log pass over per-entry variable replacements.
+
+        ``entries`` is a sequence of assignments (tuples of ``(var,
+        value)`` pairs); every evidence row is evaluated under every
+        assignment in a single tape pass, returned as ``(n_rows,
+        len(entries))`` log values.
+        """
+        n = evidence.shape[0]
+        m = len(entries)
+        sweep = np.repeat(evidence, m, axis=0)
+        for j, assignment in enumerate(entries):
+            for var, value in assignment:
+                sweep[j::m, var] = value
+        return self._evaluate(sweep, log_domain=True).reshape(n, m)
+
+    def _conditional_distributions(self, evidence, variables, domains):
+        """Per-row conditionals ``P(X_v = s | e)`` for every requested var.
+
+        Two log passes (the shared state sweep, then the evidence batch).
+        Returns ``(cond, entries, log_e)`` where ``cond`` is ``(n_rows,
+        sum_v |domain(v)|)`` with the columns in ``entries`` order.
+        Observed variables contribute their point mass (the sweep's
+        replacement ratio would answer a different question); rows with
+        zero-probability evidence are ``nan`` throughout.
+        """
+        entries = [((v, s),) for v in variables for s in domains[v]]
+        log_sweep = self._state_sweep(evidence, entries)
+        log_e = self._evaluate(evidence, log_domain=True)
+        with np.errstate(invalid="ignore"):
+            cond = np.exp(log_sweep - log_e[:, None])
+        for j, ((var, value),) in enumerate(entries):
+            observed = evidence[:, var] >= 0
+            if observed.any():
+                cond[observed, j] = (evidence[observed, var] == value)
+        cond[log_e == -np.inf] = np.nan
+        return cond, entries, log_e
+
+    def _run_classify(self, query: Classify) -> np.ndarray:
+        evidence = self.encode(query.evidence)
+        domains = self.domains()
+        if query.target not in domains:
+            known = ", ".join(map(str, sorted(domains))) or "none"
+            raise ValueError(
+                f"Classify target {query.target} is not a model variable "
+                f"(known: {known})"
+            )
+        states = domains[query.target]
+        n, k = evidence.shape[0], len(states)
+        joint = np.repeat(evidence, k, axis=0)
+        joint[:, query.target] = np.tile(np.asarray(states, dtype=np.int64), n)
+        log_joint = self._evaluate(joint, log_domain=True).reshape(n, k)
+        log_evidence = self._evaluate(evidence, log_domain=True)
+        with np.errstate(invalid="ignore"):
+            diff = log_joint - log_evidence[:, None]  # P(e) = 0 rows -> nan
+        return diff if query.log else np.exp(diff)
+
+    def _run_expectation(self, query: Expectation) -> np.ndarray:
+        evidence = self.encode(query.evidence)
+        domains = self.domains()
+        variables = self._resolve_variables(query.variables, domains)
+        cond, _, _ = self._conditional_distributions(evidence, variables, domains)
+        out = np.empty((evidence.shape[0], len(variables)))
+        col = 0
+        for i, var in enumerate(variables):
+            k = len(domains[var])
+            probs = cond[:, col:col + k]
+            values = np.asarray(domains[var], dtype=np.float64)
+            if query.center:
+                mean = probs @ values
+                out[:, i] = (
+                    (values[None, :] - mean[:, None]) ** query.moment * probs
+                ).sum(axis=1)
+            else:
+                out[:, i] = probs @ (values ** query.moment)
+            col += k
+        return out
+
+    def _run_entropy(self, query: Entropy) -> np.ndarray:
+        evidence = self.encode(query.evidence)
+        domains = self.domains()
+        variables = self._resolve_variables(query.variables, domains)
+        cond, _, log_e = self._conditional_distributions(
+            evidence, variables, domains
+        )
+        out = np.empty((evidence.shape[0], len(variables)))
+        col = 0
+        for i, var in enumerate(variables):
+            k = len(domains[var])
+            out[:, i] = _entropy_terms(cond[:, col:col + k])
+            col += k
+        out[log_e == -np.inf] = np.nan
+        return out
+
+    def _run_mutual_information(self, query: MutualInformation) -> np.ndarray:
+        evidence = self.encode(query.evidence)
+        domains = self.domains()
+        variables = self._resolve_variables(query.variables, domains)
+        n, k = evidence.shape[0], len(variables)
+        pair_entries = [
+            ((u, a), (v, b))
+            for i, u in enumerate(variables)
+            for v in variables[i + 1:]
+            for a in domains[u]
+            for b in domains[v]
+        ]
+        log_pairs = self._state_sweep(evidence, pair_entries)
+        cond, _, log_e = self._conditional_distributions(
+            evidence, variables, domains
+        )
+        with np.errstate(invalid="ignore"):
+            pair_probs = np.exp(log_pairs - log_e[:, None])
+        offsets: Dict[int, int] = {}
+        entropies = np.empty((n, k))
+        col = 0
+        for i, var in enumerate(variables):
+            offsets[var] = col
+            entropies[:, i] = _entropy_terms(cond[:, col:col + len(domains[var])])
+            col += len(domains[var])
+        out = np.zeros((n, k, k))
+        pos = 0
+        for i, u in enumerate(variables):
+            for j in range(i + 1, k):
+                v = variables[j]
+                ku, kv = len(domains[u]), len(domains[v])
+                block = pair_probs[:, pos:pos + ku * kv].reshape(n, ku, kv)
+                pu = cond[:, offsets[u]:offsets[u] + ku]
+                pv = cond[:, offsets[v]:offsets[v] + kv]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ratio = (
+                        np.log(block)
+                        - np.log(pu[:, :, None])
+                        - np.log(pv[:, None, :])
+                    )
+                    terms = np.where(block > 0, block * ratio, 0.0)
+                value = terms.sum(axis=(1, 2))
+                # An observed variable carries no information; the sweep's
+                # replacement probabilities answered a different question
+                # for those rows, so the entry is zero by convention.
+                either_observed = (evidence[:, u] >= 0) | (evidence[:, v] >= 0)
+                value = np.where(either_observed, 0.0, value)
+                out[:, i, j] = out[:, j, i] = value
+                pos += ku * kv
+        for i in range(k):
+            out[:, i, i] = entropies[:, i]
+        if query.normalize:
+            denom = np.sqrt(entropies[:, :, None] * entropies[:, None, :])
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out = np.where(denom > 0, out / denom, 0.0)
+        out[log_e == -np.inf] = np.nan
+        return out
+
+    def _sample_chain(self, evidence: np.ndarray, domains) -> List[int]:
+        """The variables a :class:`Sample` batch must draw, in chain order.
+
+        A variable needs a chain pass when it is multi-valued and
+        unobserved in at least one row; single-valued domains are forced
+        without a pass.  The order is ascending variable id — fixed, so a
+        row's draws do not depend on which rows share its batch.
+        """
+        return [
+            var
+            for var in sorted(domains)
+            if len(domains[var]) > 1 and bool((evidence[:, var] < 0).any())
+        ]
+
+    def _run_sample(self, query: Sample) -> np.ndarray:
+        evidence = self.encode(query.evidence)
+        domains = self.domains()
+        n, width = evidence.shape
+        n_samples = query.n_samples
+        base = evidence.copy()
+        for var, values in domains.items():
+            if len(values) == 1:
+                base[base[:, var] < 0, var] = values[0]
+        states = np.repeat(base[:, None, :], n_samples, axis=1)
+        chain = self._sample_chain(evidence, domains)
+        if not chain or n == 0:
+            return states
+        # The per-row uniform table depends only on (seed, row id) and is
+        # indexed by variable — never by draw order — so a row's samples
+        # are bit-identical across batch compositions, execution modes and
+        # serving micro-batches.
+        uniforms = np.stack([
+            np.random.default_rng([query.seed, int(rid)]).random(
+                (n_samples, self.n_vars)
+            )
+            for rid in query.row_ids
+        ])
+        for var in chain:
+            values = np.asarray(domains[var], dtype=np.int64)
+            k = len(values)
+            rows = np.nonzero(evidence[:, var] < 0)[0]
+            m = len(rows)
+            current = states[rows].reshape(m * n_samples, width)
+            batch = np.repeat(current, k, axis=0)
+            batch[:, var] = np.tile(values, m * n_samples)
+            logs = self._evaluate(batch, log_domain=True).reshape(m, n_samples, k)
+            peak = logs.max(axis=-1, keepdims=True)
+            dead = ~np.isfinite(peak)
+            if dead.any():
+                row = int(query.row_ids[rows[int(np.argwhere(dead)[0, 0])]])
+                raise ValueError(
+                    f"evidence row {row} has probability zero under the "
+                    "model; there is no conditional to sample from"
+                )
+            probs = np.exp(logs - peak)
+            cum = np.cumsum(probs, axis=-1)
+            cum /= cum[..., -1:]
+            cum[..., -1] = 1.0  # guard against round-off at the top state
+            draws = uniforms[rows][:, :, var]
+            choice = (cum > draws[..., None]).argmax(axis=-1)
+            block = states[rows]
+            block[:, :, var] = values[choice]
+            states[rows] = block
+        return states
 
     def _evaluate(self, data: np.ndarray, log_domain: bool) -> np.ndarray:
         """One batched tape pass (the unit the evaluation hook observes)."""

@@ -69,6 +69,7 @@ __all__ = [
     "measure_engine_speedup",
     "measure_simulator_speedup",
     "measure_query_speedup",
+    "measure_classify_speedup",
     "measure_tape_memory",
     "write_bench_json",
     "update_bench_json",
@@ -740,6 +741,134 @@ def measure_query_speedup(
 
 
 # --------------------------------------------------------------------------- #
+# Analysis-query speedup measurement (batched Classify vs per-state scalars)
+# --------------------------------------------------------------------------- #
+def measure_classify_speedup(
+    benchmark: str = QUERY_BENCHMARK,
+    n_rows: int = 256,
+    n_scalar_rows: int = 48,
+    repeats: int = 5,
+    seed: int = 23,
+) -> Dict[str, float]:
+    """Time a batched ``Classify`` against the per-state Conditional loop.
+
+    ``Classify`` is predict_proba over a target variable: for every row,
+    the posterior ``P(target = s | e)`` over all of the target's states.
+    Without the analysis kind, a caller assembles it from conditionals —
+    one single-row :class:`~repro.api.queries.Conditional` per *(row,
+    state)* pair, i.e. ``2 * n_rows * n_states`` tape passes.  The batched
+    kind plans the whole sweep as exactly **two** log-domain passes (one
+    joint sweep over every state of every row, one evidence pass) no
+    matter the batch size or state count.
+
+    Both paths run the same vectorized engine, so the batched posteriors
+    are asserted **bit-identical** to the per-state loop (the tape kernels
+    are elementwise across rows, and the subtraction/exponentiation is the
+    same scalar arithmetic).  The loop is measured on ``n_scalar_rows``
+    rows (best of 3 loops); the batch on all ``n_rows`` (best of
+    ``repeats``).  Returns a flat dict for the ``analysis_queries``
+    section of ``BENCH_sweeps.json``, including the planned/observed pass
+    counts of every analysis kind on this benchmark.
+    """
+    import numpy as np
+
+    from ..api import (
+        Classify,
+        Conditional,
+        Entropy,
+        Expectation,
+        InferenceSession,
+        MutualInformation,
+        Sample,
+    )
+    from ..spn.generate import random_evidence
+
+    session = InferenceSession(benchmark, warm=True)
+    n_vars = session.n_vars
+    evidence = random_evidence(
+        n_vars, observed_fraction=0.5, seed=seed, n_samples=n_rows
+    )
+    rng = np.random.default_rng(seed)
+    target = int(rng.integers(0, n_vars))
+    evidence[:, target] = -1  # the classified variable is never evidence
+
+    batch = Classify(evidence=evidence, target=target)
+    plan = session.plan(batch)
+    states = session.domains()[target]
+
+    before = session.evaluations
+    start = time.perf_counter()
+    batched = session.run(batch)
+    t_batched = time.perf_counter() - start
+    passes = session.evaluations - before
+    for _ in range(max(0, repeats - 1)):
+        start = time.perf_counter()
+        again = session.run(batch)
+        t_batched = min(t_batched, time.perf_counter() - start)
+        if not np.array_equal(again, batched):  # pragma: no cover - determinism guard
+            raise AssertionError("batched Classify is not deterministic")
+
+    # Per-state loop: one single-row Conditional per (row, state) pair,
+    # through the same vectorized session — the honest "assemble
+    # predict_proba yourself" baseline (best of 3 loops).
+    n_scalar = min(n_scalar_rows, n_rows)
+    singles = []
+    for i in range(n_scalar):
+        for s in states:
+            query = np.full(n_vars, -1, dtype=np.int64)
+            query[target] = s
+            singles.append(Conditional(evidence=evidence[i], query=query))
+    t_loop = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        loop = np.array([session.run(q)[0] for q in singles])
+        t_loop = min(t_loop, time.perf_counter() - start)
+    t_loop /= n_scalar
+
+    if not np.array_equal(batched[:n_scalar].ravel(), loop):
+        raise AssertionError(
+            "batched Classify disagrees with the per-state Conditional loop"
+        )
+
+    # Plan shapes of the remaining analysis kinds on this benchmark — the
+    # fixed pass counts the docs promise, recorded for the artifact.
+    free = np.array(evidence[:8], copy=True)
+    analysis_passes = {
+        "classify": plan.n_evaluations,
+        "expectation": session.plan(
+            Expectation(evidence=free, variables=(0, 1))
+        ).n_evaluations,
+        "entropy": session.plan(
+            Entropy(evidence=free, variables=(0, 1))
+        ).n_evaluations,
+        "mutual_information": session.plan(
+            MutualInformation(evidence=free, variables=(0, 1, 2))
+        ).n_evaluations,
+        "sample_free_vars": session.plan(
+            Sample(evidence=free, n_samples=2)
+        ).n_evaluations,
+    }
+
+    t_batched_per_row = t_batched / n_rows
+    return {
+        "benchmark": benchmark,
+        "n_rows": int(n_rows),
+        "n_vars": int(n_vars),
+        "n_states": int(len(states)),
+        "target": int(target),
+        "tape_passes_per_batch": int(passes),
+        "planned_passes": int(plan.n_evaluations),
+        "analysis_passes": analysis_passes,
+        "t_per_state_loop_per_row_s": t_loop,
+        "t_batched_s": t_batched,
+        "throughput_loop_rps": 1.0 / t_loop,
+        "throughput_batched_rps": n_rows / t_batched,
+        "speedup_batched_vs_loop": t_loop / t_batched_per_row,
+        "bit_identical": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Tape-memory measurement (memory-planned executor vs the legacy slot matrix)
 # --------------------------------------------------------------------------- #
 def measure_tape_memory(
@@ -1105,6 +1234,7 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(render_sweeps(results, args.benchmark))
     speedup = simulator_speedup = query_speedup = tape_memory = None
+    classify_speedup = None
     if not args.skip_speedup:
         speedup = measure_engine_speedup()
         print(
@@ -1125,6 +1255,15 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
             f"{query_speedup['n_rows']} rows) is "
             f"{query_speedup['speedup_batched_vs_scalar']:.1f}x the per-row "
             f"scalar path"
+        )
+        classify_speedup = measure_classify_speedup()
+        print(
+            f"analysis-query speedup: one batched Classify "
+            f"({classify_speedup['tape_passes_per_batch']} tape passes, "
+            f"{classify_speedup['n_rows']} rows x "
+            f"{classify_speedup['n_states']} states) is "
+            f"{classify_speedup['speedup_batched_vs_loop']:.1f}x the "
+            f"per-state Conditional loop"
         )
         tape_memory = measure_tape_memory()
         print(
@@ -1147,6 +1286,8 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
         )
         if query_speedup is not None:
             update_bench_json(args.json, query_api=query_speedup)
+        if classify_speedup is not None:
+            update_bench_json(args.json, analysis_queries=classify_speedup)
         if tape_memory is not None:
             update_bench_json(args.json, tape_memory=tape_memory)
         print(f"wrote {args.json}")

@@ -3,10 +3,12 @@
 Three layers, each a thin veneer over :meth:`InferenceServer.submit`:
 
 * :class:`InferenceClient` — synchronous per-query calls.  The verbs cover
-  all five typed kinds (``likelihood`` / ``log_likelihood`` / ``marginal``
-  / ``conditional`` / ``mpe``); scalar in, scalar out, with the batching
-  happening server-side.  ``submit`` also accepts a typed
-  :class:`repro.api.Query` object or its serialized payload directly.
+  all ten typed kinds (``likelihood`` / ``log_likelihood`` / ``marginal``
+  / ``conditional`` / ``mpe`` plus the analysis verbs ``sample`` /
+  ``expectation`` / ``entropy`` / ``mutual_information`` / ``classify``);
+  scalar in, scalar out, with the batching happening server-side.
+  ``submit`` also accepts a typed :class:`repro.api.Query` object or its
+  serialized payload directly.
 * :class:`AsyncInferenceClient` — the same surface as coroutines, for
   ``asyncio`` applications.  Thousands of concurrent ``await`` s naturally
   fill the server's micro-batches (see ``examples/sensor_health_monitoring.py``).
@@ -26,7 +28,17 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from ..api.queries import Conditional, Marginal, Query, QueryKind
+from ..api.queries import (
+    Classify,
+    Conditional,
+    Entropy,
+    Expectation,
+    Marginal,
+    MutualInformation,
+    Query,
+    QueryKind,
+    Sample,
+)
 from .queue import BatchingPolicy
 from .server import (
     KIND_LIKELIHOOD,
@@ -152,6 +164,83 @@ class InferenceClient:
     ):
         return self.query(evidence, kind=KIND_MPE, model=model, timeout=timeout)
 
+    def sample(
+        self,
+        evidence: Evidence,
+        n_samples: int = 1,
+        seed: int = 0,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Seeded conditional samples; a scalar query unwraps to
+        ``(n_samples, n_vars)``."""
+        result = self.submit(
+            Sample(evidence, n_samples=n_samples, seed=seed),
+            model=model,
+            timeout=timeout,
+        ).result()
+        return _unwrap(evidence, result)
+
+    def expectation(
+        self,
+        evidence: Evidence,
+        variables=None,
+        moment: int = 1,
+        center: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Conditional moments per variable under the evidence."""
+        result = self.submit(
+            Expectation(evidence, variables=variables, moment=moment, center=center),
+            model=model,
+            timeout=timeout,
+        ).result()
+        return _unwrap(evidence, result)
+
+    def entropy(
+        self,
+        evidence: Evidence,
+        variables=None,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Per-variable conditional entropy (nats) under the evidence."""
+        result = self.submit(
+            Entropy(evidence, variables=variables), model=model, timeout=timeout
+        ).result()
+        return _unwrap(evidence, result)
+
+    def mutual_information(
+        self,
+        evidence: Optional[Evidence] = None,
+        variables=None,
+        normalize: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Pairwise (normalized) MI matrix; ``evidence=None`` = unconditional."""
+        result = self.submit(
+            MutualInformation(evidence, variables=variables, normalize=normalize),
+            model=model,
+            timeout=timeout,
+        ).result()
+        return result[0] if evidence is None or _is_scalar(evidence) else result
+
+    def classify(
+        self,
+        evidence: Evidence,
+        target: int,
+        log: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Posterior over the target's states; scalar in, ``(n_states,)`` out."""
+        result = self.submit(
+            Classify(evidence, target=target, log=log), model=model, timeout=timeout
+        ).result()
+        return _unwrap(evidence, result)
+
 
 class AsyncInferenceClient:
     """``asyncio`` client: the same surface as :class:`InferenceClient`, awaited.
@@ -244,6 +333,94 @@ class AsyncInferenceClient:
         timeout: Optional[float] = None,
     ):
         return await self.query(evidence, kind=KIND_MPE, model=model, timeout=timeout)
+
+    async def sample(
+        self,
+        evidence: Evidence,
+        n_samples: int = 1,
+        seed: int = 0,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return await self._submit(
+            lambda: self._sync.submit(
+                Sample(evidence, n_samples=n_samples, seed=seed),
+                model=model,
+                timeout=timeout,
+            ),
+            lambda result: _unwrap(evidence, result),
+        )
+
+    async def expectation(
+        self,
+        evidence: Evidence,
+        variables=None,
+        moment: int = 1,
+        center: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return await self._submit(
+            lambda: self._sync.submit(
+                Expectation(
+                    evidence, variables=variables, moment=moment, center=center
+                ),
+                model=model,
+                timeout=timeout,
+            ),
+            lambda result: _unwrap(evidence, result),
+        )
+
+    async def entropy(
+        self,
+        evidence: Evidence,
+        variables=None,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return await self._submit(
+            lambda: self._sync.submit(
+                Entropy(evidence, variables=variables), model=model, timeout=timeout
+            ),
+            lambda result: _unwrap(evidence, result),
+        )
+
+    async def mutual_information(
+        self,
+        evidence: Optional[Evidence] = None,
+        variables=None,
+        normalize: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        scalar = evidence is None or _is_scalar(evidence)
+        return await self._submit(
+            lambda: self._sync.submit(
+                MutualInformation(
+                    evidence, variables=variables, normalize=normalize
+                ),
+                model=model,
+                timeout=timeout,
+            ),
+            lambda result: result[0] if scalar else result,
+        )
+
+    async def classify(
+        self,
+        evidence: Evidence,
+        target: int,
+        log: bool = False,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ):
+        return await self._submit(
+            lambda: self._sync.submit(
+                Classify(evidence, target=target, log=log),
+                model=model,
+                timeout=timeout,
+            ),
+            lambda result: _unwrap(evidence, result),
+        )
 
 
 class ModelRouter:

@@ -6,8 +6,10 @@ registered SPNs — each bound to an
 :class:`~repro.api.session.InferenceSession` with its compiled tape pinned,
 an admission queue (:class:`~repro.serving.queue.MicroBatchQueue`) and a
 pool of worker threads.  Clients submit **typed query objects**
-(:mod:`repro.api.queries` — all five kinds: likelihood, log-likelihood,
-marginal, conditional, MPE) or their serialized payloads; workers pull
+(:mod:`repro.api.queries` — all ten kinds: likelihood, log-likelihood,
+marginal, conditional, MPE, plus the analysis kinds sample, expectation,
+entropy, mutual information and classify) or their serialized payloads;
+workers pull
 micro-batches off the queue, group the rows by ``(model, query group
 key)`` — the group key carries the kind *and* every execution flag, so
 coalescing can never merge rows that execute differently — rebuild one
@@ -47,7 +49,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from ..api.queries import Conditional, Query, QueryKind, as_kind, query_type
+from ..api.queries import Conditional, Query, QueryKind, Sample, as_kind, query_type
 from ..api.session import InferenceSession
 from ..spn.compiled import resolve_engine
 from ..spn.graph import SPN
@@ -67,6 +69,11 @@ __all__ = [
     "KIND_MARGINAL",
     "KIND_CONDITIONAL",
     "KIND_MPE",
+    "KIND_SAMPLE",
+    "KIND_EXPECTATION",
+    "KIND_ENTROPY",
+    "KIND_MUTUAL_INFORMATION",
+    "KIND_CLASSIFY",
     "QUERY_KINDS",
     "InferenceServer",
     "ServedModel",
@@ -84,6 +91,11 @@ KIND_LOG_LIKELIHOOD = QueryKind.LOG_LIKELIHOOD
 KIND_MARGINAL = QueryKind.MARGINAL
 KIND_CONDITIONAL = QueryKind.CONDITIONAL
 KIND_MPE = QueryKind.MPE
+KIND_SAMPLE = QueryKind.SAMPLE
+KIND_EXPECTATION = QueryKind.EXPECTATION
+KIND_ENTROPY = QueryKind.ENTROPY
+KIND_MUTUAL_INFORMATION = QueryKind.MUTUAL_INFORMATION
+KIND_CLASSIFY = QueryKind.CLASSIFY
 QUERY_KINDS = tuple(QueryKind)
 
 
@@ -149,10 +161,11 @@ class _PendingRequest:
             self._set_result()
 
     def _set_result(self) -> None:
-        if self.kind == KIND_MPE:
-            result: object = list(self._results)
-        else:
-            result = np.asarray(self._results, dtype=np.float64)
+        # Each kind reassembles its own per-row results (float stacking for
+        # the value kinds, list for MPE, int64 stacking for Sample), so a
+        # served result has exactly the type and dtype of offline
+        # ``session.run``.
+        result = query_type(self.kind).assemble_rows(self._results)
         # Record before resolving: a caller that awaits the result and then
         # reads metrics.snapshot() must see its own request counted.
         if not self.future.cancelled():
@@ -369,8 +382,11 @@ class InferenceServer:
           ``kind`` (default ``log_likelihood``), which is validated
           through :class:`repro.api.QueryKind` here, at construction time.
 
-        The future resolves to a ``(n_rows,)`` float vector for the value
-        kinds or a list of ``{var: value}`` completions for ``mpe``.
+        The future resolves to exactly what offline ``session.run`` would
+        return: a ``(n_rows,)`` float vector for the value kinds, per-row
+        vectors/matrices for the analysis kinds (``sample`` stacks to an
+        int64 ``(n_rows, n_samples, n_vars)`` array), or a list of
+        ``{var: value}`` completions for ``mpe``.
         ``timeout`` bounds the backpressure wait when the queue is full
         (:class:`~repro.serving.queue.QueueFullError`).
         """
@@ -438,6 +454,15 @@ class InferenceServer:
             return Conditional(
                 evidence=self._encode(served, query.evidence),
                 query=self._encode(served, query.query),
+                **query.params(),
+            )
+        if isinstance(query, Sample):
+            # row_ids is array data (excluded from params so co-batching
+            # stays row-scatter safe) and must survive re-encoding: it is
+            # the identity that seeds each row's draws.
+            return Sample(
+                evidence=self._encode(served, query.evidence),
+                row_ids=query.row_ids,
                 **query.params(),
             )
         return type(query)(

@@ -1,0 +1,161 @@
+"""Shared hypothesis strategies and query generators for the test suite.
+
+One home for the random-SPN configuration strategies that used to be
+duplicated across ``test_properties.py``, ``test_spn_compiled.py`` and
+``test_memplan.py``, plus the evidence helpers and the all-kinds
+``make_query`` generator the execution-equality and analysis-query suites
+draw from.
+
+Three network scales:
+
+* :data:`rat_configs` — the general-purpose strategy (up to 10 variables,
+  depth 6): big enough to exercise every structural shape, fast enough for
+  ``max_examples=25`` property runs.
+* :data:`wide_rat_configs` — wider/deeper (up to 12 variables, depth 8)
+  for the compiled-tape engine-agreement properties.
+* :data:`small_rat_configs` — oracle-enumerable (up to 5 variables): the
+  joint table has at most ``2**5`` states, so the brute-force reference in
+  ``tests/oracle.py`` stays exact and fast.
+"""
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.api import (
+    MPE,
+    Classify,
+    Conditional,
+    Entropy,
+    Expectation,
+    Likelihood,
+    LogLikelihood,
+    Marginal,
+    MutualInformation,
+    Sample,
+)
+from repro.spn.generate import RatSpnConfig, random_evidence
+
+
+def rat_spn_configs(
+    min_vars: int = 2,
+    max_vars: int = 10,
+    max_depth: int = 6,
+    max_repetitions: int = 2,
+    max_sums: int = 3,
+    max_leaf_components: int = 2,
+):
+    """A :class:`~repro.spn.generate.RatSpnConfig` strategy, scale-tunable."""
+    return st.builds(
+        RatSpnConfig,
+        n_vars=st.integers(min_value=min_vars, max_value=max_vars),
+        depth=st.integers(min_value=1, max_value=max_depth),
+        repetitions=st.integers(min_value=1, max_value=max_repetitions),
+        n_sums=st.integers(min_value=1, max_value=max_sums),
+        n_leaf_components=st.integers(min_value=1, max_value=max_leaf_components),
+        split_balance=st.sampled_from([0.1, 0.3, 0.5]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+
+
+#: General-purpose scale (the historical ``test_properties`` strategy).
+rat_configs = rat_spn_configs()
+
+#: Wider and deeper (the historical ``test_spn_compiled`` strategy).
+wide_rat_configs = rat_spn_configs(max_vars=12, max_depth=8)
+
+#: Small enough for exact joint-table enumeration (2**5 states at most).
+small_rat_configs = rat_spn_configs(max_vars=5, max_depth=3)
+
+
+def full_evidence(spn, seed):
+    """One complete random binary assignment of every network variable."""
+    rng = np.random.default_rng(seed)
+    return {v: int(rng.integers(0, 2)) for v in spn.variables()}
+
+
+def partial_evidence(spn, seed, keep=0.6):
+    """A random partial assignment keeping each variable with rate ``keep``."""
+    rng = np.random.default_rng(seed)
+    return {
+        v: int(rng.integers(0, 2))
+        for v in spn.variables()
+        if rng.random() < keep
+    }
+
+
+#: Every typed query kind, as accepted by :func:`make_query`.
+ALL_KINDS = (
+    "likelihood",
+    "log_likelihood",
+    "marginal",
+    "conditional",
+    "mpe",
+    "sample",
+    "expectation",
+    "entropy",
+    "mutual_information",
+    "classify",
+)
+
+
+def _subset(rng: np.random.Generator, n_vars: int, at_most: int) -> tuple:
+    size = int(rng.integers(1, min(at_most, n_vars) + 1))
+    return tuple(int(v) for v in rng.choice(n_vars, size=size, replace=False))
+
+
+def make_query(kind: str, n_vars: int, rng: np.random.Generator, n_rows: int):
+    """A random typed query of ``kind`` over ``n_vars`` binary variables.
+
+    Scaled so every kind stays fast even on the 100–160-variable suite
+    profiles: MPE keeps one row, ``sample`` frees at most three variables
+    (one chain pass each), and the sweep kinds restrict themselves to at
+    most three variables.
+    """
+    observed = 0.9 if kind == "mpe" else 0.5
+    evidence = random_evidence(
+        n_vars, observed_fraction=observed, seed=int(rng.integers(1 << 30)),
+        n_samples=n_rows,
+    )
+    if kind == "likelihood":
+        return Likelihood(evidence=evidence)
+    if kind == "log_likelihood":
+        return LogLikelihood(evidence=evidence)
+    if kind == "marginal":
+        return Marginal(evidence=evidence, log=bool(rng.integers(2)), normalize=True)
+    if kind == "conditional":
+        query = np.full_like(evidence, -1)
+        queried = rng.integers(0, n_vars, size=n_rows)
+        evidence[np.arange(n_rows), queried] = -1
+        query[np.arange(n_rows), queried] = rng.integers(0, 2, size=n_rows)
+        return Conditional(evidence=evidence, query=query, log=bool(rng.integers(2)))
+    if kind == "sample":
+        # Fully observe, then free a few variables: the chain stays short
+        # (one pass per freed variable) at any model width.
+        evidence = random_evidence(
+            n_vars, observed_fraction=1.0, seed=int(rng.integers(1 << 30)),
+            n_samples=n_rows,
+        )
+        evidence[:, list(_subset(rng, n_vars, 3))] = -1
+        return Sample(
+            evidence=evidence, n_samples=2, seed=int(rng.integers(1 << 16))
+        )
+    if kind == "expectation":
+        return Expectation(
+            evidence=evidence,
+            variables=_subset(rng, n_vars, 3),
+            moment=int(rng.integers(1, 3)),
+            center=bool(rng.integers(2)),
+        )
+    if kind == "entropy":
+        return Entropy(evidence=evidence, variables=_subset(rng, n_vars, 3))
+    if kind == "mutual_information":
+        return MutualInformation(
+            evidence=evidence,
+            variables=_subset(rng, n_vars, 3),
+            normalize=bool(rng.integers(2)),
+        )
+    if kind == "classify":
+        target = int(rng.integers(0, n_vars))
+        evidence[:, target] = -1
+        return Classify(evidence=evidence, target=target, log=bool(rng.integers(2)))
+    return MPE(evidence=evidence[:1])  # MPE is per-row python work: keep it small

@@ -72,15 +72,20 @@ class TestQueryKind:
         assert QueryKind.MARGINAL == "marginal"
         assert QueryKind.CONDITIONAL == "conditional"
         assert QueryKind.MPE == "mpe"
-        assert len(QUERY_KINDS) == 5
+        assert QueryKind.SAMPLE == "sample"
+        assert QueryKind.EXPECTATION == "expectation"
+        assert QueryKind.ENTROPY == "entropy"
+        assert QueryKind.MUTUAL_INFORMATION == "mutual_information"
+        assert QueryKind.CLASSIFY == "classify"
+        assert len(QUERY_KINDS) == 10
 
     def test_as_kind_accepts_strings_and_members(self):
         assert as_kind("mpe") is QueryKind.MPE
         assert as_kind(QueryKind.MARGINAL) is QueryKind.MARGINAL
 
     def test_unknown_kind_fails_at_construction(self):
-        with pytest.raises(ValueError, match="unknown query kind 'entropy'"):
-            as_kind("entropy")
+        with pytest.raises(ValueError, match="unknown query kind 'gradient'"):
+            as_kind("gradient")
 
     def test_query_type_maps_every_kind(self):
         assert query_type("likelihood") is Likelihood
@@ -218,7 +223,7 @@ class TestSerialization:
 
     def test_corrupt_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown query kind"):
-            deserialize_query({"kind": "entropy", "evidence": [[1, 0]]})
+            deserialize_query({"kind": "gradient", "evidence": [[1, 0]]})
 
 
 # --------------------------------------------------------------------------- #

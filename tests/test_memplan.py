@@ -7,22 +7,16 @@ resolution, ``QueryPlan`` peak-slot stats, per-execution session caches,
 serving), and — via hypothesis — the repository-wide bit-identity
 guarantee: planned, sharded and legacy execution agree exactly
 (``array_equal``) across all nine suite profiles, both domains and all
-five typed query kinds.
+ten typed query kinds (the analysis kinds — sample, expectation, entropy,
+mutual information, classify — included).
 """
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.api import (
-    MPE,
-    Conditional,
-    InferenceSession,
-    Likelihood,
-    LogLikelihood,
-    Marginal,
-    session_for,
-)
+from repro.api import InferenceSession, Likelihood, LogLikelihood, session_for
+from strategies import ALL_KINDS, make_query
 from repro.spn.compiled import CompiledTape, EngineMismatchError, compile_tape
 from repro.spn.generate import random_evidence
 from repro.spn.linearize import OP_ADD, OP_MUL, InputSlot, Operation, OperationList
@@ -328,40 +322,16 @@ class TestSessionIntegration:
 # --------------------------------------------------------------------------- #
 # Hypothesis: planned == sharded == legacy on every profile, domain and kind
 # --------------------------------------------------------------------------- #
-_KINDS = ("likelihood", "log_likelihood", "marginal", "conditional", "mpe")
-
-
-def _make_query(kind: str, n_vars: int, rng: np.random.Generator, n_rows: int):
-    observed = 0.9 if kind == "mpe" else 0.5
-    evidence = random_evidence(
-        n_vars, observed_fraction=observed, seed=int(rng.integers(1 << 30)),
-        n_samples=n_rows,
-    )
-    if kind == "likelihood":
-        return Likelihood(evidence=evidence)
-    if kind == "log_likelihood":
-        return LogLikelihood(evidence=evidence)
-    if kind == "marginal":
-        return Marginal(evidence=evidence, log=bool(rng.integers(2)), normalize=True)
-    if kind == "conditional":
-        query = np.full_like(evidence, -1)
-        queried = rng.integers(0, n_vars, size=n_rows)
-        evidence[np.arange(n_rows), queried] = -1
-        query[np.arange(n_rows), queried] = rng.integers(0, 2, size=n_rows)
-        return Conditional(evidence=evidence, query=query, log=bool(rng.integers(2)))
-    return MPE(evidence=evidence[:1])  # MPE is per-row python work: keep it small
-
-
 @given(
     name=st.sampled_from(benchmark_names()),
-    kind=st.sampled_from(_KINDS),
+    kind=st.sampled_from(ALL_KINDS),
     seed=st.integers(0, 2**16),
     n_rows=st.integers(1, 5),
 )
 @_SETTINGS
 def test_execution_modes_bit_identical_across_suite(name, kind, seed, n_rows):
     rng = np.random.default_rng(seed)
-    query = _make_query(kind, benchmark_n_vars(name), rng, n_rows)
+    query = make_query(kind, benchmark_n_vars(name), rng, n_rows)
     results = [
         InferenceSession(name, execution=execution).run(query)
         for execution in (None, FORCED_SHARDS, "legacy")

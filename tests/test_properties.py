@@ -22,32 +22,15 @@ from repro.api import (
 from repro.baselines.gpu import GpuConfig, execute_gpu_kernel
 from repro.spn import io
 from repro.spn.evaluate import evaluate, evaluate_batch, evaluate_log, partition_function
-from repro.spn.generate import RatSpnConfig, generate_rat_spn, random_evidence
+from repro.spn.generate import generate_rat_spn, random_evidence
 from repro.spn.linearize import linearize
 from repro.spn.queries import most_probable_explanation
+from strategies import full_evidence as _full_evidence
+from strategies import partial_evidence as _partial_evidence
+from strategies import rat_configs
 
 # Keep hypothesis fast and deterministic for CI-style runs.
 _SETTINGS = settings(max_examples=25, deadline=None)
-
-
-# --------------------------------------------------------------------------- #
-# Strategies
-# --------------------------------------------------------------------------- #
-rat_configs = st.builds(
-    RatSpnConfig,
-    n_vars=st.integers(min_value=2, max_value=10),
-    depth=st.integers(min_value=1, max_value=6),
-    repetitions=st.integers(min_value=1, max_value=2),
-    n_sums=st.integers(min_value=1, max_value=3),
-    n_leaf_components=st.integers(min_value=1, max_value=2),
-    split_balance=st.sampled_from([0.1, 0.3, 0.5]),
-    seed=st.integers(min_value=0, max_value=10_000),
-)
-
-
-def _full_evidence(spn, seed):
-    rng = np.random.default_rng(seed)
-    return {v: int(rng.integers(0, 2)) for v in spn.variables()}
 
 
 # --------------------------------------------------------------------------- #
@@ -176,15 +159,6 @@ class TestLoweringProperties:
 # --------------------------------------------------------------------------- #
 # Typed query API: scalar wrappers == single-row sessions, exact round-trips
 # --------------------------------------------------------------------------- #
-def _partial_evidence(spn, seed, keep=0.6):
-    rng = np.random.default_rng(seed)
-    return {
-        v: int(rng.integers(0, 2))
-        for v in spn.variables()
-        if rng.random() < keep
-    }
-
-
 class TestQueryApiProperties:
     @_SETTINGS
     @given(config=rat_configs, seed=st.integers(0, 1000))

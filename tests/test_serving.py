@@ -23,6 +23,7 @@ from repro.serving import (
 )
 from repro.api import (
     MPE,
+    Classify,
     Conditional,
     InferenceSession,
     Likelihood,
@@ -535,6 +536,85 @@ class TestTypedQueryServing:
 
 
 # --------------------------------------------------------------------------- #
+# Analysis kinds: admission-time validation.  Malformed submissions of the
+# new kinds must fail synchronously in the submitting thread — never inside
+# a worker where the error would surface as a failed Future (or worse, a
+# wedged batch).
+# --------------------------------------------------------------------------- #
+class TestAnalysisKindAdmission:
+    def _classify_rows(self, rows, target):
+        evidence = np.array(rows[:4], copy=True)
+        evidence[:, target] = MARGINALIZED
+        return evidence
+
+    def test_unknown_kind_payload_fails_synchronously(self):
+        # A payload with an unrecognized "kind" discriminator raises at
+        # submit — no Future is created and no worker sees the request.
+        payload = {
+            "kind": "gradient",
+            "evidence": [[1, -1, -1, -1]],
+            "shape": [1, N_VARS],
+        }
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="unknown query kind"):
+                server.submit(BENCHMARK, payload)
+            # The pool is untouched: a follow-up query still serves.
+            assert server.query(BENCHMARK, {0: 1}, kind="likelihood").shape == (1,)
+
+    def test_malformed_classify_payload_fails_at_admission(self, rows):
+        # A classify payload that lost its target is rejected when the
+        # query object is rebuilt at admission, not during execution.
+        import json
+
+        query = Classify(evidence=self._classify_rows(rows, 0), target=0)
+        payload = json.loads(json.dumps(serialize_query(query)))
+        del payload["target"]
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="requires a target"):
+                server.submit(BENCHMARK, payload)
+
+    def test_plain_evidence_with_classify_kind_fails_at_admission(self):
+        # kind="classify" on plain evidence carries no target variable.
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="requires a target"):
+                server.submit(BENCHMARK, {0: 1}, kind="classify")
+
+    def test_classify_target_in_evidence_raises_at_construction(self, rows):
+        evidence = np.array(rows[:4], copy=True)
+        evidence[:, 2] = 1  # the would-be target is observed everywhere
+        with pytest.raises(ValueError, match="observed in evidence row"):
+            Classify(evidence=evidence, target=2)
+
+    def test_conflicting_classify_payload_fails_at_admission(self, rows):
+        # The payload path rebuilds through the same constructor, so a
+        # hand-corrupted payload whose evidence pins the target cannot
+        # reach a worker either.
+        import json
+
+        query = Classify(evidence=self._classify_rows(rows, 2), target=2)
+        payload = json.loads(json.dumps(serialize_query(query)))
+        observed = np.array(self._classify_rows(rows, 2), copy=True)
+        observed[:, 2] = 0
+        payload["evidence"] = observed.tolist()
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="observed in evidence row"):
+                server.submit(BENCHMARK, payload)
+
+    def test_invalid_variables_payload_fails_at_admission(self):
+        # Duplicate variable selections are a construction-time error for
+        # every analysis kind; the serving layer inherits it synchronously.
+        payload = {
+            "kind": "entropy",
+            "evidence": [[-1, -1, -1, -1]],
+            "shape": [1, N_VARS],
+            "variables": [1, 1],
+        }
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="duplicates"):
+                server.submit(BENCHMARK, payload)
+
+
+# --------------------------------------------------------------------------- #
 # Server: edge cases and lifecycle
 # --------------------------------------------------------------------------- #
 class TestServerLifecycle:
@@ -591,7 +671,7 @@ class TestServerLifecycle:
     def test_unknown_kind_raises(self):
         with InferenceServer(models=[BENCHMARK]) as server:
             with pytest.raises(ValueError, match="unknown query kind"):
-                server.submit(BENCHMARK, {0: 1}, kind="entropy")
+                server.submit(BENCHMARK, {0: 1}, kind="gradient")
 
     def test_duplicate_model_rejected(self):
         server = InferenceServer(models=[BENCHMARK])

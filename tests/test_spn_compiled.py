@@ -21,22 +21,12 @@ from repro.spn.evaluate import (
     evaluate_log,
     evaluate_log_batch,
 )
-from repro.spn.generate import RatSpnConfig, generate_rat_spn, random_evidence
+from repro.spn.generate import generate_rat_spn, random_evidence
 from repro.spn.graph import SPN
 from repro.spn.linearize import linearize
+from strategies import wide_rat_configs as rat_configs
 
 _SETTINGS = settings(max_examples=25, deadline=None)
-
-rat_configs = st.builds(
-    RatSpnConfig,
-    n_vars=st.integers(min_value=2, max_value=12),
-    depth=st.integers(min_value=1, max_value=8),
-    repetitions=st.integers(min_value=1, max_value=2),
-    n_sums=st.integers(min_value=1, max_value=3),
-    n_leaf_components=st.integers(min_value=1, max_value=2),
-    split_balance=st.sampled_from([0.1, 0.3, 0.5]),
-    seed=st.integers(min_value=0, max_value=10_000),
-)
 
 
 class TestEngineAgreement:
