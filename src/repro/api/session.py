@@ -140,6 +140,15 @@ class InferenceSession:
         (``"planned"`` default, ``"sharded"``, ``"legacy"``).  All modes
         are bit-identical; the knob chooses memory layout and shard
         parallelism, and :meth:`plan` reports the resulting working set.
+    tape:
+        A precompiled :class:`~repro.spn.compiled.CompiledTape` for
+        ``model`` (AOT artifacts, :mod:`repro.lifecycle`).  The session
+        adopts it into the tape cache, so every vectorized pass runs the
+        shipped tape and construction never compiles.
+    n_vars:
+        Explicit evidence width (overrides the width derived from the
+        model's indicators); AOT artifacts record it so a loaded model
+        admits the exact same evidence shapes as the one that was saved.
     """
 
     def __init__(
@@ -149,6 +158,8 @@ class InferenceSession:
         check: bool = False,
         warm: bool = False,
         execution: Union[ExecutionOptions, str, None] = None,
+        tape=None,
+        n_vars: Optional[int] = None,
     ) -> None:
         if isinstance(model, str):
             from ..suite.registry import benchmark_n_vars, build_benchmark
@@ -166,6 +177,8 @@ class InferenceSession:
                 )
                 + 1
             )
+        if n_vars is not None:
+            self.n_vars = int(n_vars)
         self.engine = resolve_engine(engine)
         self.check = check
         self.execution = resolve_execution(execution)
@@ -182,7 +195,11 @@ class InferenceSession:
         self._domains_fingerprint: Optional[tuple] = None
         self._ops: Optional[OperationList] = None
         self.tape = None
-        if warm and self.engine == "vectorized":
+        if tape is not None and self.engine == "vectorized":
+            from ..spn.compiled import adopt_tape
+
+            self.tape = adopt_tape(self.spn, tape)
+        elif warm and self.engine == "vectorized":
             from ..spn.compiled import cached_tape
 
             self.tape = cached_tape(self.spn)

@@ -71,6 +71,7 @@ __all__ = [
     "measure_query_speedup",
     "measure_classify_speedup",
     "measure_tape_memory",
+    "measure_lifecycle",
     "write_bench_json",
     "update_bench_json",
     "tree_arrangement_sweep",
@@ -972,6 +973,151 @@ def measure_tape_memory(
 
 
 # --------------------------------------------------------------------------- #
+# Model-lifecycle measurement (AOT cold start + hot-swap under load)
+# --------------------------------------------------------------------------- #
+def measure_lifecycle(
+    n_vars: int = 24,
+    n_train_rows: int = 2000,
+    repeats: int = 3,
+    n_requests: int = 200,
+    request_rows: int = 8,
+    seed: int = 20,
+) -> Dict[str, object]:
+    """Measure the AOT artifact path against recompile-from-source.
+
+    Two costs bracket a model's route to production
+    (:mod:`repro.lifecycle`):
+
+    * **cold start** — the recompile path (dataset → LearnSPN →
+      linearize → compile → memory-plan → session) vs the AOT path
+      (:func:`~repro.lifecycle.artifact.load_artifact` + a session that
+      adopts the shipped tape and plan), best of ``repeats`` each; the
+      loaded session's golden replay is asserted bit-identical
+      (:func:`~repro.lifecycle.golden.replay_deviation` == 0) to the
+      freshly compiled one before any number is reported;
+    * **hot swap** — a blocking ``n_requests``-request log-likelihood
+      stream against an :class:`~repro.serving.InferenceServer` while a
+      background thread publishes a retrained (bit-identical) candidate
+      version through the full shadow-validated
+      :meth:`~repro.serving.InferenceServer.publish` path.  Every
+      response is checked against the offline expectation; a request
+      counts as *lost* if it errors or returns anything else.  Per-request
+      latency percentiles record the swap's pause, and ``t_publish_s`` is
+      the full publish cost including the golden-replay validation.
+
+    Returns a flat dict for the ``model_lifecycle`` section of
+    ``BENCH_sweeps.json``.
+    """
+    import tempfile
+    import threading
+
+    import numpy as np
+
+    from ..api.queries import LogLikelihood
+    from ..lifecycle.artifact import load_artifact, save_artifact
+    from ..lifecycle.golden import golden_evidence, golden_replay, replay_deviation
+    from ..lifecycle.train import TrainingJob, train_artifact
+    from ..serving import InferenceServer
+    from ..spn.datasets import DatasetSpec
+    from ..spn.generate import random_evidence
+
+    def job(version: str) -> TrainingJob:
+        return TrainingJob(
+            name="bench-lifecycle",
+            dataset=DatasetSpec(n_vars=n_vars, n_rows=n_train_rows, seed=seed),
+            version=version,
+        )
+
+    # Recompile path: everything from raw data to a query-ready session.
+    t_recompile = float("inf")
+    artifact = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        artifact = train_artifact(job("1"))
+        fresh = artifact.session()
+        t_recompile = min(t_recompile, time.perf_counter() - start)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_artifact(artifact, Path(tmp) / "bench-lifecycle.json")
+        artifact_bytes = path.stat().st_size
+        # AOT cold start: parse, integrity-check, adopt tape + plan.
+        t_cold = float("inf")
+        cold = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            cold = load_artifact(path).session()
+            t_cold = min(t_cold, time.perf_counter() - start)
+
+    evidence = golden_evidence(n_vars)
+    deviation = replay_deviation(
+        golden_replay(cold, evidence), golden_replay(fresh, evidence)
+    )
+    if deviation != 0.0:
+        raise AssertionError(
+            f"cold-started session is not bit-identical to the fresh compile "
+            f"(deviation={deviation})"
+        )
+
+    # The candidate: the same job retrained under a new version label —
+    # identical weights, so the shadow validation's golden replay passes at
+    # tolerance 0 and every in-flight answer stays byte-comparable.
+    candidate = train_artifact(job("2"))
+    request_evidence = random_evidence(
+        n_vars, observed_fraction=0.5, seed=seed, n_samples=request_rows
+    )
+    want = np.asarray(fresh.run(LogLikelihood(evidence=request_evidence)))
+
+    latencies: List[float] = []
+    lost = 0
+    publish_elapsed: List[float] = []
+    with InferenceServer(models=[artifact]) as server:
+
+        def swap() -> None:
+            start = time.perf_counter()
+            server.publish("bench-lifecycle", "2", candidate)
+            publish_elapsed.append(time.perf_counter() - start)
+
+        swapper = threading.Thread(target=swap)
+        for i in range(n_requests):
+            if i == n_requests // 3:
+                swapper.start()
+            start = time.perf_counter()
+            try:
+                value = server.query(
+                    "bench-lifecycle", request_evidence, kind="log_likelihood"
+                )
+            except Exception:
+                lost += 1
+                continue
+            latencies.append(time.perf_counter() - start)
+            if not np.array_equal(np.asarray(value), want):
+                lost += 1
+        swapper.join(timeout=60)
+        live_after = server.live_version("bench-lifecycle")
+
+    lat = np.asarray(latencies) if latencies else np.asarray([float("nan")])
+    return {
+        "n_vars": int(n_vars),
+        "n_train_rows": int(n_train_rows),
+        "artifact_bytes": int(artifact_bytes),
+        "t_recompile_s": t_recompile,
+        "t_cold_start_s": t_cold,
+        "cold_start_speedup": t_recompile / t_cold,
+        "golden_deviation": float(deviation),
+        "n_requests": int(n_requests),
+        "request_rows": int(request_rows),
+        "requests_lost": int(lost),
+        "t_publish_s": float(publish_elapsed[0]) if publish_elapsed else float("nan"),
+        "latency_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "latency_p99_ms": float(np.percentile(lat, 99) * 1e3),
+        "latency_max_ms": float(lat.max() * 1e3),
+        "live_version_after_swap": live_after,
+        "cpu_count": int(os.cpu_count() or 1),
+        "bit_identical": True,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # BENCH_sweeps.json emission
 # --------------------------------------------------------------------------- #
 def _read_bench_json(path: Path) -> Dict[str, object]:
@@ -1234,7 +1380,7 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(render_sweeps(results, args.benchmark))
     speedup = simulator_speedup = query_speedup = tape_memory = None
-    classify_speedup = None
+    classify_speedup = lifecycle = None
     if not args.skip_speedup:
         speedup = measure_engine_speedup()
         print(
@@ -1273,6 +1419,14 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
             f"{tape_memory['benchmark']}), planned executor "
             f"{tape_memory['speedup_planned_vs_legacy']:.2f}x legacy"
         )
+        lifecycle = measure_lifecycle()
+        print(
+            f"model lifecycle: AOT cold start is "
+            f"{lifecycle['cold_start_speedup']:.1f}x recompile-from-source "
+            f"({lifecycle['t_cold_start_s'] * 1e3:.0f} ms vs "
+            f"{lifecycle['t_recompile_s'] * 1e3:.0f} ms), hot swap lost "
+            f"{lifecycle['requests_lost']}/{lifecycle['n_requests']} requests"
+        )
     if args.json is not None:
         write_bench_json(
             results,
@@ -1290,6 +1444,8 @@ def _cli(argv: Optional[Sequence[str]] = None) -> int:
             update_bench_json(args.json, analysis_queries=classify_speedup)
         if tape_memory is not None:
             update_bench_json(args.json, tape_memory=tape_memory)
+        if lifecycle is not None:
+            update_bench_json(args.json, model_lifecycle=lifecycle)
         print(f"wrote {args.json}")
     return 0
 

@@ -1,0 +1,81 @@
+"""Model lifecycle: learn → compile → AOT artifact → versioned registry.
+
+The production loop around the SPN substrate (ROADMAP item 4):
+
+* :mod:`~repro.lifecycle.artifact` — content-hashed, integrity-checked
+  files carrying an SPN together with its compiled tape and memory plan,
+  so server cold start is deserialization, not compilation, and executes
+  bit-identically to a fresh compile.
+* :mod:`~repro.lifecycle.train` — a parallel learn → compile → package
+  pipeline over the synthetic dataset generators, cached on disk the same
+  way the sweep runner caches measurements.
+* :mod:`~repro.lifecycle.golden` — deterministic golden-evidence replay,
+  the measurement behind shadow validation.
+* :mod:`~repro.lifecycle.registry` — the versioned model store with
+  shadow-validated publish, atomic hot-swap, and rollback that
+  :class:`~repro.serving.server.InferenceServer` routes through.
+
+``python -m repro.lifecycle`` exposes the build/serve-check CLI used by CI.
+"""
+
+from .artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactIntegrityError,
+    ModelArtifact,
+    artifact_from_payload,
+    build_artifact,
+    load_artifact,
+    save_artifact,
+)
+from .golden import (
+    GOLDEN_ROWS,
+    GOLDEN_SEED,
+    golden_evidence,
+    golden_replay,
+    replay_deviation,
+)
+from .registry import (
+    ModelRegistry,
+    ModelVersion,
+    PublishReport,
+    ShadowValidationError,
+)
+from .train import (
+    DEFAULT_ARTIFACT_DIR,
+    TrainingJob,
+    TrainingResult,
+    job_key,
+    train_artifact,
+    train_many,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ArtifactFormatError",
+    "ArtifactIntegrityError",
+    "ModelArtifact",
+    "build_artifact",
+    "artifact_from_payload",
+    "save_artifact",
+    "load_artifact",
+    "GOLDEN_ROWS",
+    "GOLDEN_SEED",
+    "golden_evidence",
+    "golden_replay",
+    "replay_deviation",
+    "ModelRegistry",
+    "ModelVersion",
+    "PublishReport",
+    "ShadowValidationError",
+    "DEFAULT_ARTIFACT_DIR",
+    "TrainingJob",
+    "TrainingResult",
+    "job_key",
+    "train_artifact",
+    "train_many",
+]

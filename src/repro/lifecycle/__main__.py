@@ -1,0 +1,133 @@
+"""Lifecycle CLI: build AOT artifacts and health-check a serving cold start.
+
+Two subcommands, the deployment loop CI exercises end to end
+(``.github/workflows/ci.yml``):
+
+``build``
+    Package a model as an AOT artifact file.  ``--model`` names a suite
+    benchmark (:mod:`repro.suite.registry`); ``--train`` instead learns a
+    model from the synthetic dataset generators
+    (:mod:`repro.lifecycle.train`) with ``--n-vars`` / ``--n-rows`` /
+    ``--seed`` controlling the dataset spec.
+
+``serve-check``
+    The golden-replay gate for a freshly restarted server: load the
+    artifact, host it on an :class:`~repro.serving.server.InferenceServer`
+    (pure deserialization — no compile, no plan), replay the golden
+    evidence set through the *served* path, and require the responses to be
+    bit-identical to an offline session on the same artifact.  Exit code 0
+    on pass, 1 on any deviation.
+
+Examples::
+
+    python -m repro.lifecycle build --model Banknote --out banknote.json
+    python -m repro.lifecycle build --train --n-vars 12 --out learned.json
+    python -m repro.lifecycle serve-check banknote.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .artifact import save_artifact
+
+    if args.train:
+        from ..spn.datasets import DatasetSpec
+        from .train import TrainingJob, train_artifact
+
+        name = args.model or f"learned-{args.n_vars}v"
+        job = TrainingJob(
+            name=name,
+            dataset=DatasetSpec(
+                n_vars=args.n_vars, n_rows=args.n_rows, seed=args.seed
+            ),
+            version=args.version,
+        )
+        artifact = train_artifact(job)
+    else:
+        if not args.model:
+            print("build: --model NAME is required without --train", file=sys.stderr)
+            return 2
+        from ..suite.registry import benchmark_artifact
+
+        artifact = benchmark_artifact(args.model, version=args.version)
+    path = save_artifact(artifact, Path(args.out))
+    print(
+        f"built {artifact.name!r} version {artifact.version} "
+        f"({artifact.n_vars} vars) -> {path}"
+    )
+    print(f"content hash: {artifact.content_hash}")
+    return 0
+
+
+def _cmd_serve_check(args: argparse.Namespace) -> int:
+    from ..serving.server import InferenceServer
+    from .artifact import load_artifact
+    from .golden import golden_evidence, replay_deviation
+
+    from ..api.queries import Likelihood, LogLikelihood, Marginal
+
+    artifact = load_artifact(Path(args.path))
+    print(
+        f"loaded {artifact.name!r} version {artifact.version} "
+        f"({artifact.n_vars} vars, hash {artifact.content_hash[:12]})"
+    )
+    evidence = golden_evidence(artifact.n_vars, n_rows=args.rows)
+    queries = {
+        "likelihood": Likelihood(evidence=evidence),
+        "log_likelihood": LogLikelihood(evidence=evidence),
+        "marginal": Marginal(evidence=evidence, normalize=True),
+    }
+    session = artifact.session()
+    reference = {key: np.asarray(session.run(q)) for key, q in queries.items()}
+    with InferenceServer(models=[artifact]) as server:
+        served = {
+            key: np.asarray(server.query(artifact.name, q))
+            for key, q in queries.items()
+        }
+    deviation = replay_deviation(served, reference)
+    tolerance = float(artifact.tolerance)
+    verdict = "PASS" if deviation <= tolerance else "FAIL"
+    print(
+        f"golden replay over {evidence.shape[0]} rows: deviation {deviation!r} "
+        f"(tolerance {tolerance!r}) -> {verdict}"
+    )
+    return 0 if deviation <= tolerance else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lifecycle",
+        description="Build AOT model artifacts and golden-check a cold start.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="package a model as an AOT artifact file")
+    build.add_argument("--model", help="suite benchmark name (or artifact name with --train)")
+    build.add_argument("--train", action="store_true", help="learn a model instead of using a suite profile")
+    build.add_argument("--n-vars", type=int, default=12, help="dataset width for --train")
+    build.add_argument("--n-rows", type=int, default=2000, help="dataset rows for --train")
+    build.add_argument("--seed", type=int, default=0, help="dataset seed for --train")
+    build.add_argument("--version", default="1", help="artifact version string")
+    build.add_argument("--out", required=True, help="output artifact path")
+    build.set_defaults(func=_cmd_build)
+
+    check = sub.add_parser(
+        "serve-check", help="cold-start a server from an artifact and golden-replay it"
+    )
+    check.add_argument("path", help="artifact file to load")
+    check.add_argument("--rows", type=int, default=64, help="golden-evidence rows")
+    check.set_defaults(func=_cmd_serve_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Golden-evidence replay: the deterministic gate behind shadow validation.
+
+A *golden-evidence set* is a deterministic batch of evidence rows — mixed
+observed / marginalized entries, a fully-marginalized row (the partition
+function), and a fully-observed row — generated from ``(n_vars, seed)``
+only, so every process that knows a model's width replays the exact same
+rows.  :func:`golden_replay` evaluates a session's core query surface on
+the set; :func:`replay_deviation` reduces two replays to a single scalar
+(maximum absolute deviation, ``0.0`` for bit-identical), which the model
+registry compares against an artifact's recorded tolerance before a
+candidate version may take traffic (:mod:`repro.lifecycle.registry`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..spn.evaluate import MARGINALIZED
+
+__all__ = [
+    "GOLDEN_ROWS",
+    "GOLDEN_SEED",
+    "golden_evidence",
+    "golden_replay",
+    "replay_deviation",
+]
+
+#: Default number of rows in a golden-evidence set.
+GOLDEN_ROWS = 64
+
+#: Default seed; fixed so every builder/server pair replays the same rows.
+GOLDEN_SEED = 20200318
+
+
+def golden_evidence(
+    n_vars: int, seed: int = GOLDEN_SEED, n_rows: int = GOLDEN_ROWS
+) -> np.ndarray:
+    """A deterministic ``(n_rows, n_vars)`` evidence batch.
+
+    Rows mix observed values and :data:`~repro.spn.evaluate.MARGINALIZED`
+    entries with varying observance density; row 0 is fully marginalized
+    (the partition function — any weight corruption moves it) and row 1 is
+    fully observed (a single joint state — sensitive to individual leaves).
+    """
+    if n_vars < 1:
+        raise ValueError(f"n_vars must be >= 1, got {n_vars}")
+    rng = np.random.default_rng([int(seed), int(n_vars)])
+    values = rng.integers(0, 2, size=(n_rows, n_vars))
+    # Per-row observance density spanning sparse to dense evidence.
+    density = np.linspace(0.1, 0.9, n_rows)[:, None]
+    observed = rng.random(size=(n_rows, n_vars)) < density
+    data = np.where(observed, values, MARGINALIZED)
+    if n_rows > 0:
+        data[0, :] = MARGINALIZED
+    if n_rows > 1:
+        data[1, :] = values[1]
+    return data.astype(np.int64)
+
+
+def golden_replay(session, evidence: np.ndarray) -> Dict[str, np.ndarray]:
+    """Evaluate the golden set through a session's core query surface.
+
+    Returns linear likelihoods, log likelihoods, and normalized marginals
+    — the three passes every other query kind is composed from (sweep
+    kinds are deterministic functions of repeated log passes, and
+    ``Sample`` draws from per-row conditionals, so agreement here implies
+    agreement everywhere the same tape executes).
+    """
+    from ..api.queries import Likelihood, LogLikelihood, Marginal
+
+    return {
+        "likelihood": np.asarray(session.run(Likelihood(evidence=evidence))),
+        "log_likelihood": np.asarray(session.run(LogLikelihood(evidence=evidence))),
+        "marginal": np.asarray(
+            session.run(Marginal(evidence=evidence, normalize=True))
+        ),
+    }
+
+
+def replay_deviation(
+    candidate: Dict[str, np.ndarray], reference: Dict[str, np.ndarray]
+) -> float:
+    """Maximum absolute deviation between two replays.
+
+    ``0.0`` means bit-identical (checked with ``array_equal`` first, so
+    matching NaN/inf patterns short-circuit to exact equality); ``inf``
+    means structural disagreement — different query sets, shapes, or
+    NaN/inf placement.  Otherwise the largest absolute difference over the
+    finite entries.
+    """
+    if set(candidate) != set(reference):
+        return float("inf")
+    worst = 0.0
+    for key, want in reference.items():
+        got = np.asarray(candidate[key])
+        want = np.asarray(want)
+        if got.shape != want.shape:
+            return float("inf")
+        if np.array_equal(got, want, equal_nan=True):
+            continue
+        finite_got = np.isfinite(got)
+        finite_want = np.isfinite(want)
+        if not np.array_equal(finite_got, finite_want) or not np.array_equal(
+            got[~finite_got], want[~finite_want], equal_nan=True
+        ):
+            return float("inf")
+        if finite_want.any():
+            worst = max(
+                worst, float(np.max(np.abs(got[finite_got] - want[finite_want])))
+            )
+    return worst

@@ -1,0 +1,229 @@
+"""Versioned model registry: publish, shadow-validate, hot-swap, rollback.
+
+The registry owns the name → live-version mapping a serving process routes
+through.  Its contract:
+
+* **publish** installs a new version under a name.  When an incumbent is
+  live and validation is on, the candidate must first *replay the golden
+  evidence set* (:mod:`repro.lifecycle.golden`) and stay within the
+  candidate artifact's recorded ``tolerance`` of the incumbent's replay
+  (``0.0`` = bit-identical, the default).  A candidate that deviates is
+  rejected with :class:`ShadowValidationError` and the registry is left
+  untouched — the incumbent keeps serving.
+* **atomic hot-swap** — the live pointer flips under the registry lock,
+  so a reader either sees the old version or the new one, never a mix.
+  Readers that *pin* the resolved entry (the server pins at admission)
+  keep executing in-flight work on the old version's tape after the swap.
+* **rollback** re-points the live version at any retained older version
+  without revalidation (it served traffic before; validation gates entry
+  into the store, not re-activation).
+
+The registry is engine-agnostic: entries hold an
+:class:`~repro.api.session.InferenceSession` (usually built from a
+:class:`~repro.lifecycle.artifact.ModelArtifact`, whose AOT tape makes
+installation compile-free) plus the artifact when one exists.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .artifact import ModelArtifact
+from .golden import golden_evidence, golden_replay, replay_deviation
+
+__all__ = [
+    "ShadowValidationError",
+    "ModelVersion",
+    "PublishReport",
+    "ModelRegistry",
+]
+
+
+class ShadowValidationError(RuntimeError):
+    """A candidate version deviated from the incumbent beyond its tolerance."""
+
+    def __init__(
+        self, name: str, version: str, deviation: float, tolerance: float
+    ) -> None:
+        super().__init__(
+            f"model {name!r} version {version!r} failed shadow validation: "
+            f"golden-replay deviation {deviation!r} exceeds tolerance {tolerance!r}"
+        )
+        self.name = name
+        self.version = version
+        self.deviation = deviation
+        self.tolerance = tolerance
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One installed version: the session serving it plus its provenance."""
+
+    name: str
+    version: str
+    session: object
+    artifact: Optional[ModelArtifact] = None
+
+
+@dataclass(frozen=True)
+class PublishReport:
+    """What a successful publish did."""
+
+    name: str
+    version: str
+    previous_version: Optional[str]
+    validated: bool
+    deviation: float = 0.0
+    tolerance: float = 0.0
+
+
+@dataclass
+class _Entry:
+    versions: Dict[str, ModelVersion] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+    live: Optional[str] = None
+
+
+class ModelRegistry:
+    """Thread-safe versioned name → model store with atomic live pointers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                name for name, e in self._entries.items() if e.live is not None
+            )
+
+    def versions(self, name: str) -> List[str]:
+        """Installed versions of ``name``, oldest first."""
+        with self._lock:
+            entry = self._entries.get(name)
+            return list(entry.order) if entry else []
+
+    def live_version(self, name: str) -> Optional[str]:
+        with self._lock:
+            entry = self._entries.get(name)
+            return entry.live if entry else None
+
+    def resolve(self, name: str) -> Optional[ModelVersion]:
+        """The live :class:`ModelVersion` for ``name`` (``None`` if absent).
+
+        One lock acquisition, one pointer read: callers that hold on to the
+        returned object keep the pre-swap version for as long as they need
+        it — this is how in-flight requests drain on the old tape.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.live is None:
+                return None
+            return entry.versions[entry.live]
+
+    def get(self, name: str, version: str) -> Optional[ModelVersion]:
+        with self._lock:
+            entry = self._entries.get(name)
+            return entry.versions.get(version) if entry else None
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        name: str,
+        version: str,
+        session,
+        artifact: Optional[ModelArtifact] = None,
+        validate: bool = True,
+        golden_rows: Optional[int] = None,
+    ) -> PublishReport:
+        """Install ``session`` as the live version of ``name``.
+
+        With ``validate`` (the default) and an incumbent live, the candidate
+        replays the golden-evidence set first and must stay within the
+        candidate's tolerance (``artifact.tolerance`` when an artifact is
+        given, else bit-identical).  Validation runs *outside* the registry
+        lock — the incumbent serves unhindered while the candidate shadows
+        — and only the pointer flip itself is locked.  Re-publishing an
+        existing version string raises ``ValueError`` (versions are
+        immutable once installed; pick a new version or roll back).
+        """
+        version = str(version)
+        with self._lock:
+            entry = self._entries.setdefault(name, _Entry())
+            if version in entry.versions:
+                raise ValueError(
+                    f"model {name!r} version {version!r} is already installed"
+                )
+            incumbent = entry.versions[entry.live] if entry.live else None
+
+        tolerance = float(artifact.tolerance) if artifact is not None else 0.0
+        deviation = 0.0
+        validated = False
+        if validate and incumbent is not None:
+            kwargs = {} if golden_rows is None else {"n_rows": int(golden_rows)}
+            evidence = golden_evidence(incumbent.session.n_vars, **kwargs)
+            reference = golden_replay(incumbent.session, evidence)
+            candidate = golden_replay(session, evidence)
+            deviation = replay_deviation(candidate, reference)
+            validated = True
+            if deviation > tolerance:
+                raise ShadowValidationError(name, version, deviation, tolerance)
+
+        model = ModelVersion(
+            name=name, version=version, session=session, artifact=artifact
+        )
+        with self._lock:
+            entry = self._entries.setdefault(name, _Entry())
+            if version in entry.versions:
+                raise ValueError(
+                    f"model {name!r} version {version!r} is already installed"
+                )
+            previous = entry.live
+            entry.versions[version] = model
+            entry.order.append(version)
+            entry.live = version  # the atomic hot-swap: one pointer store
+        return PublishReport(
+            name=name,
+            version=version,
+            previous_version=previous,
+            validated=validated,
+            deviation=deviation,
+            tolerance=tolerance,
+        )
+
+    def rollback(self, name: str, version: Optional[str] = None) -> ModelVersion:
+        """Re-point ``name`` at ``version`` (default: the previous one).
+
+        The target must already be installed; no revalidation runs.  Returns
+        the now-live :class:`ModelVersion`.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.live is None:
+                raise KeyError(f"no live model named {name!r}")
+            if version is None:
+                live_index = entry.order.index(entry.live)
+                if live_index == 0:
+                    raise ValueError(
+                        f"model {name!r} has no version older than {entry.live!r}"
+                    )
+                version = entry.order[live_index - 1]
+            version = str(version)
+            if version not in entry.versions:
+                raise KeyError(
+                    f"model {name!r} has no installed version {version!r}"
+                )
+            entry.live = version
+            return entry.versions[version]
+
+    def remove(self, name: str) -> None:
+        """Drop ``name`` and every installed version."""
+        with self._lock:
+            self._entries.pop(name, None)

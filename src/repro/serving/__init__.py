@@ -12,6 +12,14 @@ micro-batches under a max-batch-size / max-wait policy
 responses are bit-identical to offline session execution — and reports
 latency/throughput/occupancy telemetry (:class:`ServingMetrics`).
 
+Model hosting is **versioned** (:mod:`repro.lifecycle`): every hosted name
+maps to a registry of installed versions with one live pointer.
+``server.publish(name, version, artifact)`` shadow-validates a candidate
+against the incumbent on the golden-evidence replay, then hot-swaps the
+live pointer atomically — requests already admitted drain on the version
+that admitted them — and ``server.rollback(name)`` re-points at an older
+version without revalidation.  See ``docs/lifecycle.md``.
+
 Quick tour::
 
     from repro.api import Conditional
@@ -33,6 +41,7 @@ and ``benchmarks/test_bench_serving.py`` for the measured batching speedup
 """
 
 from ..api.queries import QueryKind
+from ..lifecycle.registry import PublishReport, ShadowValidationError
 from .client import AsyncInferenceClient, InferenceClient, ModelRouter
 from .metrics import ServingMetrics
 from .queue import (
@@ -76,4 +85,6 @@ __all__ = [
     "ServedModel",
     "ServerClosedError",
     "UnknownModelError",
+    "PublishReport",
+    "ShadowValidationError",
 ]

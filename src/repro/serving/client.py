@@ -66,6 +66,10 @@ class InferenceClient:
             raise ValueError("no model given and the client has no default model")
         return name
 
+    def live_version(self, model: Optional[str] = None) -> Optional[str]:
+        """The version of the (default) model currently taking traffic."""
+        return self._server.live_version(self._resolve(model))
+
     def submit(
         self,
         evidence: Evidence,
@@ -495,6 +499,17 @@ class ModelRouter:
         timeout: Optional[float] = None,
     ):
         return self.client(model).query(evidence, kind=kind, timeout=timeout)
+
+    def publish(self, model: str, version: str, candidate, validate: bool = True):
+        """Publish a new version of ``model`` on the server hosting it.
+
+        Routes to the same server queries for ``model`` go to, then defers
+        to :meth:`repro.serving.server.InferenceServer.publish` — shadow
+        validation, atomic hot-swap and the in-flight drain guarantee are
+        the server's.  Returns its
+        :class:`~repro.lifecycle.registry.PublishReport`.
+        """
+        return self.route(model).publish(model, version, candidate, validate=validate)
 
     def stop(self) -> None:
         """Stop (drain) every server behind this router."""

@@ -88,7 +88,11 @@ class WorkItem:
     to (see :class:`repro.serving.server._PendingRequest`); ``index`` is
     the row's position within that request, so multi-row requests
     reassemble their result vector no matter how the rows were scattered
-    across micro-batches.
+    across micro-batches.  ``served`` is the
+    :class:`~repro.serving.server.ServedModel` *pinned at admission*:
+    workers execute the row on exactly this version's session and tape,
+    so rows in flight across a hot-swap drain on the version that
+    admitted them.
     """
 
     model: str
@@ -96,6 +100,7 @@ class WorkItem:
     row: object
     index: int
     request: object
+    served: object = None
 
 
 class MicroBatchQueue:

@@ -51,6 +51,8 @@ import numpy as np
 
 from ..api.queries import Conditional, Query, QueryKind, Sample, as_kind, query_type
 from ..api.session import InferenceSession
+from ..lifecycle.artifact import ModelArtifact
+from ..lifecycle.registry import ModelRegistry, PublishReport
 from ..spn.compiled import resolve_engine
 from ..spn.graph import SPN
 from ..spn.memplan import ExecutionOptions, resolve_execution
@@ -109,7 +111,7 @@ class ServerClosedError(RuntimeError):
 
 @dataclass(frozen=True)
 class ServedModel:
-    """One hosted model: its name and its bound inference session.
+    """One hosted model *version*: its name, version, and bound session.
 
     ``session`` is the model's :class:`~repro.api.session.InferenceSession`
     — the exact object an offline caller would use, so serving cannot drift
@@ -120,11 +122,20 @@ class ServedModel:
     :data:`~repro.spn.evaluate.MARGINALIZED`; unobserved surplus columns
     are trimmed exactly, observed ones are rejected at admission).  The
     session's pinned ``tape`` (compiled at registration under the warm
-    default) can never be evicted while the model is served.
+    default, or shipped by an AOT artifact) can never be evicted while the
+    model is served.
+
+    The server keeps exactly **one** canonical ``ServedModel`` per
+    installed ``(name, version)`` and pins it on every admitted work item,
+    so in-flight requests keep executing on the version they were admitted
+    under across a hot-swap, and worker-side grouping by served model can
+    never merge rows of different versions.
     """
 
     name: str
     session: InferenceSession = field(repr=False)
+    version: str = "0"
+    artifact: Optional[ModelArtifact] = field(repr=False, default=None, compare=False)
 
     @property
     def spn(self) -> SPN:
@@ -137,6 +148,14 @@ class ServedModel:
     @property
     def tape(self):
         return self.session.tape
+
+
+@dataclass(frozen=True)
+class _Installed:
+    """Internal result of installing one version: the model and the report."""
+
+    served: ServedModel
+    report: PublishReport
 
 
 class _PendingRequest:
@@ -258,14 +277,21 @@ class InferenceServer:
         self.execution = resolve_execution(execution)
         self.metrics = ServingMetrics()
         self._warm = warm
-        self._models: Dict[str, ServedModel] = {}
+        #: The versioned model store (publish / hot-swap / rollback).
+        self.registry = ModelRegistry()
+        #: Canonical ServedModel per installed (name, version); admission
+        #: pins these on work items, so identity grouping is exact.
+        self._served: Dict[Tuple[str, str], ServedModel] = {}
         self._queue = MicroBatchQueue(self.policy)
         self._workers: List[threading.Thread] = []
         self._n_workers = n_workers
         self._abort = False
         self._started = False
         for entry in self._iter_model_entries(models):
-            self.add_model(*entry)
+            if isinstance(entry[0], ModelArtifact):
+                self.add_artifact(entry[0])
+            else:
+                self.add_model(*entry)
 
     @staticmethod
     def _iter_model_entries(models) -> Iterable[Tuple]:
@@ -276,17 +302,29 @@ class InferenceServer:
                 yield name, spn
             return
         for entry in models:
-            if isinstance(entry, str):
+            if isinstance(entry, (str, ModelArtifact)):
                 yield (entry,)
             else:
                 yield tuple(entry)
 
     # ------------------------------------------------------------------ #
-    # Model hosting
+    # Model hosting (versioned registry)
     # ------------------------------------------------------------------ #
-    def add_model(self, name: str, spn: Optional[SPN] = None) -> ServedModel:
-        """Host ``spn`` under ``name``; a bare suite name resolves itself."""
-        if name in self._models:
+    def add_model(
+        self, name: str, spn: Optional[SPN] = None, version: str = "0"
+    ) -> ServedModel:
+        """Host ``spn`` under ``name``; a bare suite name resolves itself.
+
+        Installs ``version`` (default ``"0"``) as the live version without
+        shadow validation — this is initial registration, there is no
+        incumbent to validate against.  Later versions go through
+        :meth:`publish`.  ``spn`` may also be a
+        :class:`~repro.lifecycle.artifact.ModelArtifact` (equivalent to
+        :meth:`add_artifact` with an explicit name).
+        """
+        if isinstance(spn, ModelArtifact):
+            return self.add_artifact(spn, name=name)
+        if self.registry.live_version(name) is not None:
             raise ValueError(f"model {name!r} is already hosted")
         session = InferenceSession(
             spn if spn is not None else name,
@@ -294,20 +332,117 @@ class InferenceServer:
             warm=self._warm,
             execution=self.execution,
         )
-        served = ServedModel(name=name, session=session)
-        self._models[name] = served
-        return served
+        return self._install(name, version, session, artifact=None, validate=False).served
+
+    def add_artifact(
+        self, artifact: ModelArtifact, name: Optional[str] = None
+    ) -> ServedModel:
+        """Host an AOT artifact — cold start with zero compile/plan work.
+
+        The session adopts the artifact's shipped tape and memory plan, so
+        registration performs no linearization, no tape compilation, and no
+        memory planning; the artifact's recorded name and version are used
+        unless ``name`` overrides the former.
+        """
+        name = artifact.name if name is None else name
+        if self.registry.live_version(name) is not None:
+            raise ValueError(f"model {name!r} is already hosted")
+        session = artifact.session(engine=self.engine, execution=self.execution)
+        return self._install(
+            name, artifact.version, session, artifact=artifact, validate=False
+        ).served
+
+    def publish(
+        self,
+        name: str,
+        version: str,
+        model: Union[ModelArtifact, SPN, InferenceSession, str],
+        validate: bool = True,
+    ) -> PublishReport:
+        """Install a new version of ``name`` and atomically hot-swap to it.
+
+        ``model`` is an AOT :class:`~repro.lifecycle.artifact.ModelArtifact`
+        (the production path — no compilation on the serving box), an SPN, a
+        suite benchmark name, or a prepared
+        :class:`~repro.api.session.InferenceSession`.  With ``validate``
+        (default) and an incumbent live, the candidate must replay the
+        golden-evidence set within its artifact's recorded tolerance
+        (bit-identical when no artifact is given) —
+        :class:`~repro.lifecycle.registry.ShadowValidationError` otherwise,
+        with the incumbent left serving.  The swap itself is one pointer
+        flip in the registry; requests admitted before it drain on the old
+        version's tape (they pinned their ServedModel at admission), and
+        requests admitted after it run the new one.
+        """
+        version = str(version)
+        artifact: Optional[ModelArtifact] = None
+        if isinstance(model, ModelArtifact):
+            artifact = model
+            session = model.session(engine=self.engine, execution=self.execution)
+        elif isinstance(model, InferenceSession):
+            session = model
+        else:
+            session = InferenceSession(
+                model, engine=self.engine, warm=self._warm, execution=self.execution
+            )
+        return self._install(
+            name, version, session, artifact=artifact, validate=validate
+        ).report
+
+    def _install(
+        self,
+        name: str,
+        version: str,
+        session: InferenceSession,
+        artifact: Optional[ModelArtifact],
+        validate: bool,
+    ) -> "_Installed":
+        version = str(version)
+        served = ServedModel(
+            name=name, session=session, version=version, artifact=artifact
+        )
+        # The canonical ServedModel must be resolvable before the registry
+        # flips the live pointer: a submit racing the publish may resolve
+        # the new version immediately after the flip.
+        self._served[(name, version)] = served
+        try:
+            report = self.registry.publish(
+                name, version, session, artifact=artifact, validate=validate
+            )
+        except BaseException:
+            self._served.pop((name, version), None)
+            raise
+        return _Installed(served=served, report=report)
+
+    def rollback(self, name: str, version: Optional[str] = None) -> ServedModel:
+        """Re-point ``name`` at an older installed version (no revalidation)."""
+        model = self.registry.rollback(name, version)
+        return self._served[(name, model.version)]
 
     def models(self) -> List[str]:
         """Names of the hosted models, sorted."""
-        return sorted(self._models)
+        return self.registry.names()
+
+    def versions(self, name: str) -> List[str]:
+        """Installed versions of ``name``, oldest first."""
+        return self.registry.versions(name)
+
+    def live_version(self, name: str) -> Optional[str]:
+        """The version currently taking traffic for ``name``."""
+        return self.registry.live_version(name)
 
     def model(self, name: str) -> ServedModel:
-        served = self._models.get(name)
-        if served is None:
-            known = ", ".join(sorted(self._models)) or "none"
+        """The live :class:`ServedModel` for ``name`` (one pointer read).
+
+        Callers that hold the returned object keep the resolved version for
+        as long as they need it — admission pins it on every work item, so
+        a hot-swap never migrates in-flight rows to a different tape.
+        """
+        resolved = self.registry.resolve(name)
+        if resolved is None:
+            known = ", ".join(self.registry.names()) or "none"
             raise UnknownModelError(f"unknown model {name!r}; hosted models: {known}")
-        return served
+        return self._served[(name, resolved.version)]
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -397,8 +532,13 @@ class InferenceServer:
         rows = query.split_rows()
         key = query.group_key()
         request = _PendingRequest(model, query.kind, len(rows), self.metrics)
+        # Pin the resolved version on every row: a hot-swap between admission
+        # and execution must not migrate in-flight rows to a different tape.
         items = [
-            WorkItem(model=model, kind=key, row=rows[i], index=i, request=request)
+            WorkItem(
+                model=model, kind=key, row=rows[i], index=i, request=request,
+                served=served,
+            )
             for i in range(len(rows))
         ]
         try:
@@ -520,22 +660,25 @@ class InferenceServer:
                         ServerClosedError("server stopped without draining")
                     )
                 continue
-            groups: Dict[Tuple[str, tuple], List[WorkItem]] = {}
+            groups: Dict[Tuple[ServedModel, tuple], List[WorkItem]] = {}
             for item in batch:
                 # Rows whose request already failed (admission timeout) or
                 # was cancelled would compute and count for nobody.
                 if item.request.abandoned:
                     continue
-                groups.setdefault((item.model, item.kind), []).append(item)
+                # Grouping by the *pinned* ServedModel (not the name) keeps
+                # rows admitted under different versions of one model in
+                # separate engine calls — each drains on its own tape.
+                groups.setdefault((item.served, item.kind), []).append(item)
             # Each (model, kind) group is one engine call: record it, then
             # deliver it, before moving to the next group.  Failed rows
             # never inflate throughput, a caller woken by its result always
             # sees its group already counted, and a fast likelihood group is
             # never head-of-line blocked behind a slow MPE group that
             # happened to share the micro-batch.
-            for (model, kind), items in groups.items():
+            for (served, kind), items in groups.items():
                 try:
-                    values = self._execute(model, kind, items)
+                    values = self._execute(served, kind, items)
                 except BaseException as exc:  # noqa: BLE001 - forwarded to futures
                     for item in items:
                         item.request.fail(exc)
@@ -559,7 +702,7 @@ class InferenceServer:
         """
         if self.execution.mode == "legacy":
             return
-        for served in list(self._models.values()):
+        for served in list(self._served.values()):
             tape = served.tape
             if tape is not None and tape.kernels:
                 plan = tape.memory_plan(
@@ -568,9 +711,9 @@ class InferenceServer:
                 plan.reserve(self.policy.max_batch_size)
 
     def _execute(
-        self, model: str, key: tuple, items: Sequence[WorkItem]
+        self, served: ServedModel, key: tuple, items: Sequence[WorkItem]
     ) -> List[object]:
-        """Run one ``(model, group key)`` group through the shared session.
+        """Run one ``(served model, group key)`` group through its session.
 
         The group key is :meth:`repro.api.Query.group_key` — the kind plus
         every execution parameter — so the rows of a group can always be
@@ -579,9 +722,10 @@ class InferenceServer:
         bit-identical contract: a served row runs through the very same
         ``session.run`` (same cached tape, elementwise kernels) a direct
         caller uses, so its value does not depend on which micro-batch it
-        landed in — for conditionals exactly as for likelihoods.
+        landed in — for conditionals exactly as for likelihoods.  ``served``
+        is the model *pinned at admission*, never re-resolved here: rows in
+        flight across a hot-swap complete on the version that admitted them.
         """
-        served = self.model(model)
         kind, params = key[0], dict(key[1:])
         batch = query_type(kind).join_rows([item.row for item in items], **params)
         return list(served.session.run(batch))

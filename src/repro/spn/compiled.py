@@ -60,8 +60,16 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 import numpy as np
 
 from .evaluate import MARGINALIZED, as_evidence_array
-from .graph import SPN
-from .linearize import OP_ADD, InputSlot, OperationList, linearize
+from .graph import SPN, StructureError
+from .linearize import (
+    OP_ADD,
+    OP_MUL,
+    InputSlot,
+    OperationList,
+    input_slots_from_payload,
+    input_slots_to_payload,
+    linearize,
+)
 from .memplan import (
     DEFAULT_FUSE_WIDTH,
     ExecutionOptions,
@@ -83,6 +91,9 @@ __all__ = [
     "CompiledTape",
     "compile_tape",
     "cached_tape",
+    "adopt_tape",
+    "tape_to_payload",
+    "tape_from_payload",
     "cross_check",
     "resolve_engine",
     "resolve_execution",
@@ -334,6 +345,20 @@ class CompiledTape:
                 self._plan_cache[key] = plan
         return plan
 
+    def adopt_plan(
+        self, plan: MemoryPlan, fuse: bool = True, fuse_width: Optional[int] = None
+    ) -> None:
+        """Seed the plan cache with a deserialized :class:`MemoryPlan`.
+
+        AOT artifacts (:mod:`repro.lifecycle`) ship the memory plan alongside
+        the tape; adopting it makes :meth:`memory_plan` — and therefore the
+        planned/sharded executors — run without ever calling
+        :func:`~repro.spn.memplan.plan_memory` at load time.
+        """
+        width = DEFAULT_FUSE_WIDTH if fuse_width is None else int(fuse_width)
+        with self._plan_lock:
+            self._plan_cache[(bool(fuse), width)] = plan
+
     def execute_batch(
         self,
         data: np.ndarray,
@@ -507,3 +532,121 @@ def cached_tape(source: Union[OperationList, SPN]) -> CompiledTape:
     ref = weakref.ref(source, lambda _, key=key: _TAPE_CACHE.pop(key, None))
     _TAPE_CACHE[key] = (ref, fingerprint, children, tape)
     return tape
+
+
+def adopt_tape(source: Union[OperationList, SPN], tape: CompiledTape) -> CompiledTape:
+    """Seed the tape cache so ``source`` evaluates through ``tape``.
+
+    The AOT-artifact loader (:mod:`repro.lifecycle`) uses this to attach a
+    deserialized tape to its reconstructed SPN: every evaluation dispatcher
+    (``evaluate_batch`` and friends) routes through :func:`cached_tape`, so
+    after adoption the whole query surface runs on the shipped tape with no
+    recompilation.  The entry is stored exactly like a :func:`cached_tape`
+    miss, so later structural mutation of ``source`` still triggers a fresh
+    compile.
+    """
+    key = id(source)
+    tag, children = _fingerprint_parts(source)
+    fingerprint = (tag, tuple(map(id, children)))
+    ref = weakref.ref(source, lambda _, key=key: _TAPE_CACHE.pop(key, None))
+    _TAPE_CACHE[key] = (ref, fingerprint, children, tape)
+    return tape
+
+
+# --------------------------------------------------------------------------- #
+# Serialization (AOT artifacts)
+# --------------------------------------------------------------------------- #
+def tape_to_payload(tape: CompiledTape) -> dict:
+    """Serialize a :class:`CompiledTape` to a JSON-compatible dictionary.
+
+    Only the four declarative fields are stored — ``__post_init__`` rebuilds
+    every derived index structure on reconstruction, so a round-tripped tape
+    is state-for-state identical to a freshly compiled one.
+    """
+    return {
+        "inputs": input_slots_to_payload(tape.inputs),
+        "kernels": [
+            [k.level, k.op, k.dest_start, k.dest_stop, k.arg0.tolist(), k.arg1.tolist()]
+            for k in tape.kernels
+        ],
+        "root_slot": tape.root_slot,
+        "slot_map": {str(s): t for s, t in tape.slot_map.items()},
+    }
+
+
+def tape_from_payload(payload: dict) -> CompiledTape:
+    """Rebuild a tape from :func:`tape_to_payload` output, validating it.
+
+    Truncated kernel records, operand indices reaching into a kernel's own
+    (or a later) destination range, and out-of-range roots raise
+    :class:`~repro.spn.graph.StructureError` — the artifact loader
+    translates these into its typed corruption errors.
+    """
+    if not isinstance(payload, dict):
+        raise StructureError("tape section: expected a dict")
+    inputs = input_slots_from_payload(payload.get("inputs"))
+    records = payload.get("kernels")
+    if not isinstance(records, list):
+        raise StructureError("tape section: 'kernels' must be a list")
+    n_inputs = len(inputs)
+    kernels: List[TapeKernel] = []
+    dest_cursor = n_inputs
+    for position, record in enumerate(records):
+        context = f"tape kernel record {position}"
+        if not isinstance(record, (list, tuple)) or len(record) != 6:
+            raise StructureError(f"{context}: truncated record, expected 6 fields")
+        level, op, dest_start, dest_stop, arg0, arg1 = record
+        try:
+            level = int(level)
+            dest_start, dest_stop = int(dest_start), int(dest_stop)
+            arg0 = np.asarray(arg0, dtype=np.intp)
+            arg1 = np.asarray(arg1, dtype=np.intp)
+        except (TypeError, ValueError):
+            raise StructureError(f"{context}: malformed field values") from None
+        if op not in (OP_ADD, OP_MUL):
+            raise StructureError(f"{context}: unknown opcode {op!r}")
+        if dest_start != dest_cursor or dest_stop <= dest_start:
+            raise StructureError(f"{context}: destination range is not contiguous")
+        width = dest_stop - dest_start
+        if arg0.ndim != 1 or arg1.ndim != 1 or arg0.size != width or arg1.size != width:
+            raise StructureError(
+                f"{context}: truncated operand vectors, expected length {width}"
+            )
+        # Operands must already be defined: tape order guarantees every
+        # operand slot lies strictly below the kernel's destination range.
+        for arg in (arg0, arg1):
+            if arg.size and (int(arg.min()) < 0 or int(arg.max()) >= dest_start):
+                raise StructureError(
+                    f"{context}: operand references an undefined slot"
+                )
+        kernels.append(
+            TapeKernel(
+                level=level, op=op, dest_start=dest_start, dest_stop=dest_stop,
+                arg0=arg0, arg1=arg1,
+            )
+        )
+        dest_cursor = dest_stop
+    try:
+        root_slot = int(payload.get("root_slot"))
+    except (TypeError, ValueError):
+        raise StructureError("tape section: malformed root_slot") from None
+    n_slots = dest_cursor
+    if not 0 <= root_slot < max(n_slots, 1):
+        raise StructureError(f"tape section: root_slot {root_slot} out of range")
+    slot_map_records = payload.get("slot_map", {})
+    if not isinstance(slot_map_records, dict):
+        raise StructureError("tape section: 'slot_map' must be a dict")
+    slot_map: Dict[int, int] = {}
+    for key, value in slot_map_records.items():
+        try:
+            source, target = int(key), int(value)
+        except (TypeError, ValueError):
+            raise StructureError("tape section: malformed slot_map entry") from None
+        if not 0 <= target < max(n_slots, 1):
+            raise StructureError(
+                f"tape section: slot_map target for slot {source} out of range"
+            )
+        slot_map[source] = target
+    return CompiledTape(
+        inputs=inputs, kernels=kernels, root_slot=root_slot, slot_map=slot_map
+    )

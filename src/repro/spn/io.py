@@ -152,30 +152,84 @@ def to_json(spn: SPN) -> dict:
     return {"format": "repro-spn", "version": 1, "root": spn.root, "nodes": nodes}
 
 
+def _json_field(record, key: str, context: str):
+    """Read a required field, raising :class:`StructureError` when absent.
+
+    JSON documents arrive from disk and from artifact payloads; a missing
+    or malformed field must surface as a typed serialization error, never
+    as a bare ``KeyError``/``TypeError`` from deep inside reconstruction.
+    """
+    try:
+        return record[key]
+    except (KeyError, IndexError, TypeError):
+        raise StructureError(f"{context}: missing field {key!r}") from None
+
+
+def _json_int(value, context: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise StructureError(f"{context}: expected an integer, got {value!r}") from None
+
+
 def from_json(payload: dict) -> SPN:
-    """Deserialize the dictionary produced by :func:`to_json`."""
-    if payload.get("format") != "repro-spn":
+    """Deserialize the dictionary produced by :func:`to_json`.
+
+    Malformed documents — missing fields, non-integer ids, children or
+    roots referencing undefined nodes — are rejected with
+    :class:`~repro.spn.graph.StructureError` (never a bare ``KeyError``),
+    so callers layering their own integrity checks (the lifecycle artifact
+    loader) can translate every corruption uniformly.
+    """
+    if not isinstance(payload, dict) or payload.get("format") != "repro-spn":
         raise StructureError("not a repro-spn JSON document")
+    records = _json_field(payload, "nodes", "repro-spn document")
+    if not isinstance(records, list):
+        raise StructureError("repro-spn document: 'nodes' must be a list")
     spn = SPN()
     id_map: Dict[int, int] = {}
-    for record in payload["nodes"]:
-        kind = record["type"]
-        old_id = int(record["id"])
+
+    def mapped_children(record, context: str):
+        children = _json_field(record, "children", context)
+        if not isinstance(children, list):
+            raise StructureError(f"{context}: 'children' must be a list")
+        out = []
+        for c in children:
+            child = _json_int(c, context)
+            if child not in id_map:
+                raise StructureError(
+                    f"{context}: child {child} referenced before definition"
+                )
+            out.append(id_map[child])
+        return out
+
+    for position, record in enumerate(records):
+        context = f"node record {position}"
+        kind = _json_field(record, "type", context)
+        old_id = _json_int(_json_field(record, "id", context), context)
+        context = f"node {old_id}"
+        if old_id in id_map:
+            raise StructureError(f"{context}: defined twice")
         if kind == "indicator":
-            new_id = spn.add_indicator(int(record["var"]), int(record["value"]))
+            new_id = spn.add_indicator(
+                _json_int(_json_field(record, "var", context), context),
+                _json_int(_json_field(record, "value", context), context),
+            )
         elif kind == "parameter":
-            new_id = spn.add_parameter(float(record["prob"]))
+            new_id = spn.add_parameter(float(_json_field(record, "prob", context)))
         elif kind == "sum":
-            children = [id_map[int(c)] for c in record["children"]]
-            weights = record.get("weights")
+            children = mapped_children(record, context)
+            weights = record.get("weights") if isinstance(record, dict) else None
             new_id = spn.add_sum(children, weights=weights)
         elif kind == "product":
-            children = [id_map[int(c)] for c in record["children"]]
-            new_id = spn.add_product(children)
+            new_id = spn.add_product(mapped_children(record, context))
         else:
-            raise StructureError(f"unknown node type {kind!r}")
+            raise StructureError(f"{context}: unknown node type {kind!r}")
         id_map[old_id] = new_id
-    spn.set_root(id_map[int(payload["root"])])
+    root = _json_int(_json_field(payload, "root", "repro-spn document"), "root")
+    if root not in id_map:
+        raise StructureError(f"root {root} references an undefined node")
+    spn.set_root(id_map[root])
     return spn
 
 

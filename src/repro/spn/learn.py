@@ -57,6 +57,33 @@ class LearnConfig:
     max_depth: int = 64
     seed: int = 0
 
+    def as_dict(self) -> dict:
+        """JSON-compatible form, used for artifact provenance and cache keys."""
+        return {
+            "independence_threshold": self.independence_threshold,
+            "min_instances": self.min_instances,
+            "n_clusters": self.n_clusters,
+            "smoothing": self.smoothing,
+            "max_depth": self.max_depth,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LearnConfig":
+        """Rebuild from :meth:`as_dict` output (unknown keys rejected)."""
+        known = {
+            "independence_threshold": float,
+            "min_instances": int,
+            "n_clusters": int,
+            "smoothing": float,
+            "max_depth": int,
+            "seed": int,
+        }
+        unknown = set(payload) - set(known)
+        if unknown:
+            raise ValueError(f"unknown LearnConfig fields: {sorted(unknown)}")
+        return cls(**{key: known[key](value) for key, value in payload.items()})
+
 
 def pairwise_mutual_information(data: np.ndarray, smoothing: float = 1.0) -> np.ndarray:
     """Empirical pairwise mutual information matrix for binary data.

@@ -32,7 +32,12 @@ __all__ = [
     "OperationList",
     "VectorProgram",
     "linearize",
+    "input_slots_to_payload",
+    "input_slots_from_payload",
 ]
+
+#: ``InputSlot.kind`` vocabulary (payload validation rejects anything else).
+INPUT_KINDS = ("indicator", "parameter", "weight")
 
 OP_ADD = "add"
 OP_MUL = "mul"
@@ -52,6 +57,43 @@ class InputSlot:
     var: int = -1
     value: int = -1
     prob: float = 1.0
+
+
+def input_slots_to_payload(inputs: Sequence[InputSlot]) -> list:
+    """Serialize input slots to a JSON-compatible list of records.
+
+    Probabilities survive a JSON round-trip exactly (``repr`` of a float is
+    shortest-round-trip in Python 3), which is what the artifact layer's
+    bit-identity guarantee rests on.
+    """
+    return [[slot.index, slot.kind, slot.var, slot.value, slot.prob] for slot in inputs]
+
+
+def input_slots_from_payload(records) -> List[InputSlot]:
+    """Rebuild input slots from :func:`input_slots_to_payload` output.
+
+    Malformed records raise :class:`~repro.spn.graph.StructureError` so the
+    artifact loader can translate corruption uniformly.
+    """
+    if not isinstance(records, list):
+        raise StructureError("input section: expected a list of slot records")
+    inputs: List[InputSlot] = []
+    for position, record in enumerate(records):
+        context = f"input slot record {position}"
+        if not isinstance(record, (list, tuple)) or len(record) != 5:
+            raise StructureError(f"{context}: expected 5 fields")
+        index, kind, var, value, prob = record
+        try:
+            index, var, value = int(index), int(var), int(value)
+            prob = float(prob)
+        except (TypeError, ValueError):
+            raise StructureError(f"{context}: malformed field values") from None
+        if index != position:
+            raise StructureError(f"{context}: index {index} out of order")
+        if kind not in INPUT_KINDS:
+            raise StructureError(f"{context}: unknown slot kind {kind!r}")
+        inputs.append(InputSlot(index=index, kind=kind, var=var, value=value, prob=prob))
+    return inputs
 
 
 @dataclass(frozen=True)
@@ -216,6 +258,86 @@ class OperationList:
             operand_b=b,
             operand_c=c,
             root_slot=self.root_slot,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization (AOT artifacts)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        """Serialize to a JSON-compatible dictionary (see :mod:`repro.lifecycle`)."""
+        return {
+            "inputs": input_slots_to_payload(self.inputs),
+            "operations": [[op.index, op.op, op.arg0, op.arg1] for op in self.operations],
+            "root_slot": self.root_slot,
+            "node_slot": {str(nid): slot for nid, slot in self.node_slot.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "OperationList":
+        """Rebuild from :meth:`to_payload` output, validating every reference.
+
+        Truncated records, unknown opcodes, operands referencing slots that
+        are not yet defined, and out-of-range roots all raise
+        :class:`~repro.spn.graph.StructureError`.
+        """
+        if not isinstance(payload, dict):
+            raise StructureError("operation-list section: expected a dict")
+        inputs = input_slots_from_payload(payload.get("inputs"))
+        records = payload.get("operations")
+        if not isinstance(records, list):
+            raise StructureError("operation-list section: 'operations' must be a list")
+        n_inputs = len(inputs)
+        operations: List[Operation] = []
+        for position, record in enumerate(records):
+            context = f"operation record {position}"
+            if not isinstance(record, (list, tuple)) or len(record) != 4:
+                raise StructureError(f"{context}: expected 4 fields")
+            index, op, arg0, arg1 = record
+            try:
+                index, arg0, arg1 = int(index), int(arg0), int(arg1)
+            except (TypeError, ValueError):
+                raise StructureError(f"{context}: malformed field values") from None
+            if index != position:
+                raise StructureError(f"{context}: index {index} out of order")
+            limit = n_inputs + position  # slots defined so far
+            if not (0 <= arg0 < limit and 0 <= arg1 < limit):
+                raise StructureError(
+                    f"{context}: operand references an undefined slot"
+                )
+            try:
+                operations.append(Operation(index=index, op=op, arg0=arg0, arg1=arg1))
+            except ValueError as exc:
+                raise StructureError(f"{context}: {exc}") from None
+        try:
+            root_slot = int(payload.get("root_slot"))
+        except (TypeError, ValueError):
+            raise StructureError("operation-list section: malformed root_slot") from None
+        n_slots = n_inputs + len(operations)
+        if not 0 <= root_slot < n_slots:
+            raise StructureError(
+                f"operation-list section: root_slot {root_slot} out of range"
+            )
+        node_slot_records = payload.get("node_slot", {})
+        if not isinstance(node_slot_records, dict):
+            raise StructureError("operation-list section: 'node_slot' must be a dict")
+        node_slot: Dict[int, int] = {}
+        for key, slot in node_slot_records.items():
+            try:
+                nid, slot = int(key), int(slot)
+            except (TypeError, ValueError):
+                raise StructureError(
+                    "operation-list section: malformed node_slot entry"
+                ) from None
+            if not 0 <= slot < n_slots:
+                raise StructureError(
+                    f"operation-list section: node_slot for node {nid} out of range"
+                )
+            node_slot[nid] = slot
+        return cls(
+            inputs=inputs,
+            operations=operations,
+            root_slot=root_slot,
+            node_slot=node_slot,
         )
 
 

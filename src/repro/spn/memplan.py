@@ -54,7 +54,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .linearize import OP_ADD
+from .graph import StructureError
+from .linearize import OP_ADD, OP_MUL
 
 __all__ = [
     "EXECUTION_MODES",
@@ -65,6 +66,8 @@ __all__ = [
     "PlannedKernel",
     "MemoryPlan",
     "plan_memory",
+    "plan_to_payload",
+    "plan_from_payload",
     "execute_plan",
     "execute_sharded",
     "verify_plan",
@@ -664,6 +667,219 @@ def _queue_expiry(expire, slots, last_use, phys_of, default_last: int) -> None:
             bucket.append((start, prev - start + 1))
             start = prev = row
         bucket.append((start, prev - start + 1))
+
+
+# --------------------------------------------------------------------------- #
+# Serialization (AOT artifacts)
+# --------------------------------------------------------------------------- #
+def plan_to_payload(plan: MemoryPlan) -> dict:
+    """Serialize a :class:`MemoryPlan` to a JSON-compatible dictionary.
+
+    Only declarative data is stored: derived strided-slice views are
+    recomputed by :func:`_as_stride_slice` on load, and log columns by
+    ``np.log`` — both bit-identical, because JSON round-trips every float
+    exactly and ``log`` is deterministic.  Shipping the plan lets an AOT
+    artifact skip :func:`plan_memory` entirely at cold start.
+    """
+    def operand(rows: np.ndarray, const: Optional[np.ndarray]):
+        if const is not None:
+            return {"const": const.ravel().tolist()}
+        return {"rows": rows.tolist()}
+
+    kernels = []
+    for k in plan.kernels:
+        record = {
+            "op": k.op,
+            "dest": [k.dest_start, k.dest_stop],
+            "arg0": operand(k.arg0, k.const_arg0),
+            "arg1": operand(k.arg1, k.const_arg1),
+            "source_slots": k.source_slots.tolist(),
+            "encode": None,
+        }
+        if k.encode is not None:
+            record["encode"] = {
+                "ind_rows": k.encode.ind_rows.tolist(),
+                "ind_vars": k.encode.ind_vars.tolist(),
+                "ind_values": k.encode.ind_values.tolist(),
+                "const_rows": k.encode.const_rows.tolist(),
+                "const_probs": k.encode.const_probs.tolist(),
+            }
+        kernels.append(record)
+    return {
+        "kernels": kernels,
+        "n_physical": plan.n_physical,
+        "max_live": plan.max_live,
+        "n_slots": plan.n_slots,
+        "n_inputs": plan.n_inputs,
+        "root_phys": plan.root_phys,
+        "root_direct": plan.root_direct,
+        "n_source_kernels": plan.n_source_kernels,
+        "fused": plan.fused,
+    }
+
+
+def _payload_int(payload: dict, key: str, context: str) -> int:
+    try:
+        return int(payload[key])
+    except (KeyError, TypeError, ValueError):
+        raise StructureError(f"{context}: missing or malformed field {key!r}") from None
+
+
+def plan_from_payload(payload: dict) -> MemoryPlan:
+    """Rebuild a plan from :func:`plan_to_payload` output, validating it.
+
+    Every physical-row reference is checked against the recorded buffer
+    height and every source slot against the recorded tape length, so a
+    corrupted plan raises :class:`~repro.spn.graph.StructureError` at load
+    time rather than an out-of-bounds gather at serve time.
+    """
+    if not isinstance(payload, dict):
+        raise StructureError("plan section: expected a dict")
+    context = "plan section"
+    n_physical = _payload_int(payload, "n_physical", context)
+    max_live = _payload_int(payload, "max_live", context)
+    n_slots = _payload_int(payload, "n_slots", context)
+    n_inputs = _payload_int(payload, "n_inputs", context)
+    root_phys = _payload_int(payload, "root_phys", context)
+    n_source_kernels = _payload_int(payload, "n_source_kernels", context)
+    root_direct = bool(payload.get("root_direct", False))
+    fused = bool(payload.get("fused", True))
+    if n_physical < 1 or not 0 <= root_phys < n_physical:
+        raise StructureError(f"{context}: root_phys {root_phys} out of range")
+    records = payload.get("kernels")
+    if not isinstance(records, list) or not records:
+        raise StructureError(f"{context}: 'kernels' must be a non-empty list")
+
+    def rows_array(values, limit: int, what: str, ctx: str) -> np.ndarray:
+        try:
+            rows = np.asarray(values, dtype=np.intp)
+        except (TypeError, ValueError):
+            raise StructureError(f"{ctx}: malformed {what}") from None
+        if rows.ndim != 1:
+            raise StructureError(f"{ctx}: malformed {what}")
+        if rows.size and (int(rows.min()) < 0 or int(rows.max()) >= limit):
+            raise StructureError(f"{ctx}: {what} references a row out of range")
+        return rows
+
+    kernels: List[PlannedKernel] = []
+    for position, record in enumerate(records):
+        ctx = f"plan kernel record {position}"
+        if not isinstance(record, dict):
+            raise StructureError(f"{ctx}: expected a dict")
+        op = record.get("op")
+        if op not in (OP_ADD, OP_MUL):
+            raise StructureError(f"{ctx}: unknown opcode {op!r}")
+        dest = record.get("dest")
+        if not isinstance(dest, (list, tuple)) or len(dest) != 2:
+            raise StructureError(f"{ctx}: malformed dest interval")
+        try:
+            dest_start, dest_stop = int(dest[0]), int(dest[1])
+        except (TypeError, ValueError):
+            raise StructureError(f"{ctx}: malformed dest interval") from None
+        if not (0 <= dest_start < dest_stop <= n_physical):
+            raise StructureError(f"{ctx}: dest interval out of range")
+        width = dest_stop - dest_start
+
+        empty = np.empty(0, dtype=np.intp)
+
+        def operand(spec, which: str):
+            if not isinstance(spec, dict):
+                raise StructureError(f"{ctx}: malformed operand {which}")
+            if "const" in spec:
+                try:
+                    column = np.asarray(spec["const"], dtype=np.float64).reshape(-1, 1)
+                except (TypeError, ValueError):
+                    raise StructureError(f"{ctx}: malformed operand {which}") from None
+                if column.shape[0] != width:
+                    raise StructureError(
+                        f"{ctx}: operand {which} length does not match kernel width"
+                    )
+                with np.errstate(divide="ignore"):
+                    log_column = np.log(column)
+                return empty, None, column, log_column
+            rows = rows_array(spec.get("rows"), n_physical, f"operand {which}", ctx)
+            if rows.size != width:
+                raise StructureError(
+                    f"{ctx}: operand {which} length does not match kernel width"
+                )
+            return rows, _as_stride_slice(rows), None, None
+
+        arg0, arg0_slice, const0, const0_log = operand(record.get("arg0"), "arg0")
+        arg1, arg1_slice, const1, const1_log = operand(record.get("arg1"), "arg1")
+
+        encode = None
+        encode_record = record.get("encode")
+        if encode_record is not None:
+            if not isinstance(encode_record, dict):
+                raise StructureError(f"{ctx}: malformed encode section")
+            ind_rows = rows_array(
+                encode_record.get("ind_rows"), n_physical, "encode ind_rows", ctx
+            )
+            const_rows = rows_array(
+                encode_record.get("const_rows"), n_physical, "encode const_rows", ctx
+            )
+            try:
+                ind_vars = np.asarray(encode_record.get("ind_vars"), dtype=np.intp)
+                ind_values = np.asarray(encode_record.get("ind_values"), dtype=np.int64)
+                const_probs = np.asarray(
+                    encode_record.get("const_probs"), dtype=np.float64
+                )
+            except (TypeError, ValueError):
+                raise StructureError(f"{ctx}: malformed encode section") from None
+            if (
+                ind_vars.shape != ind_rows.shape
+                or ind_values.shape != ind_rows.shape
+                or const_probs.shape != const_rows.shape
+            ):
+                raise StructureError(f"{ctx}: truncated encode section")
+            with np.errstate(divide="ignore"):
+                const_logs = np.log(const_probs)
+            encode = InputEncoding(
+                ind_rows=ind_rows,
+                ind_vars=ind_vars,
+                ind_values=ind_values,
+                ind_slice=_as_stride_slice(ind_rows),
+                const_rows=const_rows,
+                const_probs=const_probs,
+                const_log_probs=const_logs,
+                const_slice=_as_stride_slice(const_rows),
+            )
+
+        source_slots = rows_array(
+            record.get("source_slots"), n_slots, "source_slots", ctx
+        )
+        if source_slots.size != width:
+            raise StructureError(
+                f"{ctx}: source_slots length does not match kernel width"
+            )
+        kernels.append(
+            PlannedKernel(
+                op=op,
+                dest_start=dest_start,
+                dest_stop=dest_stop,
+                arg0=arg0,
+                arg1=arg1,
+                arg0_slice=arg0_slice,
+                arg1_slice=arg1_slice,
+                encode=encode,
+                const_arg0=const0,
+                const_arg0_log=const0_log,
+                const_arg1=const1,
+                const_arg1_log=const1_log,
+                source_slots=source_slots,
+            )
+        )
+    return MemoryPlan(
+        kernels=kernels,
+        n_physical=n_physical,
+        max_live=max_live,
+        n_slots=n_slots,
+        n_inputs=n_inputs,
+        root_phys=root_phys,
+        root_direct=root_direct,
+        n_source_kernels=n_source_kernels,
+        fused=fused,
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -54,6 +54,7 @@ __all__ = [
     "build_benchmark",
     "benchmark_operation_list",
     "benchmark_tape",
+    "benchmark_artifact",
     "benchmark_session",
     "benchmark_evaluate_batch",
     "suite_summary",
@@ -191,6 +192,30 @@ def benchmark_operation_list(name: str, decompose: str = "balanced") -> Operatio
 def benchmark_tape(name: str, decompose: str = "balanced") -> CompiledTape:
     """Compile (and cache) the benchmark operation list into a vectorized tape."""
     return compile_tape(benchmark_operation_list(name, decompose))
+
+
+@lru_cache(maxsize=None)
+def benchmark_artifact(name: str, version: str = "0"):
+    """Package (and cache) a benchmark as an AOT lifecycle artifact.
+
+    The artifact carries the benchmark's SPN together with its already
+    compiled tape and memory plan
+    (:class:`~repro.lifecycle.artifact.ModelArtifact`), so a serving
+    process restarted from the saved file cold-starts without touching the
+    compiler — ``python -m repro.lifecycle build --model <name>`` routes
+    through this.  Lazy import: the suite registry stays importable without
+    the lifecycle package and vice versa.
+    """
+    from ..lifecycle.artifact import build_artifact
+
+    profile = get_profile(name)
+    return build_artifact(
+        build_benchmark(name),
+        name=name,
+        version=version,
+        ops=benchmark_operation_list(name),
+        metadata={"suite_profile": name, "model_vars": profile.model_vars},
+    )
 
 
 def benchmark_session(name: str, engine: str = "vectorized", execution=None):

@@ -6,6 +6,13 @@ import numpy as np
 import pytest
 
 from repro.processor.config import ptree_config, pvect_config
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "lifecycle: model-lifecycle tests (AOT artifacts, registry, hot-swap)",
+    )
 from repro.spn.generate import GeneratorConfig, RatSpnConfig, generate_rat_spn, generate_spn
 from repro.spn.graph import SPN
 from repro.spn.linearize import linearize

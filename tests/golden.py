@@ -1,0 +1,68 @@
+"""Golden-replay fixtures for the lifecycle tests.
+
+Two layers on top of :mod:`repro.lifecycle.golden`:
+
+* :func:`golden_case` — the per-suite-profile fixture: the profile's AOT
+  artifact, its deterministic golden-evidence set, and the expected
+  (offline-session) replay.  Everything derives from ``(name, seed)``
+  only, so a restarted process reconstructs the identical case.
+* :func:`all_kinds_queries` / :func:`replay_queries` /
+  :func:`assert_replays_identical` — the full ten-kind query surface,
+  generated **once** per ``(n_vars, seed)`` and replayed through any
+  number of sessions, with bit-exact comparison of every result
+  (``array_equal`` for arrays, ``==`` for MPE completion lists).  This is
+  how the artifact round-trip tests assert that a cold-started session
+  answers every query kind exactly like a fresh compile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lifecycle.golden import golden_evidence, golden_replay
+from strategies import ALL_KINDS, make_query
+
+#: Seed for the all-kinds query surface (distinct from GOLDEN_SEED so the
+#: two fixture families never alias).
+QUERY_SEED = 4242
+
+
+def golden_case(name: str, version: str = "0"):
+    """(artifact, evidence, expected replay) for one suite profile."""
+    from repro.suite.registry import benchmark_artifact
+
+    artifact = benchmark_artifact(name, version=version)
+    evidence = golden_evidence(artifact.n_vars)
+    expected = golden_replay(artifact.session(), evidence)
+    return artifact, evidence, expected
+
+
+def all_kinds_queries(n_vars: int, seed: int = QUERY_SEED, n_rows: int = 3):
+    """One deterministic typed query per kind, keyed by kind name.
+
+    Built once and replayed against several sessions — the queries carry
+    their own evidence arrays, so two replays see byte-identical inputs.
+    """
+    rng = np.random.default_rng([int(seed), int(n_vars)])
+    return {kind: make_query(kind, n_vars, rng, n_rows) for kind in ALL_KINDS}
+
+
+def replay_queries(session, queries):
+    """Run every query through ``session.run``, keyed like ``queries``."""
+    return {kind: session.run(query) for kind, query in queries.items()}
+
+
+def assert_replays_identical(candidate, reference):
+    """Bit-exact comparison of two :func:`replay_queries` results."""
+    assert set(candidate) == set(reference)
+    for kind, want in reference.items():
+        got = candidate[kind]
+        if isinstance(want, list):  # MPE: per-row {var: value} completions
+            assert got == want, f"{kind}: completions differ"
+            continue
+        got = np.asarray(got)
+        want = np.asarray(want)
+        assert got.shape == want.shape, f"{kind}: shape {got.shape} != {want.shape}"
+        assert np.array_equal(got, want, equal_nan=True), (
+            f"{kind}: served values are not bit-identical"
+        )

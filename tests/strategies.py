@@ -34,6 +34,7 @@ from repro.api import (
     Sample,
 )
 from repro.spn.generate import RatSpnConfig, random_evidence
+from repro.spn.learn import LearnConfig
 
 
 def rat_spn_configs(
@@ -65,6 +66,21 @@ wide_rat_configs = rat_spn_configs(max_vars=12, max_depth=8)
 
 #: Small enough for exact joint-table enumeration (2**5 states at most).
 small_rat_configs = rat_spn_configs(max_vars=5, max_depth=3)
+
+#: :class:`~repro.spn.learn.LearnConfig` hyper-parameter space for the
+#: learner differential properties: thresholds span "everything looks
+#: independent" to "nothing does", ``min_instances`` down to 4 so sum
+#: splits actually trigger on small training sets, and a shallow
+#: ``max_depth`` corner exercises the factorized fallback.
+learn_configs = st.builds(
+    LearnConfig,
+    independence_threshold=st.sampled_from([0.002, 0.02, 0.2]),
+    min_instances=st.sampled_from([4, 8, 32]),
+    n_clusters=st.integers(min_value=2, max_value=3),
+    smoothing=st.sampled_from([0.5, 1.0]),
+    max_depth=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
 
 
 def full_evidence(spn, seed):

@@ -1,5 +1,7 @@
 """Round-trip and error-handling tests for SPN serialization."""
 
+import copy
+
 import pytest
 
 from repro.spn import io
@@ -88,3 +90,88 @@ class TestJsonFormat:
         assert payload["format"] == "repro-spn"
         assert payload["root"] == tiny_spn.root
         assert len(payload["nodes"]) == len(tiny_spn.topological_order())
+
+
+def _drop_nodes(doc):
+    del doc["nodes"]
+
+def _nodes_not_a_list(doc):
+    doc["nodes"] = {"0": "nope"}
+
+def _record_missing_type(doc):
+    del doc["nodes"][0]["type"]
+
+def _record_missing_id(doc):
+    del doc["nodes"][0]["id"]
+
+def _record_id_not_int(doc):
+    doc["nodes"][0]["id"] = "zero"
+
+def _unknown_node_type(doc):
+    doc["nodes"][0]["type"] = "gaussian"
+
+def _dangling_child(doc):
+    for record in doc["nodes"]:
+        if record["type"] in ("sum", "product"):
+            record["children"][0] = 9999
+            return
+    raise AssertionError("document has no inner node")
+
+def _children_not_a_list(doc):
+    for record in doc["nodes"]:
+        if record["type"] in ("sum", "product"):
+            record["children"] = 3
+            return
+    raise AssertionError("document has no inner node")
+
+def _duplicate_id(doc):
+    doc["nodes"][1]["id"] = doc["nodes"][0]["id"]
+
+def _indicator_missing_var(doc):
+    for record in doc["nodes"]:
+        if record["type"] == "indicator":
+            del record["var"]
+            return
+    raise AssertionError("document has no indicator")
+
+def _root_undefined(doc):
+    doc["root"] = 9999
+
+def _root_missing(doc):
+    del doc["root"]
+
+
+class TestJsonCorruption:
+    """Every malformed document fails with a typed StructureError.
+
+    Table-driven over corruption modes: the loader must never leak a bare
+    ``KeyError``/``IndexError``/``TypeError`` from reconstruction — the
+    lifecycle artifact loader relies on this to translate any SPN-section
+    corruption into its own typed error.
+    """
+
+    CORRUPTIONS = {
+        "drop-nodes": _drop_nodes,
+        "nodes-not-a-list": _nodes_not_a_list,
+        "record-missing-type": _record_missing_type,
+        "record-missing-id": _record_missing_id,
+        "record-id-not-int": _record_id_not_int,
+        "unknown-node-type": _unknown_node_type,
+        "dangling-child": _dangling_child,
+        "children-not-a-list": _children_not_a_list,
+        "duplicate-id": _duplicate_id,
+        "indicator-missing-var": _indicator_missing_var,
+        "root-undefined": _root_undefined,
+        "root-missing": _root_missing,
+    }
+
+    @pytest.mark.parametrize("mode", sorted(CORRUPTIONS))
+    def test_corruption_raises_structure_error(self, mixture_spn, mode):
+        doc = copy.deepcopy(io.to_json(mixture_spn))
+        self.CORRUPTIONS[mode](doc)
+        with pytest.raises(StructureError):
+            io.from_json(doc)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(StructureError):
+            io.from_json(["not", "a", "document"])
