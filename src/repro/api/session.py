@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..observability import TRACER
 from ..spn.compiled import resolve_engine
 from ..spn.evaluate import evaluate_batch, evaluate_log_batch, row_evidence
 from ..spn.memplan import ExecutionOptions, resolve_execution
@@ -257,6 +258,16 @@ class InferenceSession:
         count and the physical rows the session's execution mode actually
         keeps resident per pass.
         """
+        if TRACER.enabled and isinstance(query, Query):
+            with TRACER.span(
+                "session.plan", kind=query.kind.value, n_rows=query.n_rows
+            ) as span:
+                result = self._plan(query)
+                span.set(passes=result.n_evaluations)
+                return result
+        return self._plan(query)
+
+    def _plan(self, query: Query) -> QueryPlan:
         stats = self._plan_stats()
         if isinstance(query, Conditional):
             return QueryPlan(
@@ -370,6 +381,17 @@ class InferenceSession:
             raise TypeError(
                 f"expected a typed query (repro.api), got {type(query).__name__}"
             )
+        if not TRACER.enabled:
+            return self._run(query)
+        before = self.evaluations
+        with TRACER.span(
+            "session.run", kind=query.kind.value, n_rows=query.n_rows
+        ) as span:
+            result = self._run(query)
+            span.set(passes=self.evaluations - before)
+            return result
+
+    def _run(self, query: Query):
         if isinstance(query, Conditional):
             log_joint = self._evaluate(self.encode(query.joint), log_domain=True)
             log_evidence = self._evaluate(self.encode(query.evidence), log_domain=True)
@@ -667,19 +689,21 @@ class InferenceSession:
 
     def _evaluate(self, data: np.ndarray, log_domain: bool) -> np.ndarray:
         """One batched tape pass (the unit the evaluation hook observes)."""
+        domain = "log" if log_domain else "linear"
         with self._lock:
             self.evaluations += 1
         if self.on_evaluate is not None:
-            self.on_evaluate("log" if log_domain else "linear", data.shape[0])
-        if log_domain:
-            return evaluate_log_batch(
+            self.on_evaluate(domain, data.shape[0])
+        with TRACER.span("session.tape_pass", domain=domain, n_rows=data.shape[0]):
+            if log_domain:
+                return evaluate_log_batch(
+                    self.spn, data, engine=self.engine, check=self.check,
+                    execution=self.execution,
+                )
+            return evaluate_batch(
                 self.spn, data, engine=self.engine, check=self.check,
                 execution=self.execution,
             )
-        return evaluate_batch(
-            self.spn, data, engine=self.engine, check=self.check,
-            execution=self.execution,
-        )
 
     def log_partition(self) -> float:
         """Log partition function ``log Z``, computed once per session.

@@ -28,6 +28,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -91,6 +92,21 @@ def _cmd_serve_check(args: argparse.Namespace) -> int:
             key: np.asarray(server.query(artifact.name, q))
             for key, q in queries.items()
         }
+        # The stats control endpoint is part of the serving surface this
+        # gate certifies: it must respond, serialize to strict JSON, and
+        # account for the replay traffic just issued.
+        stats = server.control("stats")
+        json.loads(json.dumps(stats))
+        if stats["metrics"]["requests"] < len(queries):
+            print(
+                f"stats endpoint undercounts: {stats['metrics']['requests']} "
+                f"requests reported, {len(queries)} issued -> FAIL"
+            )
+            return 1
+        print(
+            f"stats endpoint: {int(stats['metrics']['requests'])} requests, "
+            f"live versions {stats['models']} -> OK"
+        )
     deviation = replay_deviation(served, reference)
     tolerance = float(artifact.tolerance)
     verdict = "PASS" if deviation <= tolerance else "FAIL"

@@ -22,14 +22,26 @@ The registry is engine-agnostic: entries hold an
 :class:`~repro.api.session.InferenceSession` (usually built from a
 :class:`~repro.lifecycle.artifact.ModelArtifact`, whose AOT tape makes
 installation compile-free) plus the artifact when one exists.
+
+Every lifecycle transition emits a **structured event**: an INFO/WARNING
+log line on the ``repro.lifecycle`` logger, a trace event in the
+:data:`repro.observability.TRACER` ring buffer (recorded even while
+request tracing is off — lifecycle transitions are rare and always worth
+keeping), and a labeled counter in the process-wide metrics registry.
+``lifecycle.publish`` carries the measured golden-replay deviation and the
+validate+swap duration; ``lifecycle.shadow_validation_failed`` and
+``lifecycle.rollback`` carry the rejection and re-point details.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..observability import REGISTRY, TRACER, metrics_enabled
 from .artifact import ModelArtifact
 from .golden import golden_evidence, golden_replay, replay_deviation
 
@@ -39,6 +51,9 @@ __all__ = [
     "PublishReport",
     "ModelRegistry",
 ]
+
+
+logger = logging.getLogger("repro.lifecycle")
 
 
 class ShadowValidationError(RuntimeError):
@@ -155,6 +170,7 @@ class ModelRegistry:
         immutable once installed; pick a new version or roll back).
         """
         version = str(version)
+        started = time.perf_counter()
         with self._lock:
             entry = self._entries.setdefault(name, _Entry())
             if version in entry.versions:
@@ -174,6 +190,16 @@ class ModelRegistry:
             deviation = replay_deviation(candidate, reference)
             validated = True
             if deviation > tolerance:
+                self._emit(
+                    "lifecycle.shadow_validation_failed",
+                    logging.WARNING,
+                    name=name,
+                    version=version,
+                    incumbent=incumbent.version,
+                    deviation=deviation,
+                    tolerance=tolerance,
+                    duration_ms=(time.perf_counter() - started) * 1e3,
+                )
                 raise ShadowValidationError(name, version, deviation, tolerance)
 
         model = ModelVersion(
@@ -189,6 +215,17 @@ class ModelRegistry:
             entry.versions[version] = model
             entry.order.append(version)
             entry.live = version  # the atomic hot-swap: one pointer store
+        self._emit(
+            "lifecycle.publish",
+            logging.INFO,
+            name=name,
+            version=version,
+            previous=previous,
+            validated=validated,
+            deviation=deviation,
+            tolerance=tolerance,
+            duration_ms=(time.perf_counter() - started) * 1e3,
+        )
         return PublishReport(
             name=name,
             version=version,
@@ -220,10 +257,47 @@ class ModelRegistry:
                 raise KeyError(
                     f"model {name!r} has no installed version {version!r}"
                 )
+            previous = entry.live
             entry.live = version
-            return entry.versions[version]
+            model = entry.versions[version]
+        self._emit(
+            "lifecycle.rollback",
+            logging.INFO,
+            name=name,
+            version=version,
+            previous=previous,
+        )
+        return model
 
     def remove(self, name: str) -> None:
         """Drop ``name`` and every installed version."""
         with self._lock:
             self._entries.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # Structured events
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _emit(event: str, level: int, *, name: str, **attrs) -> None:
+        """Record one lifecycle transition in all three sinks.
+
+        Log line (human operators), trace event (``always=True`` — a swap
+        must be reconstructible from the trace export even when request
+        tracing is off), and a per-model counter in the process-wide
+        registry (dashboards alert on ``*_total`` rates).  Emission is
+        deliberately outside the registry lock: a slow logging handler
+        must never serialize the serving path's ``resolve`` calls.
+        """
+        logger.log(
+            level,
+            "%s: %s",
+            event,
+            " ".join(
+                [f"name={name}"]
+                + [f"{key}={value}" for key, value in attrs.items()]
+            ),
+        )
+        TRACER.event(event, always=True, model=name, **attrs)
+        if metrics_enabled():
+            counter = event.replace(".", "_", 1).replace(".", "_") + "_total"
+            REGISTRY.counter(counter, model=name).inc()

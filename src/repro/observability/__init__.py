@@ -1,0 +1,111 @@
+"""Unified observability: metrics, request tracing and kernel profiling.
+
+Three zero-dependency pillars, threaded through every layer of the
+reproduction (session → tape executors → serving → lifecycle):
+
+* :mod:`repro.observability.metrics` — a process-wide registry of
+  counters, gauges and fixed-bucket histograms (:data:`REGISTRY`), with
+  snapshot-as-dict and Prometheus text rendering;
+* :mod:`repro.observability.trace` — contextvar-propagated span tracing
+  into a bounded ring buffer (:data:`TRACER`), JSONL-exportable, so one
+  served query yields a span tree from admission to response scatter;
+* :mod:`repro.observability.profile` — an opt-in per-fused-kernel
+  profiler (:class:`TapeProfiler`) for compiled-tape execution.
+
+Switchboard semantics (the benchmark gate in
+``benchmarks/test_bench_observability.py`` enforces the costs):
+
+* **metrics** default **on** — serving-layer counters amortize per
+  request/batch, never per kernel;
+* **tracing** default **off** — each instrumentation site costs one
+  attribute read while off; enabling it stays within the gated overhead
+  budget on the planned executor;
+* **profiling** is per-call opt-in (``with TapeProfiler():``), never a
+  global flag — per-kernel clocks are the one genuinely expensive
+  instrument, and :func:`configure` deliberately has no switch for it.
+
+``python -m repro.observability`` dumps a metrics snapshot or summarizes
+an exported trace; see ``docs/observability.md`` for the naming scheme,
+span taxonomy and profiler contract.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from .profile import TapeProfiler, active_profiler
+from .trace import TRACER, Span, TraceContext, Tracer, current_trace_id
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "TRACER",
+    "Tracer",
+    "Span",
+    "TraceContext",
+    "current_trace_id",
+    "TapeProfiler",
+    "active_profiler",
+    "configure",
+    "metrics_enabled",
+    "tracing_enabled",
+    "observability_scope",
+]
+
+#: Metrics master switch (module-level so the hot-path check is one global
+#: read; flipped only through :func:`configure`).
+_METRICS_ENABLED = True
+
+
+def metrics_enabled() -> bool:
+    """Whether the serving layers record into their metric registries."""
+    return _METRICS_ENABLED
+
+
+def tracing_enabled() -> bool:
+    """Whether :data:`TRACER` records spans (one attribute read)."""
+    return TRACER.enabled
+
+
+def configure(
+    metrics: Optional[bool] = None, tracing: Optional[bool] = None
+) -> None:
+    """Flip the process-wide observability switches (``None`` = leave as is).
+
+    ``configure(metrics=False, tracing=False)`` is "observability
+    disabled" — the state the <=2% overhead gate measures; the default
+    state is ``metrics=True, tracing=False``.  Per-kernel profiling has no
+    switch here: activate a :class:`TapeProfiler` around the code you want
+    profiled.
+    """
+    global _METRICS_ENABLED
+    if metrics is not None:
+        _METRICS_ENABLED = bool(metrics)
+    if tracing is not None:
+        TRACER.enabled = bool(tracing)
+
+
+@contextmanager
+def observability_scope(
+    metrics: Optional[bool] = None, tracing: Optional[bool] = None
+) -> Iterator[None]:
+    """Temporarily reconfigure the switches (tests and benchmarks)."""
+    saved = (_METRICS_ENABLED, TRACER.enabled)
+    configure(metrics=metrics, tracing=tracing)
+    try:
+        yield
+    finally:
+        configure(metrics=saved[0], tracing=saved[1])

@@ -1,0 +1,153 @@
+"""Observability CLI: dump a metrics snapshot or summarize a trace export.
+
+Two subcommands:
+
+``snapshot``
+    Print the process-wide :data:`~repro.observability.REGISTRY` — as JSON
+    (default) or Prometheus text (``--format prometheus``).  With
+    ``--demo`` a small served workload runs first so the snapshot has
+    something to show (a fresh process's registry is empty by definition);
+    this doubles as an end-to-end smoke test of the instrumented serving
+    path.
+
+``trace``
+    Summarize a span JSONL file (written by
+    ``repro.observability.TRACER.export_jsonl``): span counts and total /
+    mean duration per span name, the number of distinct traces, and the
+    slowest traces with their dominant spans.
+
+Examples::
+
+    python -m repro.observability snapshot --demo
+    python -m repro.observability snapshot --format prometheus
+    python -m repro.observability trace spans.jsonl --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List
+
+
+def _run_demo_workload() -> None:
+    """Serve a short query stream so the registry has live numbers."""
+    from .. import observability
+    from ..serving import InferenceServer
+
+    observability.configure(metrics=True, tracing=True)
+    with InferenceServer(models=["Banknote"]) as server:
+        for value in (0, 1):
+            server.query("Banknote", {0: value}, kind="log_likelihood")
+        server.query("Banknote", {1: 1}, kind="likelihood")
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from .metrics import REGISTRY
+
+    if args.demo:
+        _run_demo_workload()
+    if args.format == "prometheus":
+        sys.stdout.write(REGISTRY.render_prometheus())
+    else:
+        json.dump(REGISTRY.snapshot(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 0
+
+
+def _load_spans(path: Path) -> List[dict]:
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                print(f"{path}:{line_no}: not JSON, skipped", file=sys.stderr)
+                continue
+            if isinstance(record, dict):
+                spans.append(record)
+    return spans
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if not path.exists():
+        print(f"trace: no such file {path}", file=sys.stderr)
+        return 2
+    spans = _load_spans(path)
+    if not spans:
+        print(f"trace: {path} holds no spans")
+        return 0
+
+    by_name: Dict[str, List[float]] = defaultdict(list)
+    by_trace: Dict[str, List[dict]] = defaultdict(list)
+    for span in spans:
+        by_name[str(span.get("name", "?"))].append(float(span.get("duration_s", 0.0)))
+        by_trace[str(span.get("trace_id", "?"))].append(span)
+
+    print(f"{len(spans)} spans, {len(by_trace)} traces, {len(by_name)} span names\n")
+    header = f"{'span':<28} {'count':>7} {'total_ms':>10} {'mean_ms':>9} {'max_ms':>9}"
+    print(header)
+    print("-" * len(header))
+    rows = sorted(by_name.items(), key=lambda kv: sum(kv[1]), reverse=True)
+    for name, durations in rows[: args.top]:
+        total = sum(durations)
+        print(
+            f"{name:<28} {len(durations):>7} {total * 1e3:>10.3f} "
+            f"{total / len(durations) * 1e3:>9.3f} {max(durations) * 1e3:>9.3f}"
+        )
+
+    def trace_duration(records: List[dict]) -> float:
+        # Root spans (no parent) bound the trace; fall back to the sum when
+        # the roots were evicted from the ring buffer.
+        roots = [r for r in records if not r.get("parent_id")]
+        pool = roots or records
+        return sum(float(r.get("duration_s", 0.0)) for r in pool)
+
+    slowest = sorted(by_trace.items(), key=lambda kv: trace_duration(kv[1]), reverse=True)
+    print(f"\nslowest traces (of {len(by_trace)}):")
+    for trace_id, records in slowest[: min(args.top, 5)]:
+        dominant = max(records, key=lambda r: float(r.get("duration_s", 0.0)))
+        print(
+            f"  {trace_id}: {trace_duration(records) * 1e3:.3f} ms over "
+            f"{len(records)} spans; dominant {dominant.get('name')!r} "
+            f"({float(dominant.get('duration_s', 0.0)) * 1e3:.3f} ms)"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability",
+        description="Dump a metrics snapshot or summarize a trace JSONL export.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    snapshot = sub.add_parser("snapshot", help="print the process-wide metrics registry")
+    snapshot.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="output format (default json)",
+    )
+    snapshot.add_argument(
+        "--demo", action="store_true",
+        help="serve a small workload first so the snapshot is non-empty",
+    )
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    trace = sub.add_parser("trace", help="summarize an exported span JSONL file")
+    trace.add_argument("path", help="JSONL file written by TRACER.export_jsonl")
+    trace.add_argument("--top", type=int, default=20, help="rows per table")
+    trace.set_defaults(func=_cmd_trace)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

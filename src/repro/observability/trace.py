@@ -1,0 +1,271 @@
+"""Lightweight span tracing: where did one query spend its time?
+
+A **span** is a named, monotonic-clock-timed interval with a trace id, a
+span id and a parent span id; the spans of one served query form a tree —
+admission → queue wait → batch assembly → plan → encode → tape passes →
+response scatter — all sharing the **trace id** minted at admission.  The
+pieces:
+
+* trace context propagates through a :class:`contextvars.ContextVar`, so
+  nested ``with TRACER.span(...)`` blocks parent automatically and async
+  code inherits context for free.  Threads do **not** inherit context
+  (each serving worker thread starts blank), so the serving layer carries
+  an explicit :class:`TraceContext` on every queued work item and
+  re-enters it with :func:`Tracer.activate` — that is how a query keeps
+  one trace id across the admission thread, any number of worker threads,
+  and micro-batch splits;
+* finished spans land in a bounded in-memory **ring buffer**
+  (``deque(maxlen=capacity)``): a long-running server keeps the most
+  recent window of spans and never grows;
+* :meth:`Tracer.export_jsonl` writes the buffer one JSON object per line
+  for offline analysis (``python -m repro.observability trace <file>``
+  summarizes one).
+
+Tracing is **disabled by default** and costs one attribute read per
+instrumentation site when off (``TRACER.span`` returns a shared no-op
+context manager).  Enable it with ``repro.observability.configure
+(tracing=True)``.  **Events** — zero-duration records used by the model
+lifecycle for publish/swap/rollback transitions — can be recorded with
+``always=True`` so the control-plane audit trail exists even when request
+tracing is off; they are rare by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "TRACER",
+    "current_trace_id",
+]
+
+#: Default ring-buffer capacity (finished spans retained).
+DEFAULT_CAPACITY = 8192
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagation half of a span: its trace id and span id."""
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) span record."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    #: Monotonic start (``perf_counter``) — for durations and ordering.
+    t_start: float
+    #: Wall-clock start (``time.time``) — for correlating exports.
+    t_wall: float
+    duration_s: float = 0.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+    kind: str = "span"  # "span" | "event"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t_start": self.t_start,
+            "t_wall": self.t_wall,
+            "duration_s": self.duration_s,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """No-op attribute setter (mirrors :class:`_LiveSpan.set`)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span into the tracer's ring buffer."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._token = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (pass counts, row counts)."""
+        self._span.attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._token = self._tracer._context.set(
+            TraceContext(self._span.trace_id, self._span.span_id)
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._context.reset(self._token)
+        self._span.duration_s = time.perf_counter() - self._span.t_start
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        self._tracer._append(self._span)
+        return False
+
+
+class Tracer:
+    """Contextvar-propagated span tracing into a bounded ring buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        #: Master switch — flipped by :func:`repro.observability.configure`.
+        self.enabled = False
+        self._context: ContextVar[Optional[TraceContext]] = ContextVar(
+            "repro_trace_context", default=None
+        )
+        self._lock = threading.Lock()
+        self._spans: Deque[Span] = deque(maxlen=max(int(capacity), 1))
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Context propagation
+    # ------------------------------------------------------------------ #
+    def _next_id(self, prefix: str) -> str:
+        with self._lock:
+            return f"{prefix}{next(self._ids):08x}"
+
+    def current(self) -> Optional[TraceContext]:
+        """The active trace context of this thread/task (``None`` outside spans)."""
+        return self._context.get()
+
+    @contextmanager
+    def activate(self, context: Optional[TraceContext]) -> Iterator[None]:
+        """Re-enter a captured context in another thread.
+
+        Serving workers run queued rows on threads that never saw the
+        admission span; activating the work item's captured context makes
+        every span opened inside parent to the admitted query — one trace
+        id from admission to response.  ``None`` deactivates (spans opened
+        inside start fresh traces).
+        """
+        token = self._context.set(context)
+        try:
+            yield
+        finally:
+            self._context.reset(token)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs: object) -> Union[_LiveSpan, _NullSpan]:
+        """Open a span (used as a context manager).
+
+        Disabled tracing returns a shared no-op manager — the caller's
+        ``with`` costs two trivial calls and no allocation.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        parent = self._context.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = self._next_id("t"), None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._next_id("s"),
+            parent_id=parent_id,
+            t_start=time.perf_counter(),
+            t_wall=time.time(),
+            attrs=dict(attrs),
+        )
+        return _LiveSpan(self, span)
+
+    def event(self, name: str, always: bool = False, **attrs: object) -> None:
+        """Record a zero-duration structured event.
+
+        ``always=True`` bypasses the enabled switch — the model lifecycle
+        uses it so publish/swap/rollback transitions are auditable even
+        when request tracing is off (they are rare, bounded control-plane
+        operations).
+        """
+        if not (self.enabled or always):
+            return
+        parent = self._context.get()
+        self._append(
+            Span(
+                name=name,
+                trace_id=parent.trace_id if parent else self._next_id("t"),
+                span_id=self._next_id("e"),
+                parent_id=parent.span_id if parent else None,
+                t_start=time.perf_counter(),
+                t_wall=time.time(),
+                duration_s=0.0,
+                attrs=dict(attrs),
+                kind="event",
+            )
+        )
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------ #
+    # Reading / export
+    # ------------------------------------------------------------------ #
+    def spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        """Finished spans in the buffer (optionally one trace's), oldest first."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        return spans
+
+    def export_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the buffered spans to ``path``, one JSON object per line."""
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans():
+                handle.write(json.dumps(span.to_dict(), sort_keys=True))
+                handle.write("\n")
+        return path
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+#: The process-wide tracer every instrumentation site reports into.
+TRACER = Tracer()
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id of the calling thread/task, if any."""
+    context = TRACER.current()
+    return context.trace_id if context else None

@@ -10,7 +10,13 @@ micro-batches under a max-batch-size / max-wait policy
 (:class:`BatchingPolicy`), executes each group through the same
 :meth:`repro.api.InferenceSession.run` a direct caller would use —
 responses are bit-identical to offline session execution — and reports
-latency/throughput/occupancy telemetry (:class:`ServingMetrics`).
+latency/throughput/occupancy telemetry (:class:`ServingMetrics`, built on
+the :mod:`repro.observability` metrics registry and exposed over the
+serving API as the ``stats`` control request / ``client.server_stats()``).
+With tracing enabled (:func:`repro.observability.configure`) every served
+request leaves a span tree — admission, queue wait, batch assembly, tape
+passes, response scatter — under one trace id, even when its rows scatter
+across micro-batches; see ``docs/observability.md``.
 
 Model hosting is **versioned** (:mod:`repro.lifecycle`): every hosted name
 maps to a registry of installed versions with one live pointer.

@@ -70,6 +70,16 @@ class InferenceClient:
         """The version of the (default) model currently taking traffic."""
         return self._server.live_version(self._resolve(model))
 
+    def server_stats(self) -> Dict[str, object]:
+        """The server's ``stats`` control payload (JSON-serializable).
+
+        Hosted models with live versions, instantaneous queue depth, the
+        :class:`~repro.serving.metrics.ServingMetrics` snapshot and the
+        server's full metrics-registry snapshot — see
+        :meth:`repro.serving.server.InferenceServer.stats`.
+        """
+        return self._server.control("stats")
+
     def submit(
         self,
         evidence: Evidence,
@@ -262,6 +272,11 @@ class AsyncInferenceClient:
         loop = asyncio.get_running_loop()
         future = await loop.run_in_executor(None, submit_fn)
         return unwrap(await asyncio.wrap_future(future))
+
+    async def server_stats(self) -> Dict[str, object]:
+        """Awaitable :meth:`InferenceClient.server_stats` (runs in the executor)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._sync.server_stats)
 
     async def query(
         self,

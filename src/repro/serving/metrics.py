@@ -11,19 +11,29 @@ The three quantities that matter when tuning a :class:`BatchingPolicy`
   is too short (batches close half-empty), occupancy pinned at 1.0 with a
   deep queue means the batch size cap is the bottleneck.
 
-:class:`ServingMetrics` is thread-safe (one lock, updated by workers and by
-request completion) and bounded: latency samples live in a fixed-size
-rolling window, so a long-running server's telemetry memory never grows.
+:class:`ServingMetrics` is built on the observability substrate
+(:class:`repro.observability.MetricsRegistry`): every counter is a real
+registry instrument and latency is a fixed-bucket histogram with a bounded
+rolling sample window, so a server's telemetry is thread-safe, memory
+bounded, and renderable in both snapshot-dict and Prometheus text form.
+Each server owns a **private** registry (two servers in one process never
+merge their counts); per-``(model, kind)`` request counters additionally
+go to the process-wide :data:`repro.observability.REGISTRY` at the
+server's admission path.  Recording respects the process-wide metrics
+switch (:func:`repro.observability.metrics_enabled` — on by default).
+
+:meth:`ServingMetrics.snapshot` is JSON-clean by contract: every value
+round-trips through ``json.dumps`` — empty-window latency quantiles are
+``None``, never NaN (NaN serializes as the invalid-JSON token ``NaN`` and
+breaks strict parsers on the other side of a stats endpoint).
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Dict, Optional
 
-import numpy as np
+from ..observability import MetricsRegistry, metrics_enabled
 
 __all__ = ["ServingMetrics"]
 
@@ -33,16 +43,24 @@ LATENCY_WINDOW = 100_000
 
 
 class ServingMetrics:
-    """Thread-safe counters for one server's traffic."""
+    """Thread-safe counters for one server's traffic (private registry)."""
 
     def __init__(self, latency_window: int = LATENCY_WINDOW) -> None:
-        self._lock = threading.Lock()
-        self._latencies_s: Deque[float] = deque(maxlen=latency_window)
-        self._n_requests = 0
-        self._n_rows = 0
-        self._n_batches = 0
-        self._batch_rows = 0
-        self._batch_capacity = 0
+        #: This server's private instrument registry.  Gauges the serving
+        #: layer maintains (queue depth, batch wait) register here too, so
+        #: ``registry.snapshot()`` / ``render_prometheus()`` expose the
+        #: whole serving picture in one read.
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter("serving_requests_total")
+        self._rows = self.registry.counter("serving_rows_total")
+        self._batches = self.registry.counter("serving_batches_total")
+        self._batch_rows = self.registry.counter("serving_batch_rows_total")
+        self._batch_capacity = self.registry.counter("serving_batch_capacity_total")
+        self._latency = self.registry.histogram(
+            "serving_request_latency_seconds", window=latency_window
+        )
+        # Window bounds for the throughput rate; instruments carry their own
+        # locks, so these two floats ride on the GIL (single writes only).
         self._started_at: Optional[float] = None
         self._last_activity: Optional[float] = None
 
@@ -56,75 +74,79 @@ class ServingMetrics:
         a micro-batch — which is what batch occupancy is meant to measure:
         how well each engine invocation is amortized.
         """
+        if not metrics_enabled():
+            return
         now = time.perf_counter()
-        with self._lock:
-            if self._started_at is None:
-                self._started_at = now
-            self._last_activity = now
-            self._n_batches += 1
-            self._batch_rows += n_rows
-            self._batch_capacity += capacity
-            self._n_rows += n_rows
+        if self._started_at is None:
+            self._started_at = now
+        self._last_activity = now
+        self._batches.inc()
+        self._batch_rows.inc(n_rows)
+        self._batch_capacity.inc(capacity)
+        self._rows.inc(n_rows)
 
     def record_request(self, latency_s: float) -> None:
         """Record one completed request's submit-to-result latency."""
-        with self._lock:
-            self._n_requests += 1
-            self._latencies_s.append(latency_s)
+        if not metrics_enabled():
+            return
+        self._requests.inc()
+        self._latency.observe(latency_s)
 
     # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
     @property
     def n_requests(self) -> int:
-        with self._lock:
-            return self._n_requests
+        return int(self._requests.value)
 
     @property
     def n_batches(self) -> int:
-        with self._lock:
-            return self._n_batches
+        return int(self._batches.value)
 
     def latency_quantile(self, q: float) -> float:
-        """Latency quantile in seconds over the rolling window (NaN if empty)."""
-        with self._lock:
-            samples = list(self._latencies_s)
-        if not samples:
-            return float("nan")
-        return float(np.quantile(np.asarray(samples), q))
+        """Latency quantile in seconds over the rolling window (NaN if empty).
 
-    def snapshot(self) -> Dict[str, float]:
+        The NaN-on-empty convention is kept here for numeric callers
+        (``float`` arithmetic propagates it harmlessly); the JSON-facing
+        :meth:`snapshot` reports ``None`` instead.
+        """
+        value = self._latency.quantile(q)
+        return float("nan") if value is None else float(value)
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
         """One consistent reading of every counter, as a flat JSON-ready dict.
 
         ``throughput_rps`` is completed rows per second between the first
         and the last recorded batch (0.0 until two distinct instants have
         been observed); ``mean_batch_occupancy`` is the mean of
-        ``batch_size / max_batch_size`` over all executed batches.
+        ``batch_size / max_batch_size`` over all executed batches.  The
+        latency quantiles are ``None`` until a request has completed —
+        every value round-trips through ``json.dumps``.
         """
-        with self._lock:
-            samples = np.asarray(self._latencies_s) if self._latencies_s else None
-            elapsed = (
-                self._last_activity - self._started_at
-                if self._started_at is not None and self._last_activity is not None
-                else 0.0
-            )
-            snap: Dict[str, float] = {
-                "requests": float(self._n_requests),
-                "rows": float(self._n_rows),
-                "batches": float(self._n_batches),
-                "throughput_rps": self._n_rows / elapsed if elapsed > 0 else 0.0,
-                "mean_batch_size": (
-                    self._batch_rows / self._n_batches if self._n_batches else 0.0
-                ),
-                "mean_batch_occupancy": (
-                    self._batch_rows / self._batch_capacity if self._batch_capacity else 0.0
-                ),
-            }
-        if samples is not None:
-            p50, p99 = np.quantile(samples, [0.5, 0.99])
-            snap["latency_p50_ms"] = float(p50) * 1e3
-            snap["latency_p99_ms"] = float(p99) * 1e3
-        else:
-            snap["latency_p50_ms"] = float("nan")
-            snap["latency_p99_ms"] = float("nan")
-        return snap
+        n_rows = self._rows.value
+        n_batches = self._batches.value
+        batch_rows = self._batch_rows.value
+        batch_capacity = self._batch_capacity.value
+        elapsed = (
+            self._last_activity - self._started_at
+            if self._started_at is not None and self._last_activity is not None
+            else 0.0
+        )
+        p50 = self._latency.quantile(0.5)
+        p99 = self._latency.quantile(0.99)
+        return {
+            "requests": float(self._requests.value),
+            "rows": float(n_rows),
+            "batches": float(n_batches),
+            "throughput_rps": n_rows / elapsed if elapsed > 0 else 0.0,
+            "mean_batch_size": batch_rows / n_batches if n_batches else 0.0,
+            "mean_batch_occupancy": (
+                batch_rows / batch_capacity if batch_capacity else 0.0
+            ),
+            "latency_p50_ms": p50 * 1e3 if p50 is not None else None,
+            "latency_p99_ms": p99 * 1e3 if p99 is not None else None,
+        }
+
+    def render_prometheus(self) -> str:
+        """This server's instruments in Prometheus text exposition form."""
+        return self.registry.render_prometheus()

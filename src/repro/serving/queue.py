@@ -93,6 +93,16 @@ class WorkItem:
     workers execute the row on exactly this version's session and tape,
     so rows in flight across a hot-swap drain on the version that
     admitted them.
+
+    ``trace`` is the admission-time
+    :class:`~repro.observability.TraceContext` (or ``None`` when tracing
+    is off).  Worker threads do not inherit the submitter's contextvars,
+    so the context rides the item explicitly — it is what stitches a
+    request's queue-wait and execute spans to the same trace id as its
+    admission span, even when the request's rows scatter across
+    micro-batches.  ``admitted_at`` (``time.perf_counter``) marks when the
+    row entered the queue; workers subtract it from the dequeue instant to
+    measure queue wait.
     """
 
     model: str
@@ -101,6 +111,8 @@ class WorkItem:
     index: int
     request: object
     served: object = None
+    trace: object = None
+    admitted_at: float = 0.0
 
 
 class MicroBatchQueue:
@@ -112,8 +124,16 @@ class MicroBatchQueue:
     admission path a cheap append.
     """
 
-    def __init__(self, policy: Optional[BatchingPolicy] = None) -> None:
+    def __init__(
+        self,
+        policy: Optional[BatchingPolicy] = None,
+        depth_gauge: Optional[object] = None,
+    ) -> None:
         self.policy = policy or BatchingPolicy()
+        #: Optional observability gauge tracking the instantaneous queue
+        #: depth (a :class:`repro.observability.Gauge`); updated under the
+        #: queue lock on every append/pop so the reading is exact.
+        self._depth_gauge = depth_gauge
         self._items: Deque[WorkItem] = deque()
         # Two conditions on one lock (the queue.Queue pattern): producers
         # wait on not_full, consumers on not_empty, and each side issues a
@@ -160,6 +180,8 @@ class MicroBatchQueue:
                             f"after waiting {timeout}s"
                         )
             self._items.append(item)
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._items))
             self._not_empty.notify()
 
     def put_many(self, items: List[WorkItem], timeout: Optional[float] = None) -> None:
@@ -224,6 +246,8 @@ class MicroBatchQueue:
         frees, not after the consumer's batch window has run its course.
         """
         item = self._items.popleft()
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self._items))
         self._not_full.notify()
         return item
 

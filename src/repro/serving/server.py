@@ -41,6 +41,7 @@ at admission (:func:`repro.api.as_kind`), never inside the worker pool.
 
 from __future__ import annotations
 
+import logging
 import threading
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
@@ -53,6 +54,7 @@ from ..api.queries import Conditional, Query, QueryKind, Sample, as_kind, query_
 from ..api.session import InferenceSession
 from ..lifecycle.artifact import ModelArtifact
 from ..lifecycle.registry import ModelRegistry, PublishReport
+from ..observability import REGISTRY, TRACER, metrics_enabled
 from ..spn.compiled import resolve_engine
 from ..spn.graph import SPN
 from ..spn.memplan import ExecutionOptions, resolve_execution
@@ -99,6 +101,9 @@ KIND_ENTROPY = QueryKind.ENTROPY
 KIND_MUTUAL_INFORMATION = QueryKind.MUTUAL_INFORMATION
 KIND_CLASSIFY = QueryKind.CLASSIFY
 QUERY_KINDS = tuple(QueryKind)
+
+
+logger = logging.getLogger("repro.serving")
 
 
 class UnknownModelError(ValueError):
@@ -159,13 +164,28 @@ class _Installed:
 
 
 class _PendingRequest:
-    """Aggregates the row-level results of one submitted request."""
+    """Aggregates the row-level results of one submitted request.
+
+    ``trace`` is the admission-time trace context (``None`` when tracing
+    is off): the completing thread reactivates it so the response-scatter
+    span lands on the same trace as the admission span.  ``slow_query_s``
+    is the server's slow-query threshold; a completed request slower than
+    it is logged (WARNING on the ``repro.serving`` logger) and counted.
+    """
 
     def __init__(
-        self, model: str, kind: QueryKind, n_rows: int, metrics: ServingMetrics
+        self,
+        model: str,
+        kind: QueryKind,
+        n_rows: int,
+        metrics: ServingMetrics,
+        trace: object = None,
+        slow_query_s: Optional[float] = None,
     ):
         self.model = model
         self.kind = kind
+        self.trace = trace
+        self._slow_query_s = slow_query_s
         self.future: Future = Future()
         self._results: List[object] = [None] * n_rows
         self._remaining = n_rows
@@ -179,16 +199,45 @@ class _PendingRequest:
             self._done = True
             self._set_result()
 
-    def _set_result(self) -> None:
+    def _assemble(self) -> object:
         # Each kind reassembles its own per-row results (float stacking for
         # the value kinds, list for MPE, int64 stacking for Sample), so a
         # served result has exactly the type and dtype of offline
         # ``session.run``.
-        result = query_type(self.kind).assemble_rows(self._results)
+        return query_type(self.kind).assemble_rows(self._results)
+
+    def _set_result(self) -> None:
+        latency = perf_counter() - self._created_at
+        if TRACER.enabled and self.trace is not None:
+            # The completer may be any worker thread; reactivate the
+            # admission context so the respond span joins the request's
+            # trace (contextvars never crossed the queue).
+            with TRACER.activate(self.trace):
+                with TRACER.span(
+                    "serving.respond",
+                    model=self.model,
+                    kind=self.kind.value,
+                    latency_ms=latency * 1e3,
+                ):
+                    result = self._assemble()
+        else:
+            result = self._assemble()
         # Record before resolving: a caller that awaits the result and then
         # reads metrics.snapshot() must see its own request counted.
         if not self.future.cancelled():
-            self._metrics.record_request(perf_counter() - self._created_at)
+            self._metrics.record_request(latency)
+            if self._slow_query_s is not None and latency >= self._slow_query_s:
+                if metrics_enabled():
+                    self._metrics.registry.counter(
+                        "serving_slow_requests_total"
+                    ).inc()
+                logger.warning(
+                    "slow query: model=%s kind=%s latency_ms=%.3f threshold_ms=%.3f",
+                    self.model,
+                    self.kind.value,
+                    latency * 1e3,
+                    self._slow_query_s * 1e3,
+                )
         try:
             self.future.set_result(result)
         except InvalidStateError:
@@ -259,6 +308,11 @@ class InferenceServer:
         preallocated up to the batching policy's ``max_batch_size`` when
         the worker starts, instead of allocating a fresh ``(n_slots,
         n_rows)`` matrix per micro-batch.
+    slow_query_s:
+        Slow-query threshold in seconds.  A request whose submit-to-result
+        latency meets it is logged at WARNING on the ``repro.serving``
+        logger and counted in ``serving_slow_requests_total``.  ``None``
+        (default) disables the log.
     """
 
     def __init__(
@@ -269,6 +323,7 @@ class InferenceServer:
         engine: str = "vectorized",
         warm: bool = True,
         execution: Union[ExecutionOptions, str, None] = None,
+        slow_query_s: Optional[float] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -276,13 +331,23 @@ class InferenceServer:
         self.engine = resolve_engine(engine)
         self.execution = resolve_execution(execution)
         self.metrics = ServingMetrics()
+        self.slow_query_s = slow_query_s
         self._warm = warm
         #: The versioned model store (publish / hot-swap / rollback).
         self.registry = ModelRegistry()
         #: Canonical ServedModel per installed (name, version); admission
         #: pins these on work items, so identity grouping is exact.
         self._served: Dict[Tuple[str, str], ServedModel] = {}
-        self._queue = MicroBatchQueue(self.policy)
+        # Queue depth and queue wait live on the server's private registry
+        # (alongside the ServingMetrics counters), so one snapshot shows
+        # admission pressure next to throughput and latency.
+        self._queue_wait = self.metrics.registry.histogram(
+            "serving_queue_wait_seconds"
+        )
+        self._queue = MicroBatchQueue(
+            self.policy,
+            depth_gauge=self.metrics.registry.gauge("serving_queue_depth"),
+        )
         self._workers: List[threading.Thread] = []
         self._n_workers = n_workers
         self._abort = False
@@ -524,20 +589,55 @@ class InferenceServer:
         ``{var: value}`` completions for ``mpe``.
         ``timeout`` bounds the backpressure wait when the queue is full
         (:class:`~repro.serving.queue.QueueFullError`).
+
+        When tracing is enabled the admission path opens a
+        ``serving.admission`` span and its context rides every enqueued
+        work item, so the request's queue-wait, execute and respond spans
+        all share one trace id regardless of which worker threads touch
+        its rows.
         """
+        if not TRACER.enabled:
+            return self._submit(model, evidence, kind, timeout, span=None)
+        with TRACER.span("serving.admission", model=model) as span:
+            return self._submit(model, evidence, kind, timeout, span=span)
+
+    def _submit(self, model, evidence, kind, timeout, span) -> Future:
         served = self.model(model)
         query = self._as_query(served, evidence, kind)
         if not self.running:
             raise ServerClosedError("server is not running; call start() first")
         rows = query.split_rows()
         key = query.group_key()
-        request = _PendingRequest(model, query.kind, len(rows), self.metrics)
+        kind_label = query.kind.value
+        trace = None
+        if span is not None:
+            span.set(kind=kind_label, n_rows=len(rows))
+            trace = TRACER.current()
+        if metrics_enabled():
+            # Per-(model, kind) traffic counters go to the process-wide
+            # registry: they aggregate across servers and are what the
+            # `python -m repro.observability snapshot` CLI reports.
+            REGISTRY.counter(
+                "serving_requests_total", model=model, kind=kind_label
+            ).inc()
+            REGISTRY.counter(
+                "serving_rows_total", model=model, kind=kind_label
+            ).inc(len(rows))
+        request = _PendingRequest(
+            model,
+            query.kind,
+            len(rows),
+            self.metrics,
+            trace=trace,
+            slow_query_s=self.slow_query_s,
+        )
+        admitted_at = perf_counter()
         # Pin the resolved version on every row: a hot-swap between admission
         # and execution must not migrate in-flight rows to a different tape.
         items = [
             WorkItem(
                 model=model, kind=key, row=rows[i], index=i, request=request,
-                served=served,
+                served=served, trace=trace, admitted_at=admitted_at,
             )
             for i in range(len(rows))
         ]
@@ -555,6 +655,39 @@ class InferenceServer:
     def query(self, model, evidence, kind=None, timeout=None):
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(model, evidence, kind=kind, timeout=timeout).result()
+
+    # ------------------------------------------------------------------ #
+    # Control plane (non-query requests)
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """One JSON-serializable reading of the server's state and telemetry.
+
+        The payload bundles the hosted models with their live versions, the
+        instantaneous queue depth, the :class:`ServingMetrics` snapshot
+        (requests / throughput / occupancy / latency quantiles — ``None``
+        quantiles while empty, never NaN) and the full private-registry
+        snapshot (queue-wait histogram, slow-request counter, ...).  Every
+        value round-trips through ``json.dumps`` — this is the payload the
+        clients' ``server_stats()`` returns.
+        """
+        return {
+            "models": {name: self.live_version(name) for name in self.models()},
+            "running": self.running,
+            "queue_depth": len(self._queue),
+            "metrics": self.metrics.snapshot(),
+            "registry": self.metrics.registry.snapshot(),
+        }
+
+    def control(self, op: str) -> Dict[str, object]:
+        """Handle a control-plane request (one that is not a query).
+
+        The control surface is deliberately tiny: ``"stats"`` returns
+        :meth:`stats`.  Unknown ops raise ``ValueError`` at the call site —
+        never inside the worker pool.
+        """
+        if op == "stats":
+            return self.stats()
+        raise ValueError(f"unknown control op {op!r}; supported ops: 'stats'")
 
     # ------------------------------------------------------------------ #
     # Query construction (everything becomes a typed query at admission)
@@ -660,6 +793,7 @@ class InferenceServer:
                         ServerClosedError("server stopped without draining")
                     )
                 continue
+            self._record_queue_wait(batch)
             groups: Dict[Tuple[ServedModel, tuple], List[WorkItem]] = {}
             for item in batch:
                 # Rows whose request already failed (admission timeout) or
@@ -678,7 +812,7 @@ class InferenceServer:
             # happened to share the micro-batch.
             for (served, kind), items in groups.items():
                 try:
-                    values = self._execute(served, kind, items)
+                    values = self._execute_group(served, kind, items)
                 except BaseException as exc:  # noqa: BLE001 - forwarded to futures
                     for item in items:
                         item.request.fail(exc)
@@ -686,6 +820,60 @@ class InferenceServer:
                 self.metrics.record_batch(len(items), self.policy.max_batch_size)
                 for item, value in zip(items, values):
                     item.request.deliver(item.index, value)
+
+    def _record_queue_wait(self, batch: Sequence[WorkItem]) -> None:
+        """Record each dequeued row's admission-to-dequeue wait.
+
+        Metrics get the per-row wait distribution (the batch-assembly
+        latency the wait-window knob trades against); tracing gets one
+        ``serving.queue_wait`` event per row, emitted under the row's own
+        admission trace so multi-batch requests still tell one story.
+        """
+        record = metrics_enabled()
+        trace = TRACER.enabled
+        if not (record or trace):
+            return
+        now = perf_counter()
+        for item in batch:
+            if item.admitted_at <= 0.0:
+                continue
+            wait_s = max(0.0, now - item.admitted_at)
+            if record:
+                self._queue_wait.observe(wait_s)
+            if trace and item.trace is not None:
+                with TRACER.activate(item.trace):
+                    TRACER.event(
+                        "serving.queue_wait",
+                        model=item.model,
+                        wait_ms=wait_s * 1e3,
+                    )
+
+    def _execute_group(
+        self, served: ServedModel, key: tuple, items: Sequence[WorkItem]
+    ) -> List[object]:
+        """Run one group, under a ``serving.batch_execute`` span when tracing.
+
+        The span is activated under the batch leader's admission context
+        (the first traced item), so the session's ``session.run`` /
+        ``session.tape_pass`` spans nest inside it and the whole engine
+        call is attributable to a concrete request's trace.  Co-batched
+        followers still link to the execution through their own
+        ``serving.queue_wait`` events and ``serving.respond`` spans.
+        """
+        if not TRACER.enabled:
+            return self._execute(served, key, items)
+        leader = next((item.trace for item in items if item.trace is not None), None)
+        if leader is None:
+            return self._execute(served, key, items)
+        with TRACER.activate(leader):
+            with TRACER.span(
+                "serving.batch_execute",
+                model=served.name,
+                version=served.version,
+                kind=key[0].value,
+                n_rows=len(items),
+            ):
+                return self._execute(served, key, items)
 
     def _prewarm_workspaces(self) -> None:
         """Preallocate this worker thread's per-model tape scratch buffers.

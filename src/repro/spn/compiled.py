@@ -53,12 +53,14 @@ operation list to its tape slot, so a full slot-by-slot comparison against
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..observability.profile import active_profiler
 from .evaluate import MARGINALIZED, as_evidence_array
 from .graph import SPN, StructureError
 from .linearize import (
@@ -299,15 +301,22 @@ class CompiledTape:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def execute_slots(self, data: np.ndarray, log_domain: bool = False) -> np.ndarray:
+    def execute_slots(
+        self, data: np.ndarray, log_domain: bool = False, profiler=None
+    ) -> np.ndarray:
         """Run the tape on an evidence batch and return all slot values.
 
         Returns the full ``(n_slots, n_rows)`` value matrix (in tape slot
         order); :meth:`execute_batch` is the root-only convenience wrapper.
+        ``profiler`` (a :class:`repro.observability.TapeProfiler`) routes to
+        an instrumented copy of the kernel loop; ``None`` — the default —
+        keeps this loop untouched.
         """
         data = as_evidence_array(data)
         if data.ndim != 2:
             raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
+        if profiler is not None:
+            return self._execute_slots_profiled(data, log_domain, profiler)
         n_rows = data.shape[0]
         slots = np.empty((self.n_slots, n_rows), dtype=np.float64)
         self.input_matrix(data, log_domain=log_domain, out=slots[: self.n_inputs])
@@ -324,6 +333,43 @@ class CompiledTape:
                 np.logaddexp(a, b, out=dest) if kernel.is_add else np.add(a, b, out=dest)
             else:
                 np.add(a, b, out=dest) if kernel.is_add else np.multiply(a, b, out=dest)
+        return slots
+
+    def _execute_slots_profiled(
+        self, data: np.ndarray, log_domain: bool, profiler
+    ) -> np.ndarray:
+        """Instrumented twin of the :meth:`execute_slots` loop (legacy mode).
+
+        One sample per tape kernel (keyed ``k<index>`` in tape order) plus
+        an ``input_matrix`` pseudo-kernel for the dense input encoding;
+        bytes count the two operand reads and the destination write of each
+        lane at 8 bytes per value.
+        """
+        n_rows = data.shape[0]
+        slots = np.empty((self.n_slots, n_rows), dtype=np.float64)
+        t_pass = time.perf_counter()
+        t0 = t_pass
+        self.input_matrix(data, log_domain=log_domain, out=slots[: self.n_inputs])
+        profiler.record(
+            "input_matrix", "enc", self.n_inputs,
+            time.perf_counter() - t0, n_rows, 8 * n_rows * self.n_inputs,
+        )
+        for i, (kernel, view0, view1) in enumerate(
+            zip(self.kernels, self._arg0_views, self._arg1_views)
+        ):
+            t0 = time.perf_counter()
+            a = slots[view0 if view0 is not None else kernel.arg0]
+            b = slots[view1 if view1 is not None else kernel.arg1]
+            dest = slots[kernel.dest_start : kernel.dest_stop]
+            if log_domain:
+                np.logaddexp(a, b, out=dest) if kernel.is_add else np.add(a, b, out=dest)
+            else:
+                np.add(a, b, out=dest) if kernel.is_add else np.multiply(a, b, out=dest)
+            profiler.record(
+                f"k{i:03d}", kernel.op, kernel.width,
+                time.perf_counter() - t0, n_rows, 8 * n_rows * kernel.width * 3,
+            )
+        profiler.record_pass(time.perf_counter() - t_pass)
         return slots
 
     def memory_plan(
@@ -387,18 +433,22 @@ class CompiledTape:
             raise ValueError(f"expected a 2-D evidence array, got shape {data.shape}")
         options = resolve_execution(execution)
         n_rows = data.shape[0]
+        # Resolved once per batch: ``None`` (no profiler active) keeps every
+        # executor below on its uninstrumented kernel loop.
+        profiler = active_profiler()
         if options.mode == "legacy" or not self.kernels:
             # A kernel-less tape (the SPN is a single leaf) has no program
             # to plan; the dense path answers it directly.
             block = max(64, _BLOCK_BYTES // (8 * max(self.n_slots, 1)))
             if n_rows <= block:
-                return self.execute_slots(data, log_domain=log_domain)[
-                    self.root_slot
-                ].copy()
+                return self.execute_slots(
+                    data, log_domain=log_domain, profiler=profiler
+                )[self.root_slot].copy()
             out = np.empty(n_rows, dtype=np.float64)
             for start in range(0, n_rows, block):
                 chunk = self.execute_slots(
-                    data[start : start + block], log_domain=log_domain
+                    data[start : start + block], log_domain=log_domain,
+                    profiler=profiler,
                 )
                 out[start : start + block] = chunk[self.root_slot]
             return out
@@ -411,9 +461,9 @@ class CompiledTape:
         if options.mode == "sharded":
             return execute_sharded(
                 plan, data, log_domain=log_domain, out=out,
-                options=options, block_rows=block,
+                options=options, block_rows=block, profiler=profiler,
             )
-        _blocked_plan(plan, data, log_domain, out, block)
+        _blocked_plan(plan, data, log_domain, out, block, profiler)
         return out
 
     def execute(

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -918,6 +919,7 @@ def execute_plan(
     data: np.ndarray,
     log_domain: bool = False,
     out: Optional[np.ndarray] = None,
+    profiler=None,
 ) -> np.ndarray:
     """Run a planned tape over one (already validated) evidence block.
 
@@ -926,7 +928,15 @@ def execute_plan(
     (``root_direct``), that kernel computes straight into ``out`` — no
     root-row copy at all; otherwise the root's physical row is copied out
     once.  The physical buffer is the calling thread's reusable scratch.
+
+    ``profiler`` (a :class:`repro.observability.TapeProfiler`, resolved
+    once per batch by the caller) switches to an instrumented copy of the
+    kernel loop that records per-kernel elapsed/rows/bytes; the default
+    ``None`` takes this uninstrumented loop, so unprofiled execution pays
+    nothing.
     """
+    if profiler is not None:
+        return _execute_plan_profiled(plan, data, log_domain, out, profiler)
     n_rows = data.shape[0]
     if out is None:
         out = np.empty(n_rows, dtype=np.float64)
@@ -953,6 +963,66 @@ def execute_plan(
                 np.multiply(a, b, out=dest)
     if not plan.root_direct:
         out[:] = block[plan.root_phys]
+    return out
+
+
+def _execute_plan_profiled(
+    plan: MemoryPlan,
+    data: np.ndarray,
+    log_domain: bool,
+    out: Optional[np.ndarray],
+    profiler,
+) -> np.ndarray:
+    """The instrumented twin of :func:`execute_plan` (same ops, same order).
+
+    Records one sample per planned kernel — keyed ``k<index>`` in plan
+    order, with input encoding attributed to a ``k<index>.encode``
+    pseudo-kernel — plus the pass's total wall time (the coverage
+    denominator).  Bytes count operand reads and destination writes at 8
+    bytes per value off the plan's physical layout; a broadcast-constant
+    operand contributes only its ``(width, 1)`` column.
+    """
+    n_rows = data.shape[0]
+    if out is None:
+        out = np.empty(n_rows, dtype=np.float64)
+    block = plan.workspace(n_rows)
+    last = len(plan.kernels) - 1
+    t_pass = time.perf_counter()
+    for i, kernel in enumerate(plan.kernels):
+        if kernel.encode is not None:
+            n_encoded = kernel.encode.ind_rows.size + kernel.encode.const_rows.size
+            t0 = time.perf_counter()
+            _encode_inputs(kernel.encode, block, data, log_domain)
+            profiler.record(
+                f"k{i:03d}.encode", "enc", n_encoded,
+                time.perf_counter() - t0, n_rows, 8 * n_rows * n_encoded,
+            )
+        t0 = time.perf_counter()
+        a = _operand_block(kernel, block, log_domain, 0)
+        b = _operand_block(kernel, block, log_domain, 1)
+        if i == last and plan.root_direct:
+            dest = out[None, :]
+        else:
+            dest = block[kernel.dest_start : kernel.dest_stop]
+        if log_domain:
+            if kernel.op == OP_ADD:
+                np.logaddexp(a, b, out=dest)
+            else:
+                np.add(a, b, out=dest)
+        else:
+            if kernel.op == OP_ADD:
+                np.add(a, b, out=dest)
+            else:
+                np.multiply(a, b, out=dest)
+        elapsed = time.perf_counter() - t0
+        lane_bytes = 8 * n_rows * kernel.width
+        nbytes = lane_bytes  # destination write
+        nbytes += lane_bytes if kernel.const_arg0 is None else 8 * kernel.width
+        nbytes += lane_bytes if kernel.const_arg1 is None else 8 * kernel.width
+        profiler.record(f"k{i:03d}", kernel.op, kernel.width, elapsed, n_rows, nbytes)
+    if not plan.root_direct:
+        out[:] = block[plan.root_phys]
+    profiler.record_pass(time.perf_counter() - t_pass)
     return out
 
 
@@ -1006,6 +1076,7 @@ def execute_sharded(
     out: Optional[np.ndarray] = None,
     options: ExecutionOptions = DEFAULT_EXECUTION,
     block_rows: Optional[int] = None,
+    profiler=None,
 ) -> np.ndarray:
     """Run a planned tape over row shards on the shared thread pool.
 
@@ -1014,6 +1085,11 @@ def execute_sharded(
     reduction kernels release the GIL, so shards overlap on multicore
     hosts.  Batches too small to shard (fewer than two
     ``options.min_shard_rows`` spans) run on the calling thread.
+
+    ``profiler`` is forwarded into the shard closures explicitly — context
+    variables do not cross the pool's thread boundary — and
+    ``TapeProfiler.record`` is thread-safe, so shard samples merge into one
+    aggregate.
     """
     n_rows = data.shape[0]
     if out is None:
@@ -1022,7 +1098,7 @@ def execute_sharded(
     bounds = shard_bounds(n_rows, n_shards)
 
     def run_shard(lo: int, hi: int) -> None:
-        _blocked_plan(plan, data[lo:hi], log_domain, out[lo:hi], block_rows)
+        _blocked_plan(plan, data[lo:hi], log_domain, out[lo:hi], block_rows, profiler)
 
     if len(bounds) <= 1:
         run_shard(0, n_rows)
@@ -1040,16 +1116,20 @@ def _blocked_plan(
     log_domain: bool,
     out: np.ndarray,
     block_rows: Optional[int],
+    profiler=None,
 ) -> None:
     """Planned execution of one shard, in cache-sized row blocks."""
     n_rows = data.shape[0]
     block = block_rows or n_rows
     if n_rows <= block:
-        execute_plan(plan, data, log_domain=log_domain, out=out)
+        execute_plan(plan, data, log_domain=log_domain, out=out, profiler=profiler)
         return
     for start in range(0, n_rows, block):
         stop = min(start + block, n_rows)
-        execute_plan(plan, data[start:stop], log_domain=log_domain, out=out[start:stop])
+        execute_plan(
+            plan, data[start:stop], log_domain=log_domain, out=out[start:stop],
+            profiler=profiler,
+        )
 
 
 # --------------------------------------------------------------------------- #

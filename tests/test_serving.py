@@ -1,6 +1,7 @@
 """Tests for the dynamic-batching inference service (repro.serving)."""
 
 import asyncio
+import json
 import threading
 import time
 
@@ -858,11 +859,28 @@ class TestMetrics:
         assert snap["latency_p50_ms"] == pytest.approx(25.0)
         assert metrics.latency_quantile(0.0) == pytest.approx(0.010)
 
-    def test_empty_metrics_are_nan_and_zero(self):
-        snap = ServingMetrics().snapshot()
+    def test_empty_metrics_are_none_and_zero(self):
+        metrics = ServingMetrics()
+        snap = metrics.snapshot()
         assert snap["requests"] == 0
         assert snap["throughput_rps"] == 0.0
-        assert np.isnan(snap["latency_p50_ms"])
+        # Empty-window quantiles are None (JSON-safe), never NaN; the
+        # numeric accessor keeps the NaN convention for float arithmetic.
+        assert snap["latency_p50_ms"] is None
+        assert snap["latency_p99_ms"] is None
+        assert np.isnan(metrics.latency_quantile(0.5))
+
+    def test_snapshot_round_trips_through_json(self, rows):
+        # Regression: an empty snapshot used to hold NaN quantiles, which
+        # json.dumps emits as the invalid-JSON token `NaN`.
+        empty = ServingMetrics().snapshot()
+        assert json.loads(json.dumps(empty)) == empty
+        with InferenceServer(models=[BENCHMARK]) as server:
+            server.query(BENCHMARK, rows[:4], kind=KIND_LIKELIHOOD)
+            snap = server.metrics.snapshot()
+        restored = json.loads(json.dumps(snap))
+        assert restored["requests"] == 1
+        assert restored["latency_p50_ms"] > 0.0
 
     def test_failed_execution_not_counted_as_throughput(self, rows, monkeypatch):
         with InferenceServer(models=[BENCHMARK]) as server:
@@ -885,3 +903,40 @@ class TestMetrics:
         assert snap["rows"] == 8
         assert snap["requests"] == 1
         assert snap["batches"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Stats endpoint (the serving API's control plane)
+# --------------------------------------------------------------------------- #
+class TestStatsEndpoint:
+    def test_client_server_stats_against_live_server(self, rows):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            client = InferenceClient(server, model=BENCHMARK)
+            client.likelihood(rows[0])
+            stats = client.server_stats()
+            assert stats["models"] == {BENCHMARK: "0"}
+            assert stats["running"] is True
+            assert stats["queue_depth"] == 0
+            assert stats["metrics"]["requests"] >= 1
+            assert stats["metrics"]["latency_p50_ms"] > 0.0
+            registry = stats["registry"]
+            assert registry["serving_requests_total"] >= 1.0
+            assert registry["serving_queue_wait_seconds"]["count"] >= 1
+            # The whole payload is JSON-clean (the wire contract).
+            assert json.loads(json.dumps(stats)) == stats
+
+    def test_async_client_server_stats(self, rows):
+        async def scenario():
+            with InferenceServer(models=[BENCHMARK]) as server:
+                client = AsyncInferenceClient(server, model=BENCHMARK)
+                await client.log_likelihood(rows[0])
+                return await client.server_stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["metrics"]["requests"] >= 1
+        assert stats["models"] == {BENCHMARK: "0"}
+
+    def test_unknown_control_op_is_rejected(self):
+        with InferenceServer(models=[BENCHMARK]) as server:
+            with pytest.raises(ValueError, match="unknown control op"):
+                server.control("reboot")
