@@ -1259,6 +1259,98 @@ def measure_observability_overhead(
 # --------------------------------------------------------------------------- #
 # BENCH_sweeps.json emission
 # --------------------------------------------------------------------------- #
+def measure_static_analysis() -> Dict[str, object]:
+    """Measure the static verification layer across the nine suite profiles.
+
+    Four facts for the ``static_analysis`` section of ``BENCH_sweeps.json``:
+
+    * **verify cost vs compile cost** — for every profile, the structural
+      proof (tape verifier + fused-plan verifier) timed against a fresh
+      linearize → compile → plan of the same network; the benchmark gates
+      the total ratio at <= 5%, the budget that makes always-on
+      load/publish gates free in practice.  Abstract interpretation is
+      timed separately (``analyze_s``): it is an advisory analysis, not
+      part of the pass/fail gate the lifecycle wires in everywhere;
+    * **mutation detection** — every applicable mutator of the seeded
+      corpus (:mod:`repro.statics.mutate`) applied to every profile; the
+      gate requires 100% detection;
+    * **false positives** — every unmutated profile must verify clean
+      (counted here, gated at zero);
+    * **lint** — finding count over the installed ``repro`` package source
+      (gated at zero) plus what the abstract interpreter proved
+      (normalization for all nine; which profiles carry linear-domain
+      underflow risk).
+    """
+    import time as _time
+    from pathlib import Path as _Path
+
+    import repro as _repro
+    from ..spn.compiled import compile_tape
+    from ..spn.linearize import linearize
+    from ..statics.absint import analyze_tape
+    from ..statics.lint import lint_paths
+    from ..statics.mutate import MUTATORS, mutate
+    from ..statics.verifier import VerificationError, verify_compiled
+    from ..suite.registry import benchmark_names, build_benchmark
+
+    compile_s = 0.0
+    verify_s = 0.0
+    analyze_s = 0.0
+    false_positives = 0
+    proved_normalized = 0
+    underflow_flagged = []
+    applied = 0
+    detected = 0
+    for name in benchmark_names():
+        spn = build_benchmark(name)
+        started = _time.perf_counter()
+        tape = compile_tape(linearize(spn))
+        plan = tape.memory_plan()
+        compile_s += _time.perf_counter() - started
+
+        started = _time.perf_counter()
+        try:
+            verify_compiled(tape, plan)
+        except VerificationError:
+            false_positives += 1
+        verify_s += _time.perf_counter() - started
+
+        started = _time.perf_counter()
+        analysis = analyze_tape(tape)
+        analyze_s += _time.perf_counter() - started
+        if analysis.proves_log_nonpositive:
+            proved_normalized += 1
+        if analysis.underflow_risk:
+            underflow_flagged.append(name)
+
+        for seed, mutator in enumerate(MUTATORS):
+            result = mutate(mutator, tape, plan, seed=seed + 1)
+            if result is None:
+                continue
+            applied += 1
+            try:
+                verify_compiled(*result)
+            except VerificationError:
+                detected += 1
+
+    lint_findings = len(lint_paths([_Path(_repro.__file__).parent]))
+    return {
+        "profiles": len(benchmark_names()),
+        "compile_s": compile_s,
+        "verify_s": verify_s,
+        "analyze_s": analyze_s,
+        "verify_vs_compile": verify_s / compile_s if compile_s else float("inf"),
+        "mutators": len(MUTATORS),
+        "mutations_applied": applied,
+        "mutations_detected": detected,
+        "detection_rate": detected / applied if applied else 0.0,
+        "false_positives": false_positives,
+        "proved_normalized": proved_normalized,
+        "underflow_flagged": sorted(underflow_flagged),
+        "lint_findings": lint_findings,
+    }
+
+
 def _read_bench_json(path: Path) -> Dict[str, object]:
     try:
         with open(path, "r", encoding="utf-8") as handle:

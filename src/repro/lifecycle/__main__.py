@@ -79,6 +79,16 @@ def _cmd_serve_check(args: argparse.Namespace) -> int:
         f"loaded {artifact.name!r} version {artifact.version} "
         f"({artifact.n_vars} vars, hash {artifact.content_hash[:12]})"
     )
+    # load_artifact already ran the static gate; assert it explicitly so
+    # this check certifies the gate itself, not just the happy path.
+    from ..statics.verifier import verify_compiled
+
+    tape_facts, plan_facts = verify_compiled(artifact.tape, artifact.plan)
+    print(
+        f"static verification: {tape_facts.n_kernels} tape kernels, "
+        f"{plan_facts.n_kernels} planned kernels, "
+        f"{plan_facts.n_physical} physical rows -> OK"
+    )
     evidence = golden_evidence(artifact.n_vars, n_rows=args.rows)
     queries = {
         "likelihood": Likelihood(evidence=evidence),

@@ -320,6 +320,18 @@ def artifact_from_payload(payload: dict) -> ModelArtifact:
             f"(plan {plan.n_inputs}+{plan.n_slots - plan.n_inputs} slots, "
             f"tape {tape.n_inputs}+{tape.n_slots - tape.n_inputs})"
         )
+    # Static verification gate: the section loaders above only validate
+    # *format* (ranges, record shapes); the dataflow verifier proves the
+    # semantic invariants — topological order, def-before-use, liveness,
+    # slot interference, root reachability — so a spliced or miscompiled
+    # plan whose every index is individually in range still gets rejected
+    # here rather than serving wrong numbers.
+    from ..statics.verifier import VerificationError, verify_compiled
+
+    try:
+        verify_compiled(tape, plan)
+    except VerificationError as exc:
+        raise ArtifactIntegrityError(f"static verification failed: {exc}") from None
     tape.adopt_plan(plan, fuse=fuse, fuse_width=fuse_width)
     return ModelArtifact(
         name=name,

@@ -179,6 +179,18 @@ class ModelRegistry:
                 )
             incumbent = entry.versions[entry.live] if entry.live else None
 
+        # Static verification gate: prove the candidate's IR well-formed
+        # *before* spending shadow-validation replay time on it.  Catches
+        # what the replay cannot — a plan that computes right values on the
+        # golden rows but aliases live slots, understates liveness, or
+        # carries dead kernels.  Runs outside the lock like validation.
+        from ..statics.verifier import verify_compiled
+
+        if artifact is not None:
+            verify_compiled(artifact.tape, artifact.plan)
+        elif getattr(session, "tape", None) is not None:
+            verify_compiled(session.tape, None)
+
         tolerance = float(artifact.tolerance) if artifact is not None else 0.0
         deviation = 0.0
         validated = False

@@ -152,6 +152,54 @@ def resolve_engine(engine: str) -> str:
     return engine
 
 
+def canonical_value_tables(
+    ind_slots: np.ndarray,
+    ind_vars: np.ndarray,
+    ind_values: np.ndarray,
+    const_slots: np.ndarray,
+    const_probs: np.ndarray,
+    n_slots: int,
+) -> tuple:
+    """Canonical value ids for input slots plus sorted signature tables.
+
+    Returns ``(canon, ind_keys, ind_first, base, uniq_probs, const_first,
+    is_const, const_prob)``: ``canon`` maps every slot to the lowest slot
+    carrying the same *value* (operation slots map to themselves), the key
+    tables answer signature lookups via ``searchsorted``.  Computed once per
+    tape construction (``CompiledTape.__post_init__``) and consumed by the
+    static verifier (:mod:`repro.statics.verifier`); the grouping uses a
+    plain sort + ``searchsorted`` inverse — cheaper than asking
+    :func:`numpy.unique` for indices, which argsorts.  Input slots ascend,
+    so a reversed scatter leaves the first — lowest — slot per signature.
+    """
+    canon = np.arange(n_slots, dtype=np.int64)
+    is_const = np.zeros(n_slots, dtype=bool)
+    const_prob = np.full(n_slots, np.nan, dtype=np.float64)
+    base = int(ind_values.max()) + 1 if ind_values.size else 1
+    if ind_slots.size:
+        keys = ind_vars.astype(np.int64) * base + ind_values
+        ind_keys = np.unique(keys)
+        inverse = np.searchsorted(ind_keys, keys)
+        ind_first = np.empty(ind_keys.size, dtype=np.int64)
+        ind_first[inverse[::-1]] = np.asarray(ind_slots, dtype=np.int64)[::-1]
+        canon[ind_slots] = ind_first[inverse]
+    else:
+        ind_keys = np.empty(0, dtype=np.int64)
+        ind_first = np.empty(0, dtype=np.int64)
+    if const_slots.size:
+        is_const[const_slots] = True
+        const_prob[const_slots] = const_probs
+        uniq_probs = np.unique(const_probs)
+        cinverse = np.searchsorted(uniq_probs, const_probs)
+        const_first = np.empty(uniq_probs.size, dtype=np.int64)
+        const_first[cinverse[::-1]] = np.asarray(const_slots, dtype=np.int64)[::-1]
+        canon[const_slots] = const_first[cinverse]
+    else:
+        uniq_probs = np.empty(0, dtype=np.float64)
+        const_first = np.empty(0, dtype=np.int64)
+    return (canon, ind_keys, ind_first, base, uniq_probs, const_first, is_const, const_prob)
+
+
 @dataclass(frozen=True)
 class TapeKernel:
     """One fused array operation: a ``(level, opcode)`` group of the tape.
@@ -222,6 +270,21 @@ class CompiledTape:
         # single set of per-thread scratch buffers.
         self._plan_cache: Dict[Tuple[bool, int], MemoryPlan] = {}
         self._plan_lock = threading.Lock()
+        # Cached shape and canonical-value tables.  Kernel *structure* is
+        # fixed at construction (structural edits build a fresh tape), so the
+        # width sum is a constant; the tables depend only on ``inputs`` and
+        # let the static verifier resolve value signatures without rebuilding
+        # them per verification — it then trusts only this constructor, the
+        # same contract as the index vectors above.
+        self._n_operations = int(sum(k.width for k in self.kernels))
+        self._canon_tables = canonical_value_tables(
+            self._ind_slots,
+            self._ind_vars,
+            self._ind_values,
+            self._const_slots,
+            self._const_probs,
+            len(self.inputs) + self._n_operations,
+        )
 
     # ------------------------------------------------------------------ #
     # Shape
@@ -232,7 +295,7 @@ class CompiledTape:
 
     @property
     def n_operations(self) -> int:
-        return sum(k.width for k in self.kernels)
+        return self._n_operations
 
     @property
     def n_slots(self) -> int:
@@ -455,6 +518,15 @@ class CompiledTape:
         plan = self.memory_plan(fuse=options.fuse, fuse_width=options.fuse_width)
         data = as_evidence_array(data)
         if options.check:
+            # Static verification precedes the value replay: dataflow
+            # violations (aliased slots, understated liveness) are proved
+            # wholesale rather than hoped-to-surface on the prefix rows.
+            # Memoized per plan object — checked batches pay it once.
+            if not getattr(plan, "_statics_verified", False):
+                from ..statics.verifier import verify_compiled
+
+                verify_compiled(self, plan)
+                plan._statics_verified = True
             verify_plan(self, plan, data[:CHECK_ROWS], log_domain=log_domain)
         block = max(64, _BLOCK_BYTES // (8 * max(plan.n_physical, 1)))
         out = np.empty(n_rows, dtype=np.float64)

@@ -249,6 +249,188 @@ class MemoryPlan:
 
     def __post_init__(self) -> None:
         self._scratch = threading.local()
+        # Concatenated kernel metadata, derived once per construction the
+        # way ``CompiledTape.__post_init__`` derives its input-slot vectors:
+        # every way a plan comes to exist (planner or payload loader) runs
+        # this constructor, so a consumer reading these trusts only this
+        # code, never a shipped artifact section.  The static verifier
+        # (``repro.statics.verifier``) reads them instead of re-walking the
+        # kernel list on every verification.
+        kernels = self.kernels
+        n_kernels = len(kernels)
+        meta = np.fromiter(
+            (
+                (
+                    k.dest_start,
+                    k.dest_stop,
+                    k.op == OP_MUL,
+                    k.op == OP_ADD,
+                    -1 if k.source_slots is None else k.source_slots.size,
+                    k.const_arg0 is not None,
+                    k.const_arg1 is not None,
+                    k.encode is not None,
+                )
+                for k in kernels
+            ),
+            dtype=[
+                ("start", np.int64),
+                ("stop", np.int64),
+                ("mul", bool),
+                ("add", bool),
+                ("src", np.int64),
+                ("c0", bool),
+                ("c1", bool),
+                ("enc", bool),
+            ],
+            count=n_kernels,
+        )
+        self._kernel_meta = meta
+        self._all_source_slots = (
+            np.concatenate([k.source_slots for k in kernels])
+            if n_kernels and bool((meta["src"] >= 0).all())
+            else None
+        )
+        # Encode records: per-group id vectors plus the concatenated row,
+        # signature and (view, rows) consistency pairs.
+        enc_groups: List[int] = []
+        ind_sizes: List[int] = []
+        const_sizes: List[int] = []
+        ind_rows: List[np.ndarray] = []
+        ind_vars: List[np.ndarray] = []
+        ind_values: List[np.ndarray] = []
+        const_rows: List[np.ndarray] = []
+        const_probs: List[np.ndarray] = []
+        view_pairs: List[Tuple[Optional[slice], np.ndarray]] = []
+        for gi in np.flatnonzero(meta["enc"]).tolist():
+            encode = kernels[gi].encode
+            enc_groups.append(gi)
+            ind_sizes.append(encode.ind_rows.size)
+            const_sizes.append(encode.const_rows.size)
+            ind_rows.append(encode.ind_rows)
+            ind_vars.append(encode.ind_vars)
+            ind_values.append(encode.ind_values)
+            const_rows.append(encode.const_rows)
+            const_probs.append(encode.const_probs)
+            view_pairs.append((encode.ind_slice, encode.ind_rows))
+            view_pairs.append((encode.const_slice, encode.const_rows))
+
+        def _cat(parts: List[np.ndarray], dtype) -> np.ndarray:
+            return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+
+        enc_ids = np.asarray(enc_groups, dtype=np.int64)
+        self._encode_meta = (
+            np.repeat(enc_ids, np.asarray(ind_sizes, dtype=np.int64)),
+            _cat(ind_rows, np.intp),
+            _cat(ind_vars, np.int64),
+            _cat(ind_values, np.int64),
+            np.repeat(enc_ids, np.asarray(const_sizes, dtype=np.int64)),
+            _cat(const_rows, np.intp),
+            _cat(const_probs, np.float64),
+            view_pairs,
+        )
+        # Operand rows of the non-broadcast ("open") sides and the ravelled
+        # broadcast constant columns, concatenated in kernel order.
+        open0: List[np.ndarray] = []
+        open1: List[np.ndarray] = []
+        open0_pairs: List[Tuple[Optional[slice], np.ndarray]] = []
+        open1_pairs: List[Tuple[Optional[slice], np.ndarray]] = []
+        const0: List[np.ndarray] = []
+        const1: List[np.ndarray] = []
+        for k in kernels:
+            if k.const_arg0 is None:
+                open0.append(k.arg0)
+                open0_pairs.append((k.arg0_slice, k.arg0))
+            else:
+                const0.append(k.const_arg0.ravel())
+            if k.const_arg1 is None:
+                open1.append(k.arg1)
+                open1_pairs.append((k.arg1_slice, k.arg1))
+            else:
+                const1.append(k.const_arg1.ravel())
+        self._operand_meta = (
+            (
+                np.fromiter(map(len, open0), np.int64, len(open0)),
+                _cat(open0, np.intp),
+                open0_pairs,
+            ),
+            (
+                np.fromiter(map(len, open1), np.int64, len(open1)),
+                _cat(open1, np.intp),
+                open1_pairs,
+            ),
+        )
+        self._const_meta = (
+            (np.fromiter(map(len, const0), np.int64, len(const0)), _cat(const0, np.float64)),
+            (np.fromiter(map(len, const1), np.int64, len(const1)), _cat(const1, np.float64)),
+        )
+        # Every strided view expanded to explicit rows next to the rows it
+        # claims to address, in the verifier's pair order (encode, arg0,
+        # arg1): consistency is then a single ``array_equal`` per
+        # verification instead of a per-pair expansion.
+        expanded: List[np.ndarray] = []
+        claimed: List[np.ndarray] = []
+        for view, rows in view_pairs + open0_pairs + open1_pairs:
+            if view is None:
+                continue
+            expanded.append(np.arange(view.start, view.stop, view.step or 1, dtype=np.int64))
+            claimed.append(np.asarray(rows, dtype=np.int64))
+        self._view_check = (_cat(expanded, np.int64), _cat(claimed, np.int64))
+        # Identity flag plus replay geometry.  The verifier's symbolic replay
+        # orders every write event by a packed ``(row, time, value)`` key and
+        # probes each read for the last write on its row; rows, times, the
+        # key radices and the sort order depend only on the plan, so they are
+        # derived here — the verifier's hot path then only joins them with
+        # the tape's canonical values.  Event time within kernel ``g``:
+        # encodes land at ``3g``, reads probe at ``3g + 1``, destination
+        # writes land at ``3g + 2``, the order the executor uses.
+        self._sources_identity = self._all_source_slots is not None and bool(
+            np.array_equal(
+                self._all_source_slots,
+                np.arange(self.n_inputs, self.n_slots, dtype=np.int64),
+            )
+        )
+        widths = meta["stop"] - meta["start"]
+        n_lanes = int(widths.sum())
+        period = 3 * n_kernels + 3
+        pack = self.n_slots + 1
+        lane_group = np.repeat(np.arange(n_kernels, dtype=np.int64), widths)
+        bounds = np.concatenate([[0], np.cumsum(widths)])
+        within = np.arange(n_lanes, dtype=np.int64) - np.repeat(bounds[:-1], widths)
+        dest_rows = np.repeat(meta["start"], widths) + within
+        ind_g, ind_rows_cat = self._encode_meta[0], self._encode_meta[1]
+        const_g, const_rows_cat = self._encode_meta[4], self._encode_meta[5]
+        write_rows = np.concatenate([ind_rows_cat, const_rows_cat, dest_rows]).astype(
+            np.int64, copy=False
+        )
+        write_base = (
+            write_rows * period
+            + np.concatenate([3 * ind_g, 3 * const_g, 3 * lane_group + 2])
+        ) * pack
+        order = np.argsort(write_base, kind="stable")
+        lane_c0 = meta["c0"][lane_group] if bool(meta["c0"].any()) else None
+        lane_c1 = meta["c1"][lane_group] if bool(meta["c1"].any()) else None
+        open_g0 = lane_group if lane_c0 is None else lane_group[~lane_c0]
+        open_g1 = lane_group if lane_c1 is None else lane_group[~lane_c1]
+        read_rows = np.concatenate(
+            [self._operand_meta[0][1], self._operand_meta[1][1]]
+        ).astype(np.int64, copy=False)
+        read_base = (
+            read_rows * period + np.concatenate([3 * open_g0 + 1, 3 * open_g1 + 1])
+        ) * pack
+        self._replay_meta = (
+            period,
+            pack,
+            lane_group,
+            bounds,
+            order,
+            write_base[order],
+            lane_c0,
+            lane_c1,
+            open_g0,
+            open_g1,
+            read_rows,
+            read_base,
+        )
 
     @property
     def n_kernels(self) -> int:

@@ -1,0 +1,149 @@
+"""Abstract interpretation of compiled tapes: interval and sign domains.
+
+Runs the tape once over *abstract* values instead of evidence — one interval
+per slot — and derives facts that hold for **every** evidence batch:
+
+* **Linear interval domain** — each slot carries ``[lo, hi]`` bounds.
+  Indicators are ``[0, 1]`` (hit/miss/marginalized), constants are points,
+  sums add and products multiply endpoint-wise (sound because
+  :func:`~repro.statics.verifier.verify_tape` guarantees non-negative
+  inputs, so both operations are monotone).  When the root's upper bound is
+  ``<= 1`` the tape is proved **normalized-by-construction**: its log-domain
+  output can never exceed ``0`` on any evidence, the invariant the analysis
+  query layer's normalizers rely on.
+* **Sign / zero tracking** — whether a slot can be *exactly* zero (an
+  indicator miss propagating through products).  A zero-capable root means
+  ``-inf`` is reachable in the log domain; that is well-defined (``log 0``)
+  and ``logaddexp`` absorbs it exactly, so it is reported as a fact, not an
+  error.  ``NaN`` in the log domain would require ``inf - inf``, which needs
+  a linear overflow first — tracked via the interval upper bounds.
+* **Positive-magnitude log bounds** — for each slot, a lower bound on
+  ``log(v)`` over every *strictly positive* value ``v`` the slot can take.
+  Products add these bounds, so deep product chains drive the bound down
+  linearly with depth; when the root's bound falls below the smallest
+  positive normal double (``log ≈ -708``), a linear-domain pass may
+  underflow a genuinely non-zero probability to ``0.0`` — the bug class a
+  conditional query hit in this repository's history (joint/evidence
+  division by an underflowed denominator), now flagged at compile time and
+  answered by routing through the log domain.
+
+The pass is vectorized per tape kernel (a few hundred NumPy calls per tape)
+and costs far less than compilation; it runs on every ``python -m
+repro.statics verify`` and its facts are recorded in the benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TapeAnalysis", "analyze_tape", "LOG_TINY"]
+
+#: ``log`` of the smallest positive *normal* float64 — positive values whose
+#: static log lower bound falls below this may underflow to ``0.0`` in a
+#: linear-domain pass.
+LOG_TINY = float(np.log(np.finfo(np.float64).tiny))
+
+#: Slack for the normalization proof: a weighted sum whose float weights sum
+#: to 1.0 can accumulate a few ULPs above 1 across a deep reduction.
+NORMALIZATION_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class TapeAnalysis:
+    """Facts the abstract interpreter established about one tape.
+
+    All bounds are sound over-approximations: every concrete evidence batch
+    stays inside them, but not every point inside them is reachable.
+    """
+
+    #: Linear-domain interval of the root value.
+    root_lower: float
+    root_upper: float
+    #: ``log(root_upper)`` — an upper bound on every log-domain output.
+    root_log_upper: float
+    #: The tape is proved normalized: log-domain output ``<= 0`` always.
+    proves_log_nonpositive: bool
+    #: The root can be exactly zero (log-domain ``-inf`` is reachable).
+    zero_possible: bool
+    #: Lower bound on ``log(v)`` over strictly positive root values ``v``
+    #: (``+inf`` when the root can never be positive).
+    min_positive_log: float
+    #: ``min_positive_log < LOG_TINY``: a linear-domain pass may underflow a
+    #: non-zero probability to 0.0 (use the log domain for this tape).
+    underflow_risk: bool
+    #: A linear intermediate can overflow to ``inf`` (makes log-domain
+    #: ``NaN`` via ``inf - inf`` conceivable); never true for normalized
+    #: tapes.
+    overflow_possible: bool
+    #: Depth of the deepest dependency chain (ASAP level of the last kernel).
+    depth: int
+
+
+def analyze_tape(tape, tolerance: float = NORMALIZATION_TOLERANCE) -> TapeAnalysis:
+    """Abstractly interpret ``tape`` and return the established facts.
+
+    Assumes the tape passed :func:`~repro.statics.verifier.verify_tape`
+    (in particular: non-negative finite input parameters, def-before-use).
+    """
+    n_slots = tape.n_slots
+    n_inputs = tape.n_inputs
+    lo = np.zeros(n_slots, dtype=np.float64)
+    hi = np.zeros(n_slots, dtype=np.float64)
+    # Lower bound on log(v) for strictly positive v; +inf = never positive.
+    log_min_pos = np.zeros(n_slots, dtype=np.float64)
+    can_zero = np.zeros(n_slots, dtype=bool)
+
+    for spec in tape.inputs:
+        if spec.kind == "indicator":
+            lo[spec.index] = 0.0
+            hi[spec.index] = 1.0
+            log_min_pos[spec.index] = 0.0  # the only positive value is 1
+            can_zero[spec.index] = True  # an indicator miss
+        else:
+            prob = float(spec.prob)
+            lo[spec.index] = prob
+            hi[spec.index] = prob
+            if prob > 0.0:
+                log_min_pos[spec.index] = np.log(prob)
+                can_zero[spec.index] = False
+            else:
+                log_min_pos[spec.index] = np.inf
+                can_zero[spec.index] = True
+
+    with np.errstate(invalid="ignore", over="ignore"):
+        for kernel in tape.kernels:
+            dest = slice(kernel.dest_start, kernel.dest_stop)
+            a0, a1 = kernel.arg0, kernel.arg1
+            if kernel.is_add:
+                lo[dest] = lo[a0] + lo[a1]
+                hi[dest] = hi[a0] + hi[a1]
+                # A positive sum has at least one positive operand, and a sum
+                # of non-negatives is >= each of them.
+                log_min_pos[dest] = np.minimum(log_min_pos[a0], log_min_pos[a1])
+                can_zero[dest] = can_zero[a0] & can_zero[a1]
+            else:
+                lo[dest] = lo[a0] * lo[a1]
+                hi[dest] = hi[a0] * hi[a1]
+                # A positive product has both factors positive.
+                log_min_pos[dest] = log_min_pos[a0] + log_min_pos[a1]
+                can_zero[dest] = can_zero[a0] | can_zero[a1]
+
+    root = tape.root_slot
+    root_upper = float(hi[root])
+    with np.errstate(divide="ignore"):
+        root_log_upper = float(np.log(root_upper)) if root_upper >= 0 else np.nan
+    min_positive_log = float(log_min_pos[root])
+    op_hi = hi[n_inputs:] if n_slots > n_inputs else hi
+    return TapeAnalysis(
+        root_lower=float(lo[root]),
+        root_upper=root_upper,
+        root_log_upper=root_log_upper,
+        proves_log_nonpositive=bool(np.isfinite(root_upper) and root_upper <= 1.0 + tolerance),
+        zero_possible=bool(can_zero[root]),
+        min_positive_log=min_positive_log,
+        underflow_risk=bool(min_positive_log < LOG_TINY),
+        overflow_possible=bool(not np.all(np.isfinite(op_hi))),
+        depth=tape.kernels[-1].level if tape.kernels else 0,
+    )

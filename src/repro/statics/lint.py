@@ -1,0 +1,487 @@
+"""Project lint: AST rules for the concurrency and API discipline this
+codebase actually relies on.
+
+Generic linters cannot know that ``MicroBatchQueue`` mutates its deque only
+under ``self._lock``, or that serving hot paths must never draw from global
+RNG state.  These rules encode exactly those contracts and run over
+``src/repro`` in CI (``python -m repro.statics lint``), which must stay
+clean with **zero** suppressions:
+
+``lock-guarded-write``
+    A class that writes an attribute while holding one of its own locks has
+    declared that attribute lock-guarded; any *other* write to it outside a
+    ``with self._lock`` (or a condition built on it) is a race.  Constructors
+    (``__init__`` / ``__post_init__``) are exempt — the object is not yet
+    shared.  Reads are deliberately not flagged: several classes do
+    intentional lock-free reads of monotonic flags (e.g. ``Tracer.enabled``)
+    and claim-then-act patterns (``_PendingRequest``) that are correct by
+    protocol; writes are where silent corruption starts.
+
+``blocking-under-lock``
+    A blocking call — ``time.sleep``, a zero-argument ``.join()``, a future
+    ``.result()``, acquiring another lock, logging, ``print`` — inside a
+    held-lock region serializes every thread behind I/O or waiting.
+    ``.wait()`` / ``.wait_for()`` on the *held* condition is the one sound
+    exception (it releases the lock while sleeping) and is allowed.
+
+``bare-except``
+    ``except:`` catches ``KeyboardInterrupt``/``SystemExit`` and hides the
+    error type; name the exception.
+
+``unseeded-random``
+    In executor hot paths (``spn``, ``api``, ``serving``, ``lifecycle``),
+    drawing from the process-global RNG (``np.random.<fn>``, ``random.<fn>``)
+    or an unseeded ``np.random.default_rng()`` makes replays — golden
+    validation, ``check=True`` verification, shadow deployment —
+    non-reproducible.  Every draw must flow from an explicit seed.
+
+Locks are discovered per class (``self.x = threading.Lock()`` / ``RLock`` /
+``Condition``) and per module (``NAME = threading.Lock()``); a condition
+variable counts as its lock.  Nested function bodies (closures handed to
+executors) are skipped by the lock rules: they run on other threads at
+other times, so lexical lock context proves nothing about them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+__all__ = [
+    "LintFinding",
+    "HOT_PATH_PACKAGES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Sub-packages whose modules sit on the execution hot path: global RNG
+#: state there breaks replay determinism.
+HOT_PATH_PACKAGES = ("spn", "api", "serving", "lifecycle")
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+_SEEDED_RNG_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+_MUTATING_METHODS = {
+    "append", "appendleft", "extend", "extendleft", "insert", "remove",
+    "pop", "popleft", "clear", "add", "discard", "update", "setdefault",
+}
+_CONSTRUCTORS = {"__init__", "__post_init__", "__set_name__"}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _is_threading_factory(node: ast.AST) -> Optional[str]:
+    """The factory name when ``node`` is ``threading.Lock()``-shaped."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        if isinstance(func.value, ast.Name) and func.value.id == "threading":
+            return func.attr
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        return func.id
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """The attribute name when ``node`` is ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _write_targets(stmt: ast.AST) -> List[str]:
+    """``self.<attr>`` names written by an assignment-like statement."""
+    targets: List[ast.AST] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    names: List[str] = []
+    for target in targets:
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                attr = _self_attr(element.value if isinstance(element, ast.Subscript) else element)
+                if attr is not None:
+                    names.append(attr)
+            continue
+        attr = _self_attr(node)
+        if attr is not None:
+            names.append(attr)
+    return names
+
+
+def _entered_locks(
+    item: ast.withitem, class_locks: Dict[str, str], module_locks: Set[str]
+) -> Optional[str]:
+    """The lock *group* a ``with`` item acquires, if it is a known lock.
+
+    Conditions built on a shared lock (``threading.Condition(self._lock)``)
+    acquire that underlying lock, so they resolve to its group.
+    """
+    expr = item.context_expr
+    attr = _self_attr(expr)
+    if attr is not None and attr in class_locks:
+        return class_locks[attr]
+    if isinstance(expr, ast.Name) and expr.id in module_locks:
+        return expr.id
+    return None
+
+
+class _LockWalker:
+    """Walks one function body tracking which known locks are held."""
+
+    def __init__(
+        self,
+        findings: List[LintFinding],
+        path: str,
+        class_locks: Dict[str, str],
+        module_locks: Set[str],
+    ) -> None:
+        self.findings = findings
+        self.path = path
+        self.class_locks = class_locks
+        self.module_locks = module_locks
+        self.held: List[str] = []
+        #: attr -> line of first locked write (pass 1 output).
+        self.locked_writes: Dict[str, int] = {}
+        #: attr -> line of each unlocked write (checked against pass 1).
+        self.unlocked_writes: List[tuple] = []
+        #: ``self.<method>()`` calls seen: (callee name, lock held at call).
+        self.method_calls: List[tuple] = []
+
+    # -- traversal ------------------------------------------------------- #
+    def walk(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # closures execute elsewhere: lexical locks prove nothing
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired = [
+                lock
+                for item in stmt.items
+                if (lock := _entered_locks(item, self.class_locks, self.module_locks))
+            ]
+            for item in stmt.items:
+                self._expression(item.context_expr)
+            self.held.extend(acquired)
+            self.walk(stmt.body)
+            del self.held[len(self.held) - len(acquired) :]
+            return
+        for attr in _write_targets(stmt):
+            if self.held:
+                self.locked_writes.setdefault(attr, stmt.lineno)
+            else:
+                self.unlocked_writes.append((attr, stmt.lineno))
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._statement(child)
+            elif isinstance(child, ast.expr):
+                self._expression(child)
+            elif isinstance(child, (ast.withitem, ast.ExceptHandler)):
+                pass  # handled by their parents below
+        if isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                self.walk(handler.body)
+
+    def _expression(self, expr: ast.expr) -> None:
+        stack: List[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # deferred bodies run elsewhere
+            if isinstance(node, ast.Call):
+                if self.held:
+                    self._check_blocking(node)
+                if isinstance(node.func, ast.Attribute):
+                    # self._helper() — an intra-class call edge.
+                    callee = _self_attr(node.func)
+                    if callee is not None:
+                        self.method_calls.append((callee, bool(self.held)))
+                    # Mutating method calls on self attributes count as writes.
+                    if node.func.attr in _MUTATING_METHODS:
+                        attr = _self_attr(node.func.value)
+                        if attr is not None:
+                            if self.held:
+                                self.locked_writes.setdefault(attr, node.lineno)
+                            else:
+                                self.unlocked_writes.append((attr, node.lineno))
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- blocking calls under a held lock -------------------------------- #
+    def _check_blocking(self, call: ast.Call) -> None:
+        func = call.func
+        reason = None
+        if isinstance(func, ast.Name) and func.id == "print":
+            reason = "print() while holding a lock"
+        elif isinstance(func, ast.Attribute):
+            owner = func.value
+            if func.attr == "sleep" and isinstance(owner, ast.Name) and owner.id == "time":
+                reason = "time.sleep() while holding a lock"
+            elif func.attr == "join" and not call.args:
+                reason = "blocking .join() while holding a lock"
+            elif func.attr in {"result", "acquire"}:
+                reason = f"blocking .{func.attr}() while holding a lock"
+            elif func.attr in {"wait", "wait_for"}:
+                attr = _self_attr(owner)
+                group = self.class_locks.get(attr) if attr is not None else None
+                if group is None or group not in self.held:
+                    reason = (
+                        f".{func.attr}() on an object that is not the held "
+                        "condition (does not release the lock while waiting)"
+                    )
+            elif isinstance(owner, ast.Name) and owner.id in {"logger", "logging"}:
+                reason = "logging call while holding a lock (handler I/O serializes all threads)"
+            elif isinstance(owner, ast.Name) and owner.id == "subprocess":
+                reason = "subprocess call while holding a lock"
+        if reason is not None:
+            self.findings.append(
+                LintFinding(self.path, call.lineno, "blocking-under-lock", reason)
+            )
+
+
+def _module_locks(tree: ast.Module) -> Set[str]:
+    locks: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_threading_factory(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    locks.add(target.id)
+    return locks
+
+
+def _class_locks(node: ast.ClassDef) -> Dict[str, str]:
+    """Map each lock-like ``self`` attribute to its lock *group*.
+
+    ``threading.Condition(self._lock)`` shares ``self._lock``'s group —
+    holding either means holding the same underlying mutex.
+    """
+    locks: Dict[str, str] = {}
+    assigns: List[tuple] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign) and _is_threading_factory(child.value):
+            for target in child.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    assigns.append((attr, child.value))
+    for attr, value in assigns:
+        locks.setdefault(attr, attr)
+    for attr, value in assigns:
+        if value.args:
+            base = _self_attr(value.args[0])
+            if base is not None and base in locks:
+                locks[attr] = locks[base]
+    return locks
+
+
+def _locked_helpers(
+    methods: Dict[str, ast.AST],
+    class_locks: Dict[str, str],
+    module_locks: Set[str],
+    path: str,
+) -> Set[str]:
+    """Private methods only ever called while a lock is held.
+
+    ``MicroBatchQueue._pop`` is the canonical shape: a helper documented as
+    "caller holds the lock" and invoked exclusively from locked regions.
+    Its body is analyzed as lock-held rather than flagged.  Computed as a
+    greatest fixed point so helpers calling helpers resolve transitively;
+    a private method with *no* intra-class call sites is not assumed locked.
+    """
+    edges: List[tuple] = []  # (caller, callee, lexically_held)
+    for name, item in methods.items():
+        walker = _LockWalker([], path, class_locks, module_locks)
+        walker.walk(item.body)
+        for callee, held in walker.method_calls:
+            if callee in methods:
+                edges.append((name, callee, held))
+    candidates = {
+        name
+        for name in methods
+        if name.startswith("_")
+        and not name.startswith("__")
+        and any(callee == name for _, callee, _ in edges)
+    }
+    while True:
+        demoted = {
+            name
+            for name in candidates
+            if not all(
+                held or caller in candidates
+                for caller, callee, held in edges
+                if callee == name
+            )
+        }
+        if not demoted:
+            return candidates
+        candidates -= demoted
+
+
+def _lint_class(
+    node: ast.ClassDef,
+    module_locks: Set[str],
+    path: str,
+    findings: List[LintFinding],
+) -> None:
+    class_locks = _class_locks(node)
+    if not class_locks and not module_locks:
+        return
+    methods = {
+        item.name: item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    helpers = _locked_helpers(methods, class_locks, module_locks, path)
+    locked: Dict[str, int] = {}
+    unlocked: List[tuple] = []
+    for name, item in methods.items():
+        walker = _LockWalker(findings, path, class_locks, module_locks)
+        if name in helpers:
+            walker.held.append("<caller>")
+        walker.walk(item.body)
+        if name in _CONSTRUCTORS:
+            continue  # constructor writes are pre-publication
+        for attr, line in walker.locked_writes.items():
+            locked.setdefault(attr, line)
+        unlocked.extend(walker.unlocked_writes)
+    guarded = set(locked) - set(class_locks)
+    for attr, line in unlocked:
+        if attr in guarded:
+            findings.append(
+                LintFinding(
+                    path,
+                    line,
+                    "lock-guarded-write",
+                    f"attribute 'self.{attr}' is written under a lock elsewhere "
+                    "(declared lock-guarded) but written here without one",
+                )
+            )
+
+
+def _lint_randomness(tree: ast.Module, path: str, findings: List[LintFinding]) -> None:
+    random_modules: Set[str] = set()
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "random":
+                    random_modules.add(alias.asname or "random")
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        owner = func.value
+        # np.random.<fn>(...) — the process-global RNG.
+        if (
+            isinstance(owner, ast.Attribute)
+            and owner.attr == "random"
+            and isinstance(owner.value, ast.Name)
+            and owner.value.id in {"np", "numpy"}
+        ):
+            if func.attr not in _SEEDED_RNG_OK:
+                findings.append(
+                    LintFinding(
+                        path, node.lineno, "unseeded-random",
+                        f"np.random.{func.attr}() draws from process-global RNG "
+                        "state; use a seeded np.random.default_rng(seed)",
+                    )
+                )
+            elif func.attr == "default_rng" and not node.args:
+                findings.append(
+                    LintFinding(
+                        path, node.lineno, "unseeded-random",
+                        "np.random.default_rng() without a seed is entropy-seeded; "
+                        "pass an explicit seed",
+                    )
+                )
+        # random.<fn>(...) — the stdlib global RNG.
+        elif isinstance(owner, ast.Name) and owner.id in random_modules:
+            if func.attr not in {"Random", "SystemRandom"}:
+                findings.append(
+                    LintFinding(
+                        path, node.lineno, "unseeded-random",
+                        f"random.{func.attr}() draws from process-global RNG "
+                        "state; use a seeded generator",
+                    )
+                )
+
+
+def lint_source(
+    source: str, path: str = "<string>", hot_path: Optional[bool] = None
+) -> List[LintFinding]:
+    """Lint one module's source text; returns findings sorted by line.
+
+    ``hot_path`` forces the ``unseeded-random`` rule on or off; ``None``
+    derives it from ``path`` (under one of :data:`HOT_PATH_PACKAGES`).
+    """
+    findings: List[LintFinding] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        findings.append(
+            LintFinding(path, exc.lineno or 0, "syntax-error", str(exc.msg))
+        )
+        return findings
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(
+                LintFinding(
+                    path, node.lineno, "bare-except",
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type",
+                )
+            )
+    module_locks = _module_locks(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            _lint_class(node, module_locks, path, findings)
+    # Module-level functions can also hold module locks.
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and module_locks:
+            walker = _LockWalker(findings, path, set(), module_locks)
+            walker.walk(node.body)
+    if hot_path is None:
+        parts = Path(path).parts
+        hot_path = any(part in HOT_PATH_PACKAGES for part in parts)
+    if hot_path:
+        _lint_randomness(tree, path, findings)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_file(path: Union[str, Path]) -> List[LintFinding]:
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> List[LintFinding]:
+    """Lint every ``*.py`` under the given files/directories."""
+    findings: List[LintFinding] = []
+    for entry in paths:
+        entry = Path(entry)
+        files = sorted(entry.rglob("*.py")) if entry.is_dir() else [entry]
+        for file in files:
+            findings.extend(lint_file(file))
+    return findings

@@ -13,6 +13,11 @@ def pytest_configure(config):
         "markers",
         "lifecycle: model-lifecycle tests (AOT artifacts, registry, hot-swap)",
     )
+    config.addinivalue_line(
+        "markers",
+        "statics: static-verification tests (IR verifier, abstract "
+        "interpretation, project lint)",
+    )
 from repro.spn.generate import GeneratorConfig, RatSpnConfig, generate_rat_spn, generate_spn
 from repro.spn.graph import SPN
 from repro.spn.linearize import linearize

@@ -195,6 +195,42 @@ def _metadata_not_a_dict(body):
     body["metadata"] = ["not", "a", "dict"]
 
 
+# Semantic corruptions: every record below passes the per-section format
+# checks (all indices in range, shapes consistent, hash rehashed) and the
+# plan/tape cross-check — only the static dataflow verifier rejects them.
+def _reorder_plan_kernels(body):
+    body["plan"]["kernels"].reverse()
+
+def _alias_plan_dest(body):
+    n_physical = body["plan"]["n_physical"]
+    for record in body["plan"]["kernels"]:
+        start, stop = record["dest"]
+        if stop + 1 <= n_physical:
+            record["dest"] = [start + 1, stop + 1]
+            return
+    raise AssertionError("no plan kernel with room to shift its dest")
+
+def _inject_dead_tape_kernel(body):
+    kernels = body["tape"]["kernels"]
+    n_slots = len(body["tape"]["inputs"]) + sum(
+        record[3] - record[2] for record in kernels
+    )
+    root = body["tape"]["root_slot"]
+    last_level = kernels[-1][0]
+    kernels.append([last_level + 1, "mul", n_slots, n_slots + 1, [root], [root]])
+    # Keep the plan/tape slot-count cross-check satisfied so the *only*
+    # remaining net is the static verifier's dead-code detection.
+    body["plan"]["n_slots"] += 1
+
+def _understate_max_live(body):
+    body["plan"]["max_live"] -= 1
+
+def _redirect_plan_root(body):
+    body["plan"]["root_phys"] = (
+        body["plan"]["root_phys"] + 1
+    ) % body["plan"]["n_physical"]
+
+
 class TestArtifactCorruption:
     FORMAT_CORRUPTIONS = {
         "tape-truncated-record": _truncate_tape_record,
@@ -239,6 +275,34 @@ class TestArtifactCorruption:
         with pytest.raises(ArtifactIntegrityError) as excinfo:
             artifact_from_payload(_rehashed(doc))
         assert "plan/tape mismatch" in str(excinfo.value)
+
+    STATIC_CORRUPTIONS = {
+        "plan-reordered-kernels": _reorder_plan_kernels,
+        "plan-slot-aliasing": _alias_plan_dest,
+        "tape-injected-dead-kernel": _inject_dead_tape_kernel,
+        "plan-understated-max-live": _understate_max_live,
+        "plan-root-redirect": _redirect_plan_root,
+    }
+
+    @pytest.mark.parametrize("mode", sorted(STATIC_CORRUPTIONS))
+    def test_semantic_corruption_is_caught_statically(self, artifact, mode):
+        """Format-clean but semantically corrupt documents are rejected by
+        the static verification gate inside ``artifact_from_payload``."""
+        doc = _document(artifact)
+        self.STATIC_CORRUPTIONS[mode](doc["body"])
+        with pytest.raises(ArtifactIntegrityError) as excinfo:
+            artifact_from_payload(_rehashed(doc))
+        assert "static verification failed" in str(excinfo.value)
+
+    def test_semantic_corruption_rejected_at_load(self, artifact, tmp_path):
+        """The same gate protects the file-loading path serving cold-starts
+        through (`load_artifact`), not just in-memory reconstruction."""
+        doc = _document(artifact)
+        _redirect_plan_root(doc["body"])
+        path = tmp_path / "corrupt.json"
+        path.write_text(json.dumps(_rehashed(doc)))
+        with pytest.raises(ArtifactIntegrityError):
+            load_artifact(path)
 
     def test_wrong_format_marker(self, artifact):
         doc = _document(artifact)
