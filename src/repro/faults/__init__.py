@@ -1,0 +1,45 @@
+"""Deterministic fault injection (the chaos-engineering plane).
+
+The package has three layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultSpec`: a
+  seeded, replayable schedule of named faults over the instrumented
+  sites (:data:`FAULT_SITES`);
+* :mod:`repro.faults.hooks` — the process-wide switchboard the sites
+  consult (one module-attribute read when chaos is off, same
+  zero-overhead-when-off discipline as the per-kernel profiler);
+* :mod:`repro.faults.soak` — the chaos soak harness
+  (``python -m repro.faults soak``) asserting the serving tier's three
+  invariants under injected chaos: every submitted request resolves, every
+  successful response is bit-identical to offline execution, and a crashed
+  publish never corrupts the registry incumbent.
+
+This module deliberately re-exports only the plan/hook layer: importing
+``repro.faults`` from the serving code must not drag the soak harness
+(and with it the serving stack) back in.
+"""
+
+from .hooks import active_plan, fault_scope, install, uninstall
+from .plan import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedExecutorFault,
+    InjectedFault,
+    UnknownFaultSiteError,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedExecutorFault",
+    "InjectedFault",
+    "UnknownFaultSiteError",
+    "active_plan",
+    "fault_scope",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m repro.faults soak``.
+
+Runs the seeded chaos soak (:mod:`repro.faults.soak`) against an
+in-process serving stack, prints the JSON report, and exits non-zero when
+any serving invariant is violated — suitable as a CI gate (the
+``chaos-soak`` job runs a short fixed-seed soak on every push).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .soak import run_soak
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Deterministic fault-injection harnesses.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    soak = sub.add_parser(
+        "soak",
+        help="run the seeded chaos soak against a live serving stack",
+        description=(
+            "Drive an InferenceServer with concurrent requests under a "
+            "seeded FaultPlan and assert the serving invariants: no lost "
+            "requests, bit-identical successes, incumbent intact after a "
+            "crashed publish."
+        ),
+    )
+    soak.add_argument(
+        "--requests", type=int, default=10_000, help="requests to submit"
+    )
+    soak.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    soak.add_argument(
+        "--model", default="Banknote", help="suite benchmark to serve"
+    )
+    soak.add_argument(
+        "--submitters", type=int, default=4, help="concurrent client threads"
+    )
+    soak.add_argument(
+        "--workers", type=int, default=2, help="server worker threads"
+    )
+    soak.add_argument(
+        "--no-publish-crash",
+        action="store_true",
+        help="skip the crash-mid-publish scenario",
+    )
+    soak.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait for all submitters before declaring them stuck",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "soak":
+        report = run_soak(
+            n_requests=args.requests,
+            seed=args.seed,
+            model=args.model,
+            n_submitters=args.submitters,
+            n_workers=args.workers,
+            publish_crash=not args.no_publish_crash,
+            timeout_s=args.timeout,
+        )
+        json.dump(report, sys.stdout, indent=2, default=str)
+        sys.stdout.write("\n")
+        return 0 if report["invariants"]["clean"] else 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

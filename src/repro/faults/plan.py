@@ -1,0 +1,273 @@
+"""Deterministic fault plans: *which* fault fires *where*, seeded.
+
+A :class:`FaultPlan` is the unit of chaos engineering in this repository:
+a seeded schedule of named faults over the instrumented **fault sites**
+(:data:`FAULT_SITES`).  Each site decision is a pure function of
+``(plan seed, site name, per-site visit index)`` — two runs that visit a
+site the same number of times make identical fire/skip decisions, so a
+chaos soak can be replayed from its seed and a flaky failure narrowed to
+one schedule.  Visit indices are claimed under a per-plan lock, so
+concurrent worker threads never double-draw an index (the *assignment* of
+a firing to a thread still depends on scheduling; the *number and order*
+of firings per site does not).
+
+A :class:`FaultSpec` describes one site's behaviour: the firing ``rate``
+per visit, an ``after`` warm-up (the first ``after`` visits never fire),
+an optional ``times`` cap on total firings, and the action parameters —
+``delay_s`` for latency faults, ``skew_s`` for clock skew, ``message``
+for injected exceptions.  The site code interprets the spec through the
+plan's action helpers:
+
+* :meth:`FaultPlan.should_fire` — the bare seeded decision;
+* :meth:`FaultPlan.maybe_raise` — raise an :class:`InjectedFault`
+  subclass when the site fires;
+* :meth:`FaultPlan.maybe_delay` — sleep ``delay_s`` when the site fires
+  (slow kernels, queue stalls);
+* :meth:`FaultPlan.corrupt_text` — flip one seeded character when the
+  site fires (artifact corruption on load);
+* :meth:`FaultPlan.clock_skew` — the additive clock offset the serving
+  deadline clock applies while the plan carries a ``clock.skew`` spec.
+
+Everything an injected fault raises derives from :class:`InjectedFault`,
+so tests and the soak harness can always tell injected chaos from a real
+bug.  See ``docs/robustness.md`` for the site catalog and the failure
+mode each site exercises.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedExecutorFault",
+    "UnknownFaultSiteError",
+]
+
+#: The instrumented fault sites, with the failure each one exercises.
+#: Site code resolves the active plan once per batch/call and consults it
+#: only when one is installed (:mod:`repro.faults.hooks`), so a site costs
+#: one module-attribute read when chaos is off.
+FAULT_SITES: Dict[str, str] = {
+    "serving.worker_crash": (
+        "a worker thread dies mid-batch (before executing); the batch is "
+        "rescued back onto the queue and the supervisor restarts the worker"
+    ),
+    "serving.slow_kernel": (
+        "one (model, kind) group's engine call is delayed by delay_s — the "
+        "latency fault behind deadline and slow-query handling"
+    ),
+    "serving.executor_fault": (
+        "one engine call raises InjectedExecutorFault; every row of the "
+        "group fails with it (a retryable error for the clients)"
+    ),
+    "queue.stall": (
+        "a consumer stalls delay_s before collecting its batch — queue "
+        "depth grows and admission backpressure trips"
+    ),
+    "clock.skew": (
+        "the serving deadline clock runs skew_s ahead of the real "
+        "monotonic clock while the plan is installed"
+    ),
+    "artifact.load_corruption": (
+        "the artifact text read by load_artifact has one seeded character "
+        "flipped — the content hash must catch it"
+    ),
+    "artifact.save_crash": (
+        "save_artifact crashes after writing the tmp file but before the "
+        "atomic replace — the tmp file must not survive"
+    ),
+    "lifecycle.publish_crash": (
+        "ModelRegistry.publish crashes after validation but before the "
+        "live-pointer flip — the incumbent must keep serving"
+    ),
+}
+
+
+class UnknownFaultSiteError(ValueError):
+    """A spec (or query) names a site that is not instrumented."""
+
+
+class InjectedFault(RuntimeError):
+    """Base of every exception raised by fault injection (never by real code)."""
+
+    def __init__(self, site: str, index: int, message: str = "") -> None:
+        detail = f" ({message})" if message else ""
+        super().__init__(f"injected fault at {site!r} (firing #{index}){detail}")
+        self.site = site
+        self.index = index
+
+
+class InjectedCrash(InjectedFault):
+    """An injected crash: the surrounding thread/operation dies here."""
+
+
+class InjectedExecutorFault(InjectedFault):
+    """An injected engine-call failure (forwarded to the group's futures)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's seeded failure behaviour within a plan."""
+
+    site: str
+    #: Firing probability per visit (1.0 = every eligible visit).
+    rate: float = 1.0
+    #: Visits before the site becomes eligible (warm-up).
+    after: int = 0
+    #: Cap on total firings (``None`` = unbounded).
+    times: Optional[int] = None
+    #: Sleep for the latency sites (``serving.slow_kernel``, ``queue.stall``).
+    delay_s: float = 0.0
+    #: Clock offset for ``clock.skew`` (applied while the plan is installed).
+    skew_s: float = 0.0
+    #: Message carried by injected exceptions.
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            known = ", ".join(sorted(FAULT_SITES))
+            raise UnknownFaultSiteError(
+                f"unknown fault site {self.site!r}; instrumented sites: {known}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+
+@dataclass
+class _SiteState:
+    """Per-site visit/fire accounting (guarded by the plan lock)."""
+
+    spec: FaultSpec
+    visits: int = 0
+    fired: int = 0
+
+
+class FaultPlan:
+    """A seeded, thread-safe schedule of faults over the instrumented sites.
+
+    ``specs`` lists the sites this plan injects at; sites without a spec
+    never fire.  The plan is installed process-wide with
+    :func:`repro.faults.hooks.install` (or the :func:`~repro.faults.hooks.
+    fault_scope` context manager); site code reaches it through
+    :func:`repro.faults.hooks.active_plan`.
+    """
+
+    def __init__(self, seed: int = 0, specs: Iterable[FaultSpec] = ()) -> None:
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._sites: Dict[str, _SiteState] = {}
+        for spec in specs:
+            if spec.site in self._sites:
+                raise ValueError(f"duplicate spec for fault site {spec.site!r}")
+            self._sites[spec.site] = _SiteState(spec=spec)
+        skew = self._sites.get("clock.skew")
+        #: Fixed additive clock offset (read lock-free on the deadline path).
+        self.skew_s: float = skew.spec.skew_s if skew is not None else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def should_fire(self, site: str) -> Tuple[bool, int]:
+        """Claim the next visit of ``site``; return ``(fires, firing index)``.
+
+        The decision for visit *i* is ``random.Random(f"{seed}:{site}:{i}")``
+        — a pure function of the plan seed, the site name and the visit
+        index, independent of thread interleaving and of every other
+        site's traffic.
+        """
+        if site not in FAULT_SITES:
+            raise UnknownFaultSiteError(f"unknown fault site {site!r}")
+        with self._lock:
+            state = self._sites.get(site)
+            if state is None:
+                return False, -1
+            index = state.visits
+            state.visits += 1
+            spec = state.spec
+            if index < spec.after:
+                return False, -1
+            if spec.times is not None and state.fired >= spec.times:
+                return False, -1
+            if spec.rate >= 1.0:
+                fires = True
+            elif spec.rate <= 0.0:
+                fires = False
+            else:
+                # String seeds hash via sha512 inside ``random.seed`` —
+                # deterministic across processes (unlike ``hash``).
+                draw = random.Random(f"{self.seed}:{site}:{index}").random()
+                fires = draw < spec.rate
+            if fires:
+                state.fired += 1
+                return True, state.fired - 1
+            return False, -1
+
+    # ------------------------------------------------------------------ #
+    # Actions (what the site does when the decision fires)
+    # ------------------------------------------------------------------ #
+    def maybe_raise(self, site: str, exc_type: type = InjectedFault) -> None:
+        """Raise ``exc_type(site, index)`` when ``site`` fires this visit."""
+        fires, index = self.should_fire(site)
+        if fires:
+            raise exc_type(site, index, self._sites[site].spec.message)
+
+    def maybe_delay(self, site: str) -> float:
+        """Sleep the site's ``delay_s`` when it fires; returns the delay."""
+        fires, _ = self.should_fire(site)
+        if not fires:
+            return 0.0
+        delay = self._sites[site].spec.delay_s
+        if delay > 0.0:
+            # The plan lock was released by should_fire: the sleep never
+            # serializes other sites' decisions.
+            time.sleep(delay)
+        return delay
+
+    def corrupt_text(self, site: str, text: str) -> str:
+        """Flip one seeded character of ``text`` when ``site`` fires."""
+        fires, index = self.should_fire(site)
+        if not fires or not text:
+            return text
+        rng = random.Random(f"{self.seed}:{site}:corrupt:{index}")
+        pos = rng.randrange(len(text))
+        old = text[pos]
+        # Flip within the printable ASCII band so the result stays text
+        # (the integrity hash, not the JSON parser, should catch it —
+        # although either detection keeps the invariant).
+        new = chr(33 + (ord(old) - 33 + 1 + rng.randrange(93)) % 94)
+        return text[:pos] + new + text[pos + 1 :]
+
+    def clock_skew(self) -> float:
+        """The additive offset the serving deadline clock applies."""
+        return self.skew_s
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def sites(self) -> List[str]:
+        """Sites this plan has specs for, sorted."""
+        with self._lock:
+            return sorted(self._sites)
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{visits, fired}`` accounting (one consistent read)."""
+        with self._lock:
+            return {
+                site: {"visits": state.visits, "fired": state.fired}
+                for site, state in sorted(self._sites.items())
+            }

@@ -1,0 +1,282 @@
+"""The chaos soak: seeded fault injection against a live serving stack.
+
+:func:`run_soak` drives an :class:`~repro.serving.InferenceServer` with
+``n_requests`` concurrent client requests while a seeded
+:class:`~repro.faults.FaultPlan` fires worker crashes, slow kernels, queue
+stalls, executor faults and (optionally) a crash mid-``publish`` — and
+asserts the three serving invariants the rest of the repository's
+correctness story rests on:
+
+1. **No lost requests** — every submitted request resolves: a value or a
+   typed error, never a future that hangs forever.
+2. **Bit-identical successes** — every *successful* response equals
+   (``np.array_equal``) the offline ``session.run`` answer for the same
+   row.  Chaos may fail a request; it may never corrupt one.
+3. **The incumbent survives a crashed publish** — a registry publish that
+   dies after validation but before the pointer flip leaves the live
+   version untouched and still serving correct values.
+
+Determinism: per-site fault schedules are a pure function of the plan
+seed (see :class:`~repro.faults.FaultPlan`), client backoff jitter is
+seeded, and the workload rows are drawn from a seeded generator — so a
+soak failure reproduces from its seed.  *Which* request meets which fault
+still depends on thread scheduling; the invariants hold for every
+interleaving, which is exactly what the soak checks.
+
+Run it: ``python -m repro.faults soak --requests 10000 --seed 0``.  The
+resilience benchmark (``benchmarks/test_bench_resilience.py``) runs the
+same harness and records the outcome in the ``serving_resilience`` section
+of ``BENCH_sweeps.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..api.queries import LogLikelihood
+from ..api.session import InferenceSession
+from .hooks import fault_scope
+from .plan import FaultPlan, FaultSpec, InjectedCrash, InjectedFault
+
+__all__ = ["chaos_specs", "run_soak"]
+
+
+def chaos_specs(
+    crash_rate: float = 0.002,
+    slow_rate: float = 0.01,
+    executor_fault_rate: float = 0.005,
+    stall_rate: float = 0.005,
+    delay_s: float = 0.002,
+    publish_crash: bool = True,
+) -> List[FaultSpec]:
+    """The default soak chaos profile (every serving-path site armed)."""
+    specs = [
+        FaultSpec("serving.worker_crash", rate=crash_rate),
+        FaultSpec("serving.slow_kernel", rate=slow_rate, delay_s=delay_s),
+        FaultSpec("serving.executor_fault", rate=executor_fault_rate),
+        FaultSpec("queue.stall", rate=stall_rate, delay_s=delay_s),
+    ]
+    if publish_crash:
+        specs.append(FaultSpec("lifecycle.publish_crash", rate=1.0, times=1))
+    return specs
+
+
+def _evidence_pool(n_rows: int, n_vars: int, seed: int) -> np.ndarray:
+    """Seeded pool of evidence rows over {MARGINALIZED, 0, 1}."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(-1, 2, size=(n_rows, n_vars)).astype(np.float64)
+
+
+def run_soak(
+    n_requests: int = 10_000,
+    seed: int = 0,
+    model: str = "Banknote",
+    n_submitters: int = 4,
+    n_workers: int = 2,
+    max_in_flight: int = 256,
+    deadline_fraction: float = 0.1,
+    deadline_s: float = 0.05,
+    publish_crash: bool = True,
+    specs: Optional[List[FaultSpec]] = None,
+    timeout_s: float = 300.0,
+) -> Dict[str, object]:
+    """Run one seeded chaos soak; return its report (see module docstring).
+
+    The report's ``invariants`` entry carries the three booleans the soak
+    exists to check (``no_lost_requests``, ``bit_identical_successes``,
+    ``incumbent_intact``) plus ``clean`` (their conjunction and no
+    unexpected errors); the rest is accounting — outcome counts by type,
+    per-site fault firings, server resilience counters, throughput.
+    """
+    # Imported here: repro.serving imports repro.faults.hooks, so the
+    # package-level faults module must not import serving back at load.
+    from ..serving import (
+        BatchingPolicy,
+        BreakerPolicy,
+        CircuitOpenError,
+        DeadlineExceededError,
+        ExecutorFaultError,
+        InferenceClient,
+        InferenceServer,
+        QueueFullError,
+        RetryBudget,
+        RetryPolicy,
+        SheddingError,
+        WorkerCrashError,
+    )
+
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if not 0.0 <= deadline_fraction <= 1.0:
+        raise ValueError(
+            f"deadline_fraction must be in [0, 1], got {deadline_fraction}"
+        )
+
+    offline = InferenceSession(model, warm=True)
+    pool = _evidence_pool(min(256, max(n_requests, 1)), offline.n_vars, seed)
+    expected = np.asarray(offline.run(LogLikelihood(evidence=pool)))
+
+    plan = FaultPlan(
+        seed=seed,
+        specs=specs if specs is not None else chaos_specs(publish_crash=publish_crash),
+    )
+    deadline_stride = (
+        0 if deadline_fraction <= 0.0 else max(1, round(1.0 / deadline_fraction))
+    )
+
+    # Typed failures chaos may legitimately cause; anything else is a bug.
+    expected_errors = (
+        DeadlineExceededError,
+        SheddingError,
+        WorkerCrashError,
+        CircuitOpenError,
+        QueueFullError,
+        ExecutorFaultError,
+        InjectedFault,
+    )
+
+    outcomes_lock = threading.Lock()
+    outcomes: Dict[str, int] = {"ok": 0, "mismatch": 0}
+    unexpected: List[str] = []
+    resolved = 0
+
+    def record(key: str, detail: Optional[str] = None) -> None:
+        nonlocal resolved
+        with outcomes_lock:
+            outcomes[key] = outcomes.get(key, 0) + 1
+            resolved += 1
+            if detail is not None and len(unexpected) < 10:
+                unexpected.append(detail)
+
+    server = InferenceServer(
+        models=[model],
+        policy=BatchingPolicy(max_batch_size=32, max_wait_s=0.001, max_queue_depth=256),
+        n_workers=n_workers,
+        max_in_flight=max_in_flight,
+        max_rescues=3,
+        heal_interval_s=0.01,
+    )
+    client = InferenceClient(
+        server,
+        model,
+        retry=RetryPolicy(
+            max_attempts=6, base_delay_s=0.001, max_delay_s=0.02, seed=seed
+        ),
+        retry_budget=RetryBudget(ratio=0.9, min_tokens=100.0, max_tokens=1000.0),
+        breaker=BreakerPolicy(failure_threshold=16, reset_timeout_s=0.02),
+    )
+
+    def submitter(worker_id: int) -> None:
+        for i in range(worker_id, n_requests, n_submitters):
+            row = pool[i % len(pool)]
+            bounded = deadline_stride > 0 and i % deadline_stride == 0
+            try:
+                value = client.query(
+                    row,
+                    kind="log_likelihood",
+                    timeout=5.0,
+                    deadline_s=deadline_s if bounded else None,
+                )
+            except expected_errors as exc:
+                record(f"error:{type(exc).__name__}")
+            except BaseException as exc:  # noqa: BLE001 - recorded as a soak failure
+                record("unexpected", detail=f"{type(exc).__name__}: {exc}")
+            else:
+                if np.array_equal(np.asarray(value), expected[i % len(pool)]):
+                    record("ok")
+                else:
+                    record("mismatch")
+
+    started = time.perf_counter()
+    publish_report: Dict[str, object] = {"attempted": False}
+    with fault_scope(plan):
+        server.start()
+        threads = [
+            threading.Thread(target=submitter, args=(tid,), daemon=True)
+            for tid in range(n_submitters)
+        ]
+        for thread in threads:
+            thread.start()
+
+        if publish_crash:
+            # Publish a candidate mid-soak; the armed lifecycle.publish_crash
+            # site kills it after validation and the incumbent keeps serving.
+            publish_report["attempted"] = True
+            while True:
+                with outcomes_lock:
+                    done = resolved
+                if done >= n_requests // 2 or done >= n_requests:
+                    break
+                time.sleep(0.01)
+            before = server.live_version(model)
+            candidate = InferenceSession(model, warm=True)
+            try:
+                server.publish(model, "v-chaos", candidate)
+            except InjectedCrash as exc:
+                publish_report["crashed"] = str(exc)
+            else:
+                publish_report["crashed"] = None  # site already spent its budget
+            publish_report["live_before"] = before
+            publish_report["live_after"] = server.live_version(model)
+
+        deadline = time.monotonic() + timeout_s
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        stuck = sum(1 for thread in threads if thread.is_alive())
+        if stuck == 0:
+            server.stop()
+
+    with outcomes_lock:
+        counts = dict(sorted(outcomes.items()))
+        resolved_total = resolved
+    elapsed = time.perf_counter() - started
+
+    # Post-chaos probe: the incumbent must still serve bit-identical values.
+    incumbent_intact = True
+    if publish_crash and stuck == 0:
+        live = server.live_version(model)
+        incumbent_intact = live == publish_report.get("live_before", live)
+        probe_session = server.model(model).session
+        probe = np.asarray(probe_session.run(LogLikelihood(evidence=pool[:8])))
+        incumbent_intact = incumbent_intact and bool(
+            np.array_equal(probe, expected[:8])
+        )
+
+    lost = n_requests - resolved_total
+    registry = server.metrics.registry
+    report: Dict[str, object] = {
+        "n_requests": n_requests,
+        "seed": seed,
+        "model": model,
+        "elapsed_s": elapsed,
+        "throughput_rps": n_requests / elapsed if elapsed > 0 else 0.0,
+        "outcomes": counts,
+        "unexpected_errors": unexpected,
+        "lost_requests": lost,
+        "stuck_submitters": stuck,
+        "faults": plan.report(),
+        "publish": publish_report,
+        "counters": {
+            "worker_restarts": registry.counter(
+                "serving_worker_restarts_total"
+            ).value,
+            "shed": registry.counter("serving_shed_total").value,
+            "deadline_exceeded": registry.counter(
+                "serving_deadline_exceeded_total"
+            ).value,
+            "retries": registry.counter("serving_retries_total").value,
+        },
+        "invariants": {
+            "no_lost_requests": lost == 0 and stuck == 0,
+            "bit_identical_successes": counts.get("mismatch", 0) == 0,
+            "incumbent_intact": incumbent_intact,
+        },
+    }
+    report["invariants"]["clean"] = bool(
+        all(report["invariants"].values()) and counts.get("unexpected", 0) == 0
+    )
+    return report

@@ -45,9 +45,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
+
+from ..faults.hooks import active_plan as _active_fault_plan
+from ..faults.plan import InjectedCrash
 
 from ..spn.compiled import CompiledTape, tape_from_payload, tape_to_payload
 from ..spn.graph import SPN, StructureError
@@ -349,13 +353,51 @@ def artifact_from_payload(payload: dict) -> ModelArtifact:
     )
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Required for the rename itself to be durable (the file's own fsync
+    only covers its *contents*).  Platforms that refuse ``open`` on a
+    directory (some network filesystems, Windows) degrade gracefully —
+    atomicity still holds, only rename durability is best-effort there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_artifact(artifact: ModelArtifact, path: Union[str, Path]) -> Path:
-    """Write the artifact document to ``path`` (atomic via rename)."""
+    """Write the artifact document to ``path`` — atomic *and* crash-safe.
+
+    The document is written to a sibling ``*.tmp`` file, flushed and
+    fsynced, then renamed over ``path``, and the parent directory is
+    fsynced so the rename itself is durable.  A crash at any point —
+    including between the write and the rename (the instrumented
+    ``artifact.save_crash`` fault site) — leaves either the old complete
+    file or the new complete file, never a torn one, and never leaks the
+    tmp file: it is unlinked on every failure path.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(artifact.to_payload()), encoding="utf-8")
-    tmp.replace(path)
+    plan = _active_fault_plan()
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(artifact.to_payload()))
+            handle.flush()
+            os.fsync(handle.fileno())
+        if plan is not None:
+            plan.maybe_raise("artifact.save_crash", InjectedCrash)
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_dir(path.parent)
     return path
 
 
@@ -364,12 +406,18 @@ def load_artifact(path: Union[str, Path]) -> ModelArtifact:
 
     Unparseable JSON raises :class:`ArtifactFormatError`; hash mismatches
     raise :class:`ArtifactIntegrityError`; section-level corruption raises
-    :class:`ArtifactFormatError` naming the section.
+    :class:`ArtifactFormatError` naming the section.  The read text passes
+    through the ``artifact.load_corruption`` fault site (one seeded
+    character flip when armed) — the content hash is what turns silent
+    on-disk corruption into a typed load failure.
     """
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
         raise ArtifactFormatError(f"cannot read artifact {path}: {exc}") from None
+    fault_plan = _active_fault_plan()
+    if fault_plan is not None:
+        text = fault_plan.corrupt_text("artifact.load_corruption", text)
     try:
         payload = json.loads(text)
     except ValueError as exc:

@@ -41,6 +41,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..faults.hooks import active_plan as _active_fault_plan
+from ..faults.plan import InjectedCrash
 from ..observability import REGISTRY, TRACER, metrics_enabled
 from .artifact import ModelArtifact
 from .golden import golden_evidence, golden_replay, replay_deviation
@@ -217,6 +219,12 @@ class ModelRegistry:
         model = ModelVersion(
             name=name, version=version, session=session, artifact=artifact
         )
+        fault_plan = _active_fault_plan()
+        if fault_plan is not None:
+            # ``lifecycle.publish_crash``: die after validation but before
+            # the pointer flip — the incumbent must keep serving untouched
+            # (the chaos soak and the lifecycle tests assert exactly that).
+            fault_plan.maybe_raise("lifecycle.publish_crash", InjectedCrash)
         with self._lock:
             entry = self._entries.setdefault(name, _Entry())
             if version in entry.versions:

@@ -44,6 +44,18 @@ taxonomy, ``docs/serving.md`` for the batching policy and its trade-off
 knobs, ``examples/sensor_health_monitoring.py`` for a streaming deployment,
 and ``benchmarks/test_bench_serving.py`` for the measured batching speedup
 (the ``serving`` section of ``BENCH_sweeps.json``).
+
+The serving tier is chaos-hardened (:mod:`repro.serving.resilience`,
+``docs/robustness.md``): per-request **deadlines** (``deadline_s`` on
+submit and every client verb — expired rows never reach the engine),
+**load shedding** (``max_in_flight`` admission control, typed
+:class:`SheddingError`), client-side **retries** with jittered backoff,
+a retry budget and per-model **circuit breakers**
+(:class:`RetryPolicy` / :class:`RetryBudget` / :class:`BreakerPolicy`),
+and **self-healing workers** (crashed worker threads rescue their batch
+and are restarted by a supervisor).  The deterministic fault-injection
+plane that exercises all of it lives in :mod:`repro.faults`
+(``python -m repro.faults soak``).
 """
 
 from ..api.queries import QueryKind
@@ -56,6 +68,19 @@ from .queue import (
     QueueClosedError,
     QueueFullError,
     WorkItem,
+)
+from .resilience import (
+    BREAKER_STATES,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ExecutorFaultError,
+    RetryBudget,
+    RetryPolicy,
+    SheddingError,
+    WorkerCrashError,
+    is_retryable,
 )
 from .server import (
     KIND_CONDITIONAL,
@@ -93,4 +118,15 @@ __all__ = [
     "UnknownModelError",
     "PublishReport",
     "ShadowValidationError",
+    "BREAKER_STATES",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "ExecutorFaultError",
+    "RetryBudget",
+    "RetryPolicy",
+    "SheddingError",
+    "WorkerCrashError",
+    "is_retryable",
 ]

@@ -18,13 +18,28 @@ Three layers, each a thin veneer over :meth:`InferenceServer.submit`:
 
 Kinds are :class:`repro.api.QueryKind` values (``str``-enum members — the
 historical raw strings still work, but unknown kinds fail at construction).
+
+Both clients speak the resilience vocabulary of
+:mod:`repro.serving.resilience`: a ``retry`` policy (jittered exponential
+backoff over the typed retryable errors, bounded by a shared
+:class:`~repro.serving.resilience.RetryBudget`), a per-model circuit
+``breaker`` (:class:`~repro.serving.resilience.BreakerPolicy`), and a
+per-call ``deadline_s`` that rides the request into the server (rows past
+their deadline are dropped before execution) and bounds every client-side
+wait.  All three are opt-in; an unconfigured client behaves exactly as
+before.  Retries count ``serving_retries_total`` and breaker transitions
+set the ``serving_breaker_state`` gauge, both on the server's metrics
+registry.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
+import time
 from concurrent.futures import Future
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -39,7 +54,18 @@ from ..api.queries import (
     QueryKind,
     Sample,
 )
+from ..observability import metrics_enabled
 from .queue import BatchingPolicy
+from .resilience import (
+    BREAKER_STATES,
+    BreakerPolicy,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    RetryBudget,
+    RetryPolicy,
+    is_retryable,
+)
 from .server import (
     KIND_LIKELIHOOD,
     KIND_LOG_LIKELIHOOD,
@@ -52,19 +78,185 @@ __all__ = ["AsyncInferenceClient", "InferenceClient", "ModelRouter"]
 
 Evidence = Union[Query, Mapping[int, int], Sequence, np.ndarray]
 
+#: Extra seconds a deadline-bounded result wait allows past the deadline:
+#: the worker's own typed DeadlineExceededError normally arrives within
+#: this grace, so the client backstop (which can only say "timed out")
+#: stays the exception, not the rule.
+_RESULT_GRACE_S = 5.0
+
+
+def _deadline_kwargs(remaining: Optional[float]) -> Dict[str, float]:
+    """``deadline_s=remaining`` as kwargs, omitted entirely when unset.
+
+    Omission (rather than an explicit ``deadline_s=None``) keeps the
+    clients compatible with ``submit`` wrappers and test doubles written
+    against the pre-deadline signature.
+    """
+    return {} if remaining is None else {"deadline_s": remaining}
+
 
 class InferenceClient:
-    """Synchronous client bound to one server (and optionally one model)."""
+    """Synchronous client bound to one server (and optionally one model).
 
-    def __init__(self, server: InferenceServer, model: Optional[str] = None):
+    ``retry`` (a :class:`~repro.serving.resilience.RetryPolicy`) makes the
+    blocking verbs transparently retry typed-retryable failures — load
+    shedding, backpressure timeouts, worker crashes, transient executor
+    faults, open breakers — with seeded jittered backoff.  ``retry_budget``
+    bounds the extra traffic retrying may generate (defaults to a fresh
+    :class:`~repro.serving.resilience.RetryBudget` when ``retry`` is set);
+    an exhausted budget re-raises the original error.  ``breaker`` (a
+    :class:`~repro.serving.resilience.BreakerPolicy`) maintains one
+    circuit breaker per model: after ``failure_threshold`` consecutive
+    failures the model's calls fail fast with
+    :class:`~repro.serving.resilience.CircuitOpenError` until a cooldown
+    probe succeeds.  :meth:`submit` stays the raw primitive — no retry,
+    no breaker — for callers that manage futures themselves.
+    """
+
+    def __init__(
+        self,
+        server: InferenceServer,
+        model: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker: Optional[BreakerPolicy] = None,
+    ):
         self._server = server
         self._model = model
+        self._retry = retry
+        if retry_budget is None and retry is not None:
+            retry_budget = RetryBudget()
+        self._budget = retry_budget
+        self._breaker_policy = breaker
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
 
     def _resolve(self, model: Optional[str]) -> str:
         name = model or self._model
         if name is None:
             raise ValueError("no model given and the client has no default model")
         return name
+
+    # Resilience core ---------------------------------------------------- #
+    def _breaker_for(self, name: str) -> Optional[CircuitBreaker]:
+        """The (lazily created) circuit breaker guarding ``name``."""
+        if self._breaker_policy is None:
+            return None
+        with self._breakers_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                gauge = self._server.metrics.registry.gauge(
+                    "serving_breaker_state", model=name
+                )
+                breaker = CircuitBreaker(
+                    failure_threshold=self._breaker_policy.failure_threshold,
+                    reset_timeout_s=self._breaker_policy.reset_timeout_s,
+                    on_state_change=lambda state: gauge.set(BREAKER_STATES[state]),
+                )
+                self._breakers[name] = breaker
+        return breaker
+
+    def _count_retry(self) -> None:
+        if metrics_enabled():
+            self._server.metrics.registry.counter("serving_retries_total").inc()
+
+    def _should_retry(
+        self, exc: BaseException, attempt: int, deadline_at: Optional[float]
+    ) -> bool:
+        """Whether attempt ``attempt`` may be followed by another."""
+        if self._retry is None or attempt >= self._retry.max_attempts:
+            return False
+        if not is_retryable(exc):
+            return False
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            return False
+        if self._budget is not None and not self._budget.allow_retry():
+            return False
+        return True
+
+    def _attempt(
+        self,
+        submit_fn: Callable[[Optional[float]], Future],
+        breaker: Optional[CircuitBreaker],
+        deadline_at: Optional[float],
+        deadline_s: Optional[float],
+    ):
+        """One submit-and-wait attempt, reported to the breaker."""
+        if breaker is not None:
+            breaker.admit()
+        try:
+            remaining = None
+            if deadline_at is not None:
+                remaining = max(0.0, deadline_at - time.monotonic())
+                if remaining <= 0.0:
+                    raise DeadlineExceededError(
+                        f"client deadline ({deadline_s}s) expired before the attempt"
+                    )
+            future = submit_fn(remaining)
+            wait = None if remaining is None else remaining + _RESULT_GRACE_S
+            try:
+                result = future.result(timeout=wait)
+            except DeadlineExceededError:
+                raise  # the server's own typed deadline failure
+            except FuturesTimeoutError as exc:
+                future.cancel()
+                raise DeadlineExceededError(
+                    f"no result within the client deadline ({deadline_s}s)"
+                ) from exc
+        except BaseException as exc:
+            if breaker is not None and not isinstance(exc, CircuitOpenError):
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
+    def _call(
+        self,
+        name: str,
+        submit_fn: Callable[[Optional[float]], Future],
+        deadline_s: Optional[float],
+    ):
+        """Run one logical request through breaker, retries and budget.
+
+        ``submit_fn(remaining_deadline_s)`` performs one admission; it is
+        handed the deadline budget left at each attempt (``None`` when the
+        call has no deadline) so the server-side deadline always matches
+        what the caller has left, not what they started with.
+        """
+        breaker = self._breaker_for(name)
+        deadline_at = (
+            None if deadline_s is None else time.monotonic() + float(deadline_s)
+        )
+        delays = None if self._retry is None else self._retry.delays()
+        if self._budget is not None:
+            self._budget.record_request()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._attempt(submit_fn, breaker, deadline_at, deadline_s)
+            except BaseException as exc:
+                if not self._should_retry(exc, attempt, deadline_at):
+                    raise
+                self._count_retry()
+                delay = delays.next_delay()
+                if deadline_at is not None:
+                    delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+                if delay > 0.0:
+                    time.sleep(delay)
+
+    def _request(self, evidence, kind, model, timeout, deadline_s):
+        """Resolve the model and run one resilient blocking request."""
+        name = self._resolve(model)
+        return self._call(
+            name,
+            lambda remaining: self._server.submit(
+                name, evidence, kind=kind, timeout=timeout,
+                **_deadline_kwargs(remaining),
+            ),
+            deadline_s,
+        )
 
     def live_version(self, model: Optional[str] = None) -> Optional[str]:
         """The version of the (default) model currently taking traffic."""
@@ -86,6 +278,7 @@ class InferenceClient:
         kind: Union[str, QueryKind, None] = None,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ) -> Future:
         """Enqueue a query and return its future (the non-blocking primitive).
 
@@ -97,10 +290,16 @@ class InferenceClient:
         evidence, ``kind=None`` defaults to ``log_likelihood``.
         ``timeout`` bounds the backpressure wait against a full admission
         queue (:class:`~repro.serving.queue.QueueFullError` on expiry) —
-        the load-shedding knob under overload.
+        the load-shedding knob under overload; ``deadline_s`` gives the
+        request a server-side deadline.  This primitive never retries and
+        never consults the breaker — the blocking verbs do.
         """
         return self._server.submit(
-            self._resolve(model), evidence, kind=kind, timeout=timeout
+            self._resolve(model),
+            evidence,
+            kind=kind,
+            timeout=timeout,
+            deadline_s=deadline_s,
         )
 
     def query(
@@ -109,9 +308,10 @@ class InferenceClient:
         kind: Union[str, QueryKind, None] = None,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Submit and wait.  Single-row queries unwrap to a scalar result."""
-        result = self.submit(evidence, kind=kind, model=model, timeout=timeout).result()
+        result = self._request(evidence, kind, model, timeout, deadline_s)
         return _unwrap(evidence, result)
 
     # Convenience verbs -------------------------------------------------- #
@@ -120,17 +320,29 @@ class InferenceClient:
         evidence: Evidence,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
-        return self.query(evidence, kind=KIND_LIKELIHOOD, model=model, timeout=timeout)
+        return self.query(
+            evidence,
+            kind=KIND_LIKELIHOOD,
+            model=model,
+            timeout=timeout,
+            deadline_s=deadline_s,
+        )
 
     def log_likelihood(
         self,
         evidence: Evidence,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return self.query(
-            evidence, kind=KIND_LOG_LIKELIHOOD, model=model, timeout=timeout
+            evidence,
+            kind=KIND_LOG_LIKELIHOOD,
+            model=model,
+            timeout=timeout,
+            deadline_s=deadline_s,
         )
 
     def marginal(
@@ -140,13 +352,16 @@ class InferenceClient:
         normalize: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         """(Log-)marginal probability of the evidence, optionally / Z."""
-        result = self.submit(
+        result = self._request(
             Marginal(evidence, log=log, normalize=normalize),
-            model=model,
-            timeout=timeout,
-        ).result()
+            None,
+            model,
+            timeout,
+            deadline_s,
+        )
         return _unwrap(evidence, result)
 
     def conditional(
@@ -156,6 +371,7 @@ class InferenceClient:
         log: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Batched conditional P(query | evidence), served in the log domain.
 
@@ -163,11 +379,13 @@ class InferenceClient:
         (a mapping or a single row) — a 2-D batch on either side keeps the
         vector shape.
         """
-        result = self.submit(
+        result = self._request(
             Conditional(evidence=evidence, query=query, log=log),
-            model=model,
-            timeout=timeout,
-        ).result()
+            None,
+            model,
+            timeout,
+            deadline_s,
+        )
         return result[0] if _is_scalar(query) and _is_scalar(evidence) else result
 
     def mpe(
@@ -175,8 +393,11 @@ class InferenceClient:
         evidence: Evidence,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
-        return self.query(evidence, kind=KIND_MPE, model=model, timeout=timeout)
+        return self.query(
+            evidence, kind=KIND_MPE, model=model, timeout=timeout, deadline_s=deadline_s
+        )
 
     def sample(
         self,
@@ -185,14 +406,17 @@ class InferenceClient:
         seed: int = 0,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Seeded conditional samples; a scalar query unwraps to
         ``(n_samples, n_vars)``."""
-        result = self.submit(
+        result = self._request(
             Sample(evidence, n_samples=n_samples, seed=seed),
-            model=model,
-            timeout=timeout,
-        ).result()
+            None,
+            model,
+            timeout,
+            deadline_s,
+        )
         return _unwrap(evidence, result)
 
     def expectation(
@@ -203,13 +427,16 @@ class InferenceClient:
         center: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Conditional moments per variable under the evidence."""
-        result = self.submit(
+        result = self._request(
             Expectation(evidence, variables=variables, moment=moment, center=center),
-            model=model,
-            timeout=timeout,
-        ).result()
+            None,
+            model,
+            timeout,
+            deadline_s,
+        )
         return _unwrap(evidence, result)
 
     def entropy(
@@ -218,11 +445,12 @@ class InferenceClient:
         variables=None,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Per-variable conditional entropy (nats) under the evidence."""
-        result = self.submit(
-            Entropy(evidence, variables=variables), model=model, timeout=timeout
-        ).result()
+        result = self._request(
+            Entropy(evidence, variables=variables), None, model, timeout, deadline_s
+        )
         return _unwrap(evidence, result)
 
     def mutual_information(
@@ -232,13 +460,16 @@ class InferenceClient:
         normalize: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Pairwise (normalized) MI matrix; ``evidence=None`` = unconditional."""
-        result = self.submit(
+        result = self._request(
             MutualInformation(evidence, variables=variables, normalize=normalize),
-            model=model,
-            timeout=timeout,
-        ).result()
+            None,
+            model,
+            timeout,
+            deadline_s,
+        )
         return result[0] if evidence is None or _is_scalar(evidence) else result
 
     def classify(
@@ -248,11 +479,16 @@ class InferenceClient:
         log: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         """Posterior over the target's states; scalar in, ``(n_states,)`` out."""
-        result = self.submit(
-            Classify(evidence, target=target, log=log), model=model, timeout=timeout
-        ).result()
+        result = self._request(
+            Classify(evidence, target=target, log=log),
+            None,
+            model,
+            timeout,
+            deadline_s,
+        )
         return _unwrap(evidence, result)
 
 
@@ -263,15 +499,95 @@ class AsyncInferenceClient:
     executor, and the server-side :class:`~concurrent.futures.Future` is
     bridged with :func:`asyncio.wrap_future`, so the event loop is never
     blocked — concurrent tasks pile their rows into shared micro-batches.
+
+    ``retry`` / ``retry_budget`` / ``breaker`` mirror
+    :class:`InferenceClient` (the breakers and budget are shared with the
+    underlying sync client, so mixed sync/async use of one deployment sees
+    one consistent breaker state per model); retry backoff awaits
+    ``asyncio.sleep`` and a task cancellation always propagates untouched.
     """
 
-    def __init__(self, server: InferenceServer, model: Optional[str] = None):
-        self._sync = InferenceClient(server, model)
+    def __init__(
+        self,
+        server: InferenceServer,
+        model: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        breaker: Optional[BreakerPolicy] = None,
+    ):
+        self._sync = InferenceClient(
+            server, model, retry=retry, retry_budget=retry_budget, breaker=breaker
+        )
 
-    async def _submit(self, submit_fn, unwrap):
+    async def _submit(self, submit_fn, unwrap, model=None, deadline_s=None):
+        """One resilient async request.
+
+        ``submit_fn(remaining_deadline_s)`` performs one admission (in the
+        executor — it may block on backpressure).  The wait for the
+        result is bounded by the remaining deadline plus the same grace
+        the sync client uses; retryable failures back off with
+        ``asyncio.sleep`` under the shared policy, budget and per-model
+        breaker.
+        """
+        sync = self._sync
+        name = sync._resolve(model)
+        breaker = sync._breaker_for(name)
+        deadline_at = (
+            None if deadline_s is None else time.monotonic() + float(deadline_s)
+        )
+        delays = None if sync._retry is None else sync._retry.delays()
+        if sync._budget is not None:
+            sync._budget.record_request()
         loop = asyncio.get_running_loop()
-        future = await loop.run_in_executor(None, submit_fn)
-        return unwrap(await asyncio.wrap_future(future))
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if breaker is not None:
+                    breaker.admit()
+                try:
+                    remaining = None
+                    if deadline_at is not None:
+                        remaining = max(0.0, deadline_at - time.monotonic())
+                        if remaining <= 0.0:
+                            raise DeadlineExceededError(
+                                f"client deadline ({deadline_s}s) expired before "
+                                f"the attempt"
+                            )
+                    future = await loop.run_in_executor(None, submit_fn, remaining)
+                    bridged = asyncio.wrap_future(future)
+                    if remaining is None:
+                        result = await bridged
+                    else:
+                        try:
+                            result = await asyncio.wait_for(
+                                bridged, timeout=remaining + _RESULT_GRACE_S
+                            )
+                        except asyncio.TimeoutError as exc:
+                            raise DeadlineExceededError(
+                                f"no result within the client deadline "
+                                f"({deadline_s}s)"
+                            ) from exc
+                except asyncio.CancelledError:
+                    raise  # task cancellation is not a service failure
+                except BaseException as exc:
+                    if breaker is not None and not isinstance(exc, CircuitOpenError):
+                        breaker.record_failure()
+                    raise
+                if breaker is not None:
+                    breaker.record_success()
+                return unwrap(result)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                if not sync._should_retry(exc, attempt, deadline_at):
+                    raise
+                sync._count_retry()
+                delay = delays.next_delay()
+                if deadline_at is not None:
+                    delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
 
     async def server_stats(self) -> Dict[str, object]:
         """Awaitable :meth:`InferenceClient.server_stats` (runs in the executor)."""
@@ -284,10 +600,16 @@ class AsyncInferenceClient:
         kind: Union[str, QueryKind, None] = None,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return await self._submit(
-            lambda: self._sync.submit(evidence, kind=kind, model=model, timeout=timeout),
+            lambda remaining: self._sync.submit(
+                evidence, kind=kind, model=model, timeout=timeout,
+                **_deadline_kwargs(remaining),
+            ),
             lambda result: _unwrap(evidence, result),
+            model=model,
+            deadline_s=deadline_s,
         )
 
     async def likelihood(
@@ -295,9 +617,14 @@ class AsyncInferenceClient:
         evidence: Evidence,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return await self.query(
-            evidence, kind=KIND_LIKELIHOOD, model=model, timeout=timeout
+            evidence,
+            kind=KIND_LIKELIHOOD,
+            model=model,
+            timeout=timeout,
+            deadline_s=deadline_s,
         )
 
     async def log_likelihood(
@@ -305,9 +632,14 @@ class AsyncInferenceClient:
         evidence: Evidence,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return await self.query(
-            evidence, kind=KIND_LOG_LIKELIHOOD, model=model, timeout=timeout
+            evidence,
+            kind=KIND_LOG_LIKELIHOOD,
+            model=model,
+            timeout=timeout,
+            deadline_s=deadline_s,
         )
 
     async def marginal(
@@ -317,14 +649,18 @@ class AsyncInferenceClient:
         normalize: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return await self._submit(
-            lambda: self._sync.submit(
+            lambda remaining: self._sync.submit(
                 Marginal(evidence, log=log, normalize=normalize),
                 model=model,
                 timeout=timeout,
+                **_deadline_kwargs(remaining),
             ),
             lambda result: _unwrap(evidence, result),
+            model=model,
+            deadline_s=deadline_s,
         )
 
     async def conditional(
@@ -334,15 +670,19 @@ class AsyncInferenceClient:
         log: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         scalar = _is_scalar(query) and _is_scalar(evidence)
         return await self._submit(
-            lambda: self._sync.submit(
+            lambda remaining: self._sync.submit(
                 Conditional(evidence=evidence, query=query, log=log),
                 model=model,
                 timeout=timeout,
+                **_deadline_kwargs(remaining),
             ),
             lambda result: result[0] if scalar else result,
+            model=model,
+            deadline_s=deadline_s,
         )
 
     async def mpe(
@@ -350,8 +690,11 @@ class AsyncInferenceClient:
         evidence: Evidence,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
-        return await self.query(evidence, kind=KIND_MPE, model=model, timeout=timeout)
+        return await self.query(
+            evidence, kind=KIND_MPE, model=model, timeout=timeout, deadline_s=deadline_s
+        )
 
     async def sample(
         self,
@@ -360,14 +703,18 @@ class AsyncInferenceClient:
         seed: int = 0,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return await self._submit(
-            lambda: self._sync.submit(
+            lambda remaining: self._sync.submit(
                 Sample(evidence, n_samples=n_samples, seed=seed),
                 model=model,
                 timeout=timeout,
+                **_deadline_kwargs(remaining),
             ),
             lambda result: _unwrap(evidence, result),
+            model=model,
+            deadline_s=deadline_s,
         )
 
     async def expectation(
@@ -378,16 +725,20 @@ class AsyncInferenceClient:
         center: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return await self._submit(
-            lambda: self._sync.submit(
+            lambda remaining: self._sync.submit(
                 Expectation(
                     evidence, variables=variables, moment=moment, center=center
                 ),
                 model=model,
                 timeout=timeout,
+                **_deadline_kwargs(remaining),
             ),
             lambda result: _unwrap(evidence, result),
+            model=model,
+            deadline_s=deadline_s,
         )
 
     async def entropy(
@@ -396,12 +747,18 @@ class AsyncInferenceClient:
         variables=None,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return await self._submit(
-            lambda: self._sync.submit(
-                Entropy(evidence, variables=variables), model=model, timeout=timeout
+            lambda remaining: self._sync.submit(
+                Entropy(evidence, variables=variables),
+                model=model,
+                timeout=timeout,
+                **_deadline_kwargs(remaining),
             ),
             lambda result: _unwrap(evidence, result),
+            model=model,
+            deadline_s=deadline_s,
         )
 
     async def mutual_information(
@@ -411,17 +768,21 @@ class AsyncInferenceClient:
         normalize: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         scalar = evidence is None or _is_scalar(evidence)
         return await self._submit(
-            lambda: self._sync.submit(
+            lambda remaining: self._sync.submit(
                 MutualInformation(
                     evidence, variables=variables, normalize=normalize
                 ),
                 model=model,
                 timeout=timeout,
+                **_deadline_kwargs(remaining),
             ),
             lambda result: result[0] if scalar else result,
+            model=model,
+            deadline_s=deadline_s,
         )
 
     async def classify(
@@ -431,14 +792,18 @@ class AsyncInferenceClient:
         log: bool = False,
         model: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ):
         return await self._submit(
-            lambda: self._sync.submit(
+            lambda remaining: self._sync.submit(
                 Classify(evidence, target=target, log=log),
                 model=model,
                 timeout=timeout,
+                **_deadline_kwargs(remaining),
             ),
             lambda result: _unwrap(evidence, result),
+            model=model,
+            deadline_s=deadline_s,
         )
 
 

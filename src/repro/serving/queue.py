@@ -23,7 +23,16 @@ are slowed down to the rate the workers drain.
 Shutdown is graceful by construction: :meth:`MicroBatchQueue.close` stops
 admission but lets consumers drain every already-admitted item;
 :meth:`get_batch` returns ``None`` only once the queue is both closed and
-empty.
+empty.  :meth:`MicroBatchQueue.requeue` is the crash-rescue path: items a
+dying worker hands back re-enter at the *front* of the queue, bypassing
+the depth bound and the closed check — they were admitted once already,
+so re-admission neither raises backpressure nor violates drain semantics.
+
+The consumer side carries one fault site (``queue.stall``,
+:mod:`repro.faults`): with a plan installed, a consumer may be delayed
+before collecting its batch, which is how the chaos soak drives queue
+depth up and trips admission backpressure on demand.  The site costs one
+module-attribute read when no plan is installed.
 """
 
 from __future__ import annotations
@@ -33,6 +42,8 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional
+
+from ..faults.hooks import active_plan as _active_fault_plan
 
 __all__ = [
     "BatchingPolicy",
@@ -103,6 +114,15 @@ class WorkItem:
     micro-batches.  ``admitted_at`` (``time.perf_counter``) marks when the
     row entered the queue; workers subtract it from the dequeue instant to
     measure queue wait.
+
+    ``deadline_at`` is the request's absolute deadline on the serving
+    clock (``None`` = no deadline): workers drop the row — failing the
+    request with :class:`~repro.serving.resilience.DeadlineExceededError`
+    — when the deadline has passed before the row reaches execution.
+    ``attempts`` counts crash rescues: each time a dying worker hands the
+    item back via :meth:`MicroBatchQueue.requeue` it increments, and past
+    the server's rescue limit the request fails with
+    :class:`~repro.serving.resilience.WorkerCrashError` instead.
     """
 
     model: str
@@ -113,6 +133,8 @@ class WorkItem:
     served: object = None
     trace: object = None
     admitted_at: float = 0.0
+    deadline_at: Optional[float] = None
+    attempts: int = 0
 
 
 class MicroBatchQueue:
@@ -212,6 +234,11 @@ class MicroBatchQueue:
         first.  A closed queue flushes immediately: remaining items are
         handed out without waiting for the window.
         """
+        plan = _active_fault_plan()
+        if plan is not None:
+            # ``queue.stall``: delay this consumer before it collects, so
+            # queue depth builds and deadlines expire in-queue on demand.
+            plan.maybe_delay("queue.stall")
         policy = self.policy
         with self._not_empty:
             deadline = None if timeout is None else time.perf_counter() + timeout
@@ -237,6 +264,25 @@ class MicroBatchQueue:
                     break
                 self._not_empty.wait(remaining)
             return batch
+
+    def requeue(self, items: List[WorkItem]) -> None:
+        """Re-admit rescued items at the front of the queue (crash recovery).
+
+        Used by a worker that is dying mid-batch: its un-delivered items
+        go back first-in-line so rescued requests do not also pay a full
+        re-queue wait.  The depth bound and the closed check are bypassed
+        deliberately — every item here was admitted (and counted against
+        backpressure) once already, and rescue must succeed during a
+        drain, when the queue is closed but still serving admitted work.
+        """
+        if not items:
+            return
+        with self._lock:
+            for item in reversed(items):
+                self._items.appendleft(item)
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._items))
+            self._not_empty.notify_all()
 
     def _pop(self) -> WorkItem:
         """Pop one item and wake one blocked producer (caller holds the lock).

@@ -37,6 +37,27 @@ completes with its correct value.
 Query kinds are :class:`repro.api.QueryKind` values (a ``str`` enum, so the
 historical raw strings still compare equal); an unknown kind string fails
 at admission (:func:`repro.api.as_kind`), never inside the worker pool.
+
+Resilience (see ``docs/robustness.md`` for the full semantics):
+
+* **Deadlines** — ``submit(..., deadline_s=...)`` stamps an absolute
+  deadline on every row; backpressure waits are clipped to it and workers
+  drop rows whose deadline passed *before* the engine call, failing the
+  request with :class:`~repro.serving.resilience.DeadlineExceededError`.
+  An expired row never reaches ``execute_batch``.
+* **Load shedding** — with ``max_in_flight`` set, admission refuses new
+  requests beyond that many unresolved futures with
+  :class:`~repro.serving.resilience.SheddingError` (a cheap, immediate
+  rejection, distinct from the timed-out backpressure wait of
+  :class:`~repro.serving.queue.QueueFullError`).
+* **Self-healing workers** — a worker thread that dies mid-batch first
+  *rescues* the batch (un-delivered items requeue at the front, bounded
+  by ``max_rescues`` per item); a supervisor thread detects dead workers
+  and restarts them, counting ``serving_worker_restarts_total``.
+
+Fault sites (:mod:`repro.faults`) are resolved **once per batch**: when no
+plan is installed the worker takes :meth:`InferenceServer.
+_process_batch_fast` — the original, uninstrumented path.
 """
 
 from __future__ import annotations
@@ -46,12 +67,24 @@ import threading
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..api.queries import Conditional, Query, QueryKind, Sample, as_kind, query_type
 from ..api.session import InferenceSession
+from ..faults.hooks import active_plan as _active_fault_plan
+from ..faults.plan import FaultPlan, InjectedCrash, InjectedExecutorFault
 from ..lifecycle.artifact import ModelArtifact
 from ..lifecycle.registry import ModelRegistry, PublishReport
 from ..observability import REGISTRY, TRACER, metrics_enabled
@@ -66,6 +99,7 @@ from .queue import (
     QueueFullError,
     WorkItem,
 )
+from .resilience import DeadlineExceededError, SheddingError, WorkerCrashError
 
 __all__ = [
     "KIND_LIKELIHOOD",
@@ -171,6 +205,12 @@ class _PendingRequest:
     span lands on the same trace as the admission span.  ``slow_query_s``
     is the server's slow-query threshold; a completed request slower than
     it is logged (WARNING on the ``repro.serving`` logger) and counted.
+
+    ``on_done`` (the server's in-flight release) is attached as a future
+    done-callback: :class:`~concurrent.futures.Future` invokes callbacks
+    exactly once — on ``set_result``, ``set_exception`` *or* ``cancel()``
+    — so admission-controller slots are released on every outcome,
+    including a caller-side cancellation that no worker ever observes.
     """
 
     def __init__(
@@ -181,6 +221,7 @@ class _PendingRequest:
         metrics: ServingMetrics,
         trace: object = None,
         slow_query_s: Optional[float] = None,
+        on_done: Optional[Callable[[Future], None]] = None,
     ):
         self.model = model
         self.kind = kind
@@ -189,6 +230,7 @@ class _PendingRequest:
         self.future: Future = Future()
         self._results: List[object] = [None] * n_rows
         self._remaining = n_rows
+        self._filled = [False] * n_rows
         self._lock = threading.Lock()
         self._done = False  # claimed under the lock: exactly one completer
         self._metrics = metrics
@@ -198,6 +240,10 @@ class _PendingRequest:
             # (mirroring evaluate_batch on an empty batch).
             self._done = True
             self._set_result()
+        if on_done is not None:
+            # Attached last: on a zero-row request the future is already
+            # resolved and the callback fires (releasing the slot) here.
+            self.future.add_done_callback(on_done)
 
     def _assemble(self) -> object:
         # Each kind reassembles its own per-row results (float stacking for
@@ -254,8 +300,12 @@ class _PendingRequest:
 
     def deliver(self, index: int, value: object) -> None:
         with self._lock:
-            if self._done:
+            if self._done or self._filled[index]:
+                # Idempotent per row: a crash-rescued item that was already
+                # delivered before the worker died must not double-count
+                # against ``_remaining`` when its requeued copy re-executes.
                 return
+            self._filled[index] = True
             self._results[index] = value
             self._remaining -= 1
             finished = self._remaining == 0
@@ -313,6 +363,21 @@ class InferenceServer:
         latency meets it is logged at WARNING on the ``repro.serving``
         logger and counted in ``serving_slow_requests_total``.  ``None``
         (default) disables the log.
+    max_in_flight:
+        Admission-control bound on unresolved requests.  Beyond it,
+        :meth:`submit` raises
+        :class:`~repro.serving.resilience.SheddingError` immediately
+        (no encoding, no enqueue) instead of letting latency collapse
+        under overload.  ``None`` (default) disables shedding; the
+        bounded queue's backpressure still applies either way.
+    max_rescues:
+        How many times one work item may be rescued from a crashing
+        worker before its request fails with
+        :class:`~repro.serving.resilience.WorkerCrashError`.  Bounds the
+        damage of a *deterministically* crashing batch (poison pill).
+    heal_interval_s:
+        The supervisor's poll interval for detecting and restarting dead
+        worker threads.
     """
 
     def __init__(
@@ -324,9 +389,18 @@ class InferenceServer:
         warm: bool = True,
         execution: Union[ExecutionOptions, str, None] = None,
         slow_query_s: Optional[float] = None,
+        max_in_flight: Optional[int] = None,
+        max_rescues: int = 3,
+        heal_interval_s: float = 0.05,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if max_rescues < 0:
+            raise ValueError(f"max_rescues must be >= 0, got {max_rescues}")
+        if heal_interval_s <= 0:
+            raise ValueError(f"heal_interval_s must be > 0, got {heal_interval_s}")
         self.policy = policy or BatchingPolicy()
         self.engine = resolve_engine(engine)
         self.execution = resolve_execution(execution)
@@ -348,8 +422,31 @@ class InferenceServer:
             self.policy,
             depth_gauge=self.metrics.registry.gauge("serving_queue_depth"),
         )
+        # Resilience state.  Worker threads are supervised: the pool list,
+        # the retired set (threads that exited *normally* on drain) and the
+        # spawn counter share one lock; a pool thread that is dead but not
+        # retired crashed, and the supervisor replaces it.
         self._workers: List[threading.Thread] = []
         self._n_workers = n_workers
+        self._workers_lock = threading.Lock()
+        self._retired: set = set()
+        self._worker_seq = 0
+        self._supervisor: Optional[threading.Thread] = None
+        self._supervisor_stop = threading.Event()
+        self.heal_interval_s = float(heal_interval_s)
+        self.max_rescues = int(max_rescues)
+        # Admission control: unresolved requests currently in the system.
+        self._max_in_flight = max_in_flight
+        self._in_flight_lock = threading.Lock()
+        self._in_flight = 0
+        self._in_flight_gauge = self.metrics.registry.gauge("serving_in_flight")
+        self._shed_total = self.metrics.registry.counter("serving_shed_total")
+        self._deadline_total = self.metrics.registry.counter(
+            "serving_deadline_exceeded_total"
+        )
+        self._worker_restarts = self.metrics.registry.counter(
+            "serving_worker_restarts_total"
+        )
         self._abort = False
         self._started = False
         for entry in self._iter_model_entries(models):
@@ -517,17 +614,23 @@ class InferenceServer:
         return self._started and not self._queue.closed
 
     def start(self) -> "InferenceServer":
-        """Spawn the worker pool (idempotent)."""
+        """Spawn the worker pool and its supervisor (idempotent)."""
         if self._queue.closed:
             raise ServerClosedError("server has been stopped; create a new one")
         if not self._started:
             self._started = True
-            for i in range(self._n_workers):
-                worker = threading.Thread(
-                    target=self._worker_loop, name=f"serving-worker-{i}", daemon=True
-                )
+            spawned = []
+            with self._workers_lock:
+                for _ in range(self._n_workers):
+                    worker = self._new_worker()
+                    self._workers.append(worker)
+                    spawned.append(worker)
+            for worker in spawned:
                 worker.start()
-                self._workers.append(worker)
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="serving-supervisor", daemon=True
+            )
+            self._supervisor.start()
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -537,13 +640,69 @@ class InferenceServer:
         executes and completes normally before the workers exit.  With
         ``drain=False`` queued work is failed fast with
         :class:`ServerClosedError` instead of executed.
+
+        Workers that crash *during* the drain are still healed: the join
+        loop below alternates joining the current worker generation with a
+        heal pass, and only finishes once every pool slot has retired
+        normally — which, with the queue closed, means the queue is empty
+        and every admitted request resolved.
         """
         if not drain:
             self._abort = True
         self._queue.close()
-        for worker in self._workers:
-            worker.join()
-        self._workers.clear()
+        while True:
+            with self._workers_lock:
+                pending = [w for w in self._workers if w not in self._retired]
+            if not pending:
+                break
+            for worker in pending:
+                worker.join()
+            self._heal_workers()
+        self._supervisor_stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join()
+            self._supervisor = None
+        with self._workers_lock:
+            self._workers.clear()
+            self._retired.clear()
+
+    def _new_worker(self) -> threading.Thread:
+        """Build (not start) one worker thread; caller holds the pool lock."""
+        self._worker_seq += 1
+        return threading.Thread(
+            target=self._worker_main,
+            name=f"serving-worker-{self._worker_seq - 1}",
+            daemon=True,
+        )
+
+    def _supervise(self) -> None:
+        """Supervisor loop: periodically replace crashed worker threads."""
+        while not self._supervisor_stop.wait(self.heal_interval_s):
+            self._heal_workers()
+
+    def _heal_workers(self) -> int:
+        """Replace every dead-but-not-retired (i.e. crashed) pool thread.
+
+        Returns the number of workers restarted.  Safe to call from the
+        supervisor, from :meth:`stop`'s drain loop, or from tests that
+        want a deterministic heal instant.
+        """
+        replacements: List[threading.Thread] = []
+        with self._workers_lock:
+            for i, worker in enumerate(self._workers):
+                if worker.is_alive() or worker in self._retired:
+                    continue
+                fresh = self._new_worker()
+                self._workers[i] = fresh
+                replacements.append(fresh)
+        if not replacements:
+            return 0
+        for worker in replacements:
+            worker.start()
+        if metrics_enabled():
+            self._worker_restarts.inc(len(replacements))
+        logger.warning("restarted %d crashed serving worker(s)", len(replacements))
+        return len(replacements)
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -554,12 +713,50 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     # Admission
     # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        """The serving clock deadlines live on (monotonic, fault-skewable).
+
+        With a fault plan carrying a ``clock.skew`` spec installed, the
+        clock runs ``skew_s`` ahead — which ages every queued deadline at
+        once, the classic way real deployments lose requests.
+        """
+        plan = _active_fault_plan()
+        if plan is not None:
+            return perf_counter() + plan.clock_skew()
+        return perf_counter()
+
+    def in_flight(self) -> int:
+        """Unresolved requests currently admitted (the shedding quantity)."""
+        with self._in_flight_lock:
+            return self._in_flight
+
+    def _acquire_slot(self) -> bool:
+        with self._in_flight_lock:
+            if (
+                self._max_in_flight is not None
+                and self._in_flight >= self._max_in_flight
+            ):
+                return False
+            self._in_flight += 1
+            count = self._in_flight
+        self._in_flight_gauge.set(count)
+        return True
+
+    def _release_slot(self, _future: Future) -> None:
+        # Future done-callback: fires exactly once per request, whether it
+        # resolved, failed, or was cancelled by the caller.
+        with self._in_flight_lock:
+            self._in_flight -= 1
+            count = self._in_flight
+        self._in_flight_gauge.set(count)
+
     def submit(
         self,
         model: str,
         evidence: Union[Query, Mapping, Sequence, np.ndarray],
         kind: Union[str, QueryKind, None] = None,
         timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ) -> Future:
         """Enqueue one query and return its :class:`~concurrent.futures.Future`.
 
@@ -590,6 +787,20 @@ class InferenceServer:
         ``timeout`` bounds the backpressure wait when the queue is full
         (:class:`~repro.serving.queue.QueueFullError`).
 
+        ``deadline_s`` gives the request a deadline, measured from this
+        call on the serving clock.  The backpressure wait is clipped to
+        it (a wait that would outlive the deadline fails with
+        :class:`~repro.serving.resilience.DeadlineExceededError` instead
+        of :class:`~repro.serving.queue.QueueFullError`), and rows still
+        queued when it expires are dropped by the workers *before* the
+        engine call, failing the future with the same typed error.
+        ``deadline_s <= 0`` sheds synchronously.
+
+        With ``max_in_flight`` configured, admission beyond that many
+        unresolved requests raises
+        :class:`~repro.serving.resilience.SheddingError` before anything
+        is enqueued.
+
         When tracing is enabled the admission path opens a
         ``serving.admission`` span and its context rides every enqueued
         work item, so the request's queue-wait, execute and respond spans
@@ -597,15 +808,25 @@ class InferenceServer:
         its rows.
         """
         if not TRACER.enabled:
-            return self._submit(model, evidence, kind, timeout, span=None)
+            return self._submit(model, evidence, kind, timeout, None, deadline_s)
         with TRACER.span("serving.admission", model=model) as span:
-            return self._submit(model, evidence, kind, timeout, span=span)
+            return self._submit(model, evidence, kind, timeout, span, deadline_s)
 
-    def _submit(self, model, evidence, kind, timeout, span) -> Future:
+    def _submit(self, model, evidence, kind, timeout, span, deadline_s=None) -> Future:
         served = self.model(model)
         query = self._as_query(served, evidence, kind)
         if not self.running:
             raise ServerClosedError("server is not running; call start() first")
+        deadline_at = None
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+            if deadline_s <= 0:
+                if metrics_enabled():
+                    self._deadline_total.inc()
+                raise DeadlineExceededError(
+                    f"deadline_s={deadline_s} leaves no time to serve the request"
+                )
+            deadline_at = self._now() + deadline_s
         rows = query.split_rows()
         key = query.group_key()
         kind_label = query.kind.value
@@ -623,6 +844,15 @@ class InferenceServer:
             REGISTRY.counter(
                 "serving_rows_total", model=model, kind=kind_label
             ).inc(len(rows))
+        if not self._acquire_slot():
+            if metrics_enabled():
+                self._shed_total.inc()
+            raise SheddingError(
+                f"server is at max_in_flight={self._max_in_flight} unresolved "
+                f"requests; load shed (retryable)"
+            )
+        # From here on, every outcome — delivery, failure, cancellation —
+        # releases the slot through the request's future done-callback.
         request = _PendingRequest(
             model,
             query.kind,
@@ -630,6 +860,7 @@ class InferenceServer:
             self.metrics,
             trace=trace,
             slow_query_s=self.slow_query_s,
+            on_done=self._release_slot,
         )
         admitted_at = perf_counter()
         # Pin the resolved version on every row: a hot-swap between admission
@@ -638,23 +869,47 @@ class InferenceServer:
             WorkItem(
                 model=model, kind=key, row=rows[i], index=i, request=request,
                 served=served, trace=trace, admitted_at=admitted_at,
+                deadline_at=deadline_at,
             )
             for i in range(len(rows))
         ]
+        put_timeout = timeout
+        if deadline_at is not None:
+            # Never wait for queue space beyond the request's own deadline.
+            remaining = max(0.0, deadline_at - self._now())
+            put_timeout = remaining if timeout is None else min(timeout, remaining)
         try:
-            self._queue.put_many(items, timeout=timeout)
+            self._queue.put_many(items, timeout=put_timeout)
         except QueueClosedError:
             request.fail(ServerClosedError("server stopped during admission"))
         except QueueFullError as exc:
             # Rows enqueued before the timeout deliver into an already-failed
-            # request and are ignored; the caller sees the backpressure error.
+            # request and are ignored; the caller sees the backpressure error
+            # — typed as a deadline failure when it was the deadline, not the
+            # caller's own timeout, that bounded the wait.
+            if deadline_at is not None and self._now() >= deadline_at:
+                if metrics_enabled():
+                    self._deadline_total.inc()
+                deadline_exc = DeadlineExceededError(
+                    f"deadline ({deadline_s}s) expired while waiting for queue "
+                    f"admission"
+                )
+                request.fail(deadline_exc)
+                raise deadline_exc from exc
             request.fail(exc)
             raise
         return request.future
 
-    def query(self, model, evidence, kind=None, timeout=None):
+    def query(self, model, evidence, kind=None, timeout=None, deadline_s=None):
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(model, evidence, kind=kind, timeout=timeout).result()
+        future = self.submit(
+            model, evidence, kind=kind, timeout=timeout, deadline_s=deadline_s
+        )
+        # The result wait is bounded when the caller bounded the request;
+        # the small grace covers delivery of the worker's own typed
+        # deadline failure before the local TimeoutError backstop fires.
+        wait = None if deadline_s is None else deadline_s + 5.0
+        return future.result(timeout=wait)
 
     # ------------------------------------------------------------------ #
     # Control plane (non-query requests)
@@ -674,6 +929,7 @@ class InferenceServer:
             "models": {name: self.live_version(name) for name in self.models()},
             "running": self.running,
             "queue_depth": len(self._queue),
+            "in_flight": self.in_flight(),
             "metrics": self.metrics.snapshot(),
             "registry": self.metrics.registry.snapshot(),
         }
@@ -781,45 +1037,162 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     # Execution (worker side)
     # ------------------------------------------------------------------ #
-    def _worker_loop(self) -> None:
+    def _worker_main(self) -> None:
+        """One worker generation: pull batches until drained, or die crashed.
+
+        An exception escaping :meth:`_process_batch` (a real bug, or the
+        injected ``serving.worker_crash``) kills this thread — but only
+        after the batch in hand is rescued back onto the queue, so no
+        admitted request is ever lost to a crash.  The supervisor notices
+        the dead thread and starts a replacement.  Normal exit (queue
+        closed and drained) records the thread as retired, which is how
+        the supervisor tells a drained worker from a crashed one.
+        """
         self._prewarm_workspaces()
         while True:
             batch = self._queue.get_batch()
             if batch is None:
-                return
+                break
             if self._abort:
                 for item in batch:
                     item.request.fail(
                         ServerClosedError("server stopped without draining")
                     )
                 continue
-            self._record_queue_wait(batch)
-            groups: Dict[Tuple[ServedModel, tuple], List[WorkItem]] = {}
-            for item in batch:
-                # Rows whose request already failed (admission timeout) or
-                # was cancelled would compute and count for nobody.
-                if item.request.abandoned:
+            try:
+                self._process_batch(batch)
+            except BaseException:
+                self._rescue_batch(batch)
+                raise
+        with self._workers_lock:
+            self._retired.add(threading.current_thread())
+
+    def _process_batch(self, batch: List[WorkItem]) -> None:
+        """Process one micro-batch, resolving the fault plane exactly once.
+
+        This is the zero-overhead-when-off switch: one module-attribute
+        read, then the original uninstrumented path
+        (:meth:`_process_batch_fast`) when no plan is installed.
+        """
+        plan = _active_fault_plan()
+        if plan is None:
+            self._process_batch_fast(batch)
+        else:
+            self._process_batch_chaos(batch, plan)
+
+    def _process_batch_fast(self, batch: List[WorkItem]) -> None:
+        """The production batch path (no fault instrumentation)."""
+        self._record_queue_wait(batch)
+        for (served, kind), items in self._group_batch(batch).items():
+            self._run_group(served, kind, items)
+
+    def _process_batch_chaos(self, batch: List[WorkItem], plan: FaultPlan) -> None:
+        """The batch path with fault sites armed (a plan is installed).
+
+        ``serving.worker_crash`` fires before anything is delivered, so a
+        crashed batch is rescued whole; ``serving.slow_kernel`` and
+        ``serving.executor_fault`` fire per engine-call group, the latter
+        failing exactly that group's rows with the retryable injected
+        error.
+        """
+        plan.maybe_raise("serving.worker_crash", InjectedCrash)
+        self._record_queue_wait(batch)
+        for (served, kind), items in self._group_batch(batch).items():
+            plan.maybe_delay("serving.slow_kernel")
+            try:
+                plan.maybe_raise("serving.executor_fault", InjectedExecutorFault)
+            except InjectedExecutorFault as exc:
+                for item in items:
+                    item.request.fail(exc)
+                continue
+            self._run_group(served, kind, items)
+
+    def _group_batch(
+        self, batch: List[WorkItem]
+    ) -> Dict[Tuple[ServedModel, tuple], List[WorkItem]]:
+        """Group live rows by pinned (served model, group key); drop the rest.
+
+        Rows whose request already failed (admission timeout) or was
+        cancelled would compute and count for nobody; rows whose deadline
+        has passed are failed here with
+        :class:`~repro.serving.resilience.DeadlineExceededError` — the
+        deadline gate: an expired row never reaches the engine call.
+        Grouping by the *pinned* ServedModel (not the name) keeps rows
+        admitted under different versions of one model in separate engine
+        calls — each drains on its own tape.
+        """
+        groups: Dict[Tuple[ServedModel, tuple], List[WorkItem]] = {}
+        now = None
+        for item in batch:
+            if item.request.abandoned:
+                continue
+            if item.deadline_at is not None:
+                if now is None:
+                    now = self._now()
+                if now >= item.deadline_at:
+                    self._expire(item)
                     continue
-                # Grouping by the *pinned* ServedModel (not the name) keeps
-                # rows admitted under different versions of one model in
-                # separate engine calls — each drains on its own tape.
-                groups.setdefault((item.served, item.kind), []).append(item)
-            # Each (model, kind) group is one engine call: record it, then
-            # deliver it, before moving to the next group.  Failed rows
-            # never inflate throughput, a caller woken by its result always
-            # sees its group already counted, and a fast likelihood group is
-            # never head-of-line blocked behind a slow MPE group that
-            # happened to share the micro-batch.
-            for (served, kind), items in groups.items():
-                try:
-                    values = self._execute_group(served, kind, items)
-                except BaseException as exc:  # noqa: BLE001 - forwarded to futures
-                    for item in items:
-                        item.request.fail(exc)
-                    continue
-                self.metrics.record_batch(len(items), self.policy.max_batch_size)
-                for item, value in zip(items, values):
-                    item.request.deliver(item.index, value)
+            groups.setdefault((item.served, item.kind), []).append(item)
+        return groups
+
+    def _run_group(
+        self, served: ServedModel, kind: tuple, items: List[WorkItem]
+    ) -> None:
+        """Run one (model, kind) group as one engine call and deliver it.
+
+        Record-then-deliver per group, before moving to the next: failed
+        rows never inflate throughput, a caller woken by its result always
+        sees its group already counted, and a fast likelihood group is
+        never head-of-line blocked behind a slow MPE group that happened
+        to share the micro-batch.
+        """
+        try:
+            values = self._execute_group(served, kind, items)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            for item in items:
+                item.request.fail(exc)
+            return
+        self.metrics.record_batch(len(items), self.policy.max_batch_size)
+        for item, value in zip(items, values):
+            item.request.deliver(item.index, value)
+
+    def _expire(self, item: WorkItem) -> None:
+        """Fail an expired row's request with the typed deadline error."""
+        if metrics_enabled():
+            self._deadline_total.inc()
+        item.request.fail(
+            DeadlineExceededError(
+                f"deadline expired in queue before execution "
+                f"(model {item.model!r})"
+            )
+        )
+
+    def _rescue_batch(self, batch: List[WorkItem]) -> None:
+        """Hand a dying worker's batch back to the queue (crash recovery).
+
+        Called on the worker thread, after :meth:`_process_batch` raised
+        and before the exception continues killing the thread.  Items of
+        already-resolved requests are dropped; the rest requeue at the
+        front, up to ``max_rescues`` attempts each — beyond that the
+        request fails with
+        :class:`~repro.serving.resilience.WorkerCrashError`, bounding the
+        damage of a batch that crashes every worker that touches it.
+        """
+        rescued: List[WorkItem] = []
+        for item in batch:
+            if item.request.abandoned:
+                continue
+            item.attempts += 1
+            if item.attempts > self.max_rescues:
+                item.request.fail(
+                    WorkerCrashError(
+                        f"request abandoned after {item.attempts} worker "
+                        f"crashes (model {item.model!r}; retryable)"
+                    )
+                )
+                continue
+            rescued.append(item)
+        self._queue.requeue(rescued)
 
     def _record_queue_wait(self, batch: Sequence[WorkItem]) -> None:
         """Record each dequeued row's admission-to-dequeue wait.

@@ -35,6 +35,20 @@ clean with **zero** suppressions:
     validation, ``check=True`` verification, shadow deployment —
     non-reproducible.  Every draw must flow from an explicit seed.
 
+``broad-except``
+    An ``except BaseException`` handler that neither re-raises nor forwards
+    the caught exception into a sink (a call that receives the bound name —
+    ``future.set_exception(exc)``, a logger, an error recorder) swallows
+    worker crashes, ``KeyboardInterrupt`` and injected faults silently.
+    Catching ``BaseException`` is legitimate exactly twice: to clean up and
+    re-raise, or to route the failure somewhere a caller will see it.
+
+``unbounded-result``
+    A zero-argument ``Future.result()`` in ``serving`` code waits forever:
+    one lost wake-up (a crashed worker, a dropped response) wedges the
+    caller permanently.  Every serving-side wait must carry a timeout so
+    failures surface as typed errors instead of hangs.
+
 Locks are discovered per class (``self.x = threading.Lock()`` / ``RLock`` /
 ``Condition``) and per module (``NAME = threading.Lock()``); a condition
 variable counts as its lock.  Nested function bodies (closures handed to
@@ -429,6 +443,85 @@ def _lint_randomness(tree: ast.Module, path: str, findings: List[LintFinding]) -
                 )
 
 
+def _is_base_exception(node: Optional[ast.expr]) -> bool:
+    """``node`` names ``BaseException`` (bare or as part of a tuple)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Tuple):
+        return any(_is_base_exception(element) for element in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id == "BaseException"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "BaseException"
+    return False
+
+
+def _walk_same_scope(body: Sequence[ast.stmt]) -> Iterable[ast.AST]:
+    """Walk statements without descending into nested function/class bodies
+    (those execute elsewhere — a ``raise`` in a closure proves nothing about
+    the handler it is lexically inside)."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _lint_broad_except(tree: ast.Module, path: str, findings: List[LintFinding]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler) or not _is_base_exception(node.type):
+            continue
+        reraises = False
+        forwards = False
+        for child in _walk_same_scope(node.body):
+            if isinstance(child, ast.Raise):
+                reraises = True
+                break
+            if node.name and isinstance(child, ast.Call):
+                names = [
+                    sub
+                    for arg in list(child.args) + [kw.value for kw in child.keywords]
+                    for sub in ast.walk(arg)
+                ]
+                if any(
+                    isinstance(sub, ast.Name) and sub.id == node.name
+                    for sub in names
+                ):
+                    forwards = True
+                    break
+        if not reraises and not forwards:
+            findings.append(
+                LintFinding(
+                    path, node.lineno, "broad-except",
+                    "'except BaseException' neither re-raises nor forwards the "
+                    "exception into a sink; crashes and injected faults vanish "
+                    "here",
+                )
+            )
+
+
+def _lint_unbounded_result(
+    tree: ast.Module, path: str, findings: List[LintFinding]
+) -> None:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "result"
+            and not node.args
+            and not node.keywords
+        ):
+            findings.append(
+                LintFinding(
+                    path, node.lineno, "unbounded-result",
+                    ".result() without a timeout waits forever; one lost "
+                    "wake-up wedges this caller — pass a timeout",
+                )
+            )
+
+
 def lint_source(
     source: str, path: str = "<string>", hot_path: Optional[bool] = None
 ) -> List[LintFinding]:
@@ -463,11 +556,14 @@ def lint_source(
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and module_locks:
             walker = _LockWalker(findings, path, set(), module_locks)
             walker.walk(node.body)
+    _lint_broad_except(tree, path, findings)
+    parts = Path(path).parts
     if hot_path is None:
-        parts = Path(path).parts
         hot_path = any(part in HOT_PATH_PACKAGES for part in parts)
     if hot_path:
         _lint_randomness(tree, path, findings)
+    if "serving" in parts:
+        _lint_unbounded_result(tree, path, findings)
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
 
 

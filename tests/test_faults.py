@@ -1,0 +1,227 @@
+"""Tests for the deterministic fault-injection plane (repro.faults)."""
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedExecutorFault,
+    InjectedFault,
+    UnknownFaultSiteError,
+    active_plan,
+    fault_scope,
+    install,
+    uninstall,
+)
+
+SITE = "serving.worker_crash"
+DELAY_SITE = "serving.slow_kernel"
+
+
+# --------------------------------------------------------------------------- #
+# Specs
+# --------------------------------------------------------------------------- #
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(UnknownFaultSiteError):
+            FaultSpec("serving.no_such_site")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": -0.1},
+            {"rate": 1.5},
+            {"after": -1},
+            {"times": -1},
+            {"delay_s": -0.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(SITE, **kwargs)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(specs=[FaultSpec(SITE), FaultSpec(SITE)])
+
+    def test_every_site_documented(self):
+        assert all(FAULT_SITES.values())
+
+
+# --------------------------------------------------------------------------- #
+# Seeded decisions
+# --------------------------------------------------------------------------- #
+class TestShouldFire:
+    def test_unknown_site_query_rejected(self):
+        with pytest.raises(UnknownFaultSiteError):
+            FaultPlan().should_fire("serving.no_such_site")
+
+    def test_unspecced_site_never_fires(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE)])
+        assert plan.should_fire("queue.stall") == (False, -1)
+
+    def test_rate_one_fires_every_visit(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE, rate=1.0)])
+        assert [plan.should_fire(SITE) for _ in range(3)] == [
+            (True, 0),
+            (True, 1),
+            (True, 2),
+        ]
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE, rate=0.0)])
+        assert all(not plan.should_fire(SITE)[0] for _ in range(20))
+
+    def test_after_warmup_skips_first_visits(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE, rate=1.0, after=3)])
+        fires = [plan.should_fire(SITE)[0] for _ in range(5)]
+        assert fires == [False, False, False, True, True]
+
+    def test_times_caps_total_firings(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE, rate=1.0, times=2)])
+        fires = [plan.should_fire(SITE)[0] for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+
+    def test_schedule_is_a_pure_function_of_the_seed(self):
+        def schedule(seed):
+            plan = FaultPlan(seed=seed, specs=[FaultSpec(SITE, rate=0.3)])
+            return [plan.should_fire(SITE)[0] for _ in range(200)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        assert 0 < sum(schedule(7)) < 200  # a real mixture at rate 0.3
+
+    def test_schedule_is_per_site_independent(self):
+        """Traffic at one site must not perturb another site's schedule."""
+        lone = FaultPlan(seed=3, specs=[FaultSpec(SITE, rate=0.5)])
+        mixed = FaultPlan(
+            seed=3,
+            specs=[FaultSpec(SITE, rate=0.5), FaultSpec("queue.stall", rate=0.5)],
+        )
+        fires = []
+        for _ in range(50):
+            mixed.should_fire("queue.stall")
+            fires.append(mixed.should_fire(SITE)[0])
+        assert fires == [lone.should_fire(SITE)[0] for _ in range(50)]
+
+    def test_concurrent_visits_claim_distinct_indices(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE, rate=1.0)])
+        indices = []
+        lock = threading.Lock()
+
+        def visit():
+            for _ in range(50):
+                _, index = plan.should_fire(SITE)
+                with lock:
+                    indices.append(index)
+
+        threads = [threading.Thread(target=visit) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(indices) == list(range(200))
+
+    def test_report_counts_visits_and_firings(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE, rate=1.0, times=1)])
+        for _ in range(3):
+            plan.should_fire(SITE)
+        assert plan.report() == {SITE: {"visits": 3, "fired": 1}}
+
+
+# --------------------------------------------------------------------------- #
+# Actions
+# --------------------------------------------------------------------------- #
+class TestActions:
+    def test_maybe_raise_raises_typed_fault(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE, message="boom")])
+        with pytest.raises(InjectedCrash) as excinfo:
+            plan.maybe_raise(SITE, InjectedCrash)
+        assert excinfo.value.site == SITE
+        assert excinfo.value.index == 0
+        assert "boom" in str(excinfo.value)
+        assert isinstance(excinfo.value, InjectedFault)
+
+    def test_injected_hierarchy(self):
+        assert issubclass(InjectedCrash, InjectedFault)
+        assert issubclass(InjectedExecutorFault, InjectedFault)
+        assert issubclass(InjectedFault, RuntimeError)
+
+    def test_maybe_raise_silent_when_not_firing(self):
+        plan = FaultPlan(specs=[FaultSpec(SITE, rate=0.0)])
+        plan.maybe_raise(SITE)  # no exception
+
+    def test_maybe_delay_returns_slept_delay(self):
+        plan = FaultPlan(specs=[FaultSpec(DELAY_SITE, delay_s=0.001)])
+        assert plan.maybe_delay(DELAY_SITE) == 0.001
+
+    def test_maybe_delay_zero_when_not_firing(self):
+        plan = FaultPlan(specs=[FaultSpec(DELAY_SITE, rate=0.0, delay_s=0.5)])
+        assert plan.maybe_delay(DELAY_SITE) == 0.0
+
+    def test_corrupt_text_flips_exactly_one_character(self):
+        plan = FaultPlan(specs=[FaultSpec("artifact.load_corruption")])
+        text = '{"format": 1, "name": "m"}'
+        corrupted = plan.corrupt_text("artifact.load_corruption", text)
+        assert corrupted != text
+        assert len(corrupted) == len(text)
+        assert sum(a != b for a, b in zip(corrupted, text)) == 1
+
+    def test_corrupt_text_is_seeded(self):
+        def corrupt(seed):
+            plan = FaultPlan(
+                seed=seed, specs=[FaultSpec("artifact.load_corruption")]
+            )
+            return plan.corrupt_text("artifact.load_corruption", "x" * 64)
+
+        assert corrupt(5) == corrupt(5)
+
+    def test_corrupt_text_passthrough_when_not_firing(self):
+        plan = FaultPlan(specs=[FaultSpec("artifact.load_corruption", rate=0.0)])
+        assert plan.corrupt_text("artifact.load_corruption", "abc") == "abc"
+
+    def test_clock_skew_from_spec(self):
+        plan = FaultPlan(specs=[FaultSpec("clock.skew", skew_s=1.5)])
+        assert plan.clock_skew() == 1.5
+        assert FaultPlan().clock_skew() == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Hooks
+# --------------------------------------------------------------------------- #
+class TestHooks:
+    def test_no_plan_by_default(self):
+        assert active_plan() is None
+
+    def test_install_uninstall_roundtrip(self):
+        plan = FaultPlan()
+        install(plan)
+        try:
+            assert active_plan() is plan
+        finally:
+            uninstall()
+        assert active_plan() is None
+
+    def test_fault_scope_installs_and_cleans_up(self):
+        plan = FaultPlan()
+        with fault_scope(plan) as scoped:
+            assert scoped is plan
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_fault_scope_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with fault_scope(FaultPlan()):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_fault_scope_rejects_nesting(self):
+        with fault_scope(FaultPlan()):
+            with pytest.raises(RuntimeError, match="already installed"):
+                with fault_scope(FaultPlan()):
+                    pass  # pragma: no cover
+        assert active_plan() is None

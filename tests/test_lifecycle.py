@@ -665,3 +665,76 @@ class TestLifecycleCli:
     def test_build_requires_model_or_train(self, tmp_path, capsys):
         code = lifecycle_main(["build", "--out", str(tmp_path / "x.json")])
         assert code == 2
+
+
+# --------------------------------------------------------------------- #
+# Robustness: crash-safe saves, corrupted loads, crashed publishes
+# --------------------------------------------------------------------- #
+class TestLifecycleRobustness:
+    def test_crashed_save_leaves_old_file_and_no_tmp(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, InjectedCrash, fault_scope
+
+        artifact = build_artifact(_small_spn(), name="m", version="1")
+        path = save_artifact(artifact, tmp_path / "m.json")
+        before = path.read_text(encoding="utf-8")
+        newer = build_artifact(_small_spn(), name="m", version="2")
+        plan = FaultPlan(seed=0, specs=[FaultSpec("artifact.save_crash")])
+        with fault_scope(plan):
+            with pytest.raises(InjectedCrash):
+                save_artifact(newer, path)
+        # The crash hit between the tmp write and the rename: the old
+        # complete document survives and the tmp file does not.
+        assert path.read_text(encoding="utf-8") == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert load_artifact(path).version == "1"
+
+    def test_failed_write_never_leaks_the_tmp_file(self, tmp_path, monkeypatch):
+        """The non-injected failure path: serialization dying mid-write
+        must also unlink the tmp file (satellite: tmp never survives)."""
+        artifact = build_artifact(_small_spn(), name="m")
+        monkeypatch.setattr(
+            type(artifact), "to_payload",
+            lambda self: (_ for _ in ()).throw(RuntimeError("serializer died")),
+        )
+        with pytest.raises(RuntimeError, match="serializer died"):
+            save_artifact(artifact, tmp_path / "m.json")
+        assert list(tmp_path.iterdir()) == []  # no tmp, no partial target
+
+    def test_corrupted_load_fails_typed(self, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, fault_scope
+
+        artifact = build_artifact(_small_spn(), name="m")
+        path = save_artifact(artifact, tmp_path / "m.json")
+        plan = FaultPlan(seed=4, specs=[FaultSpec("artifact.load_corruption")])
+        with fault_scope(plan):
+            # One seeded character flip: either the JSON no longer parses
+            # (format error) or the content hash disagrees (integrity
+            # error) — never a silent wrong model, never a bare KeyError.
+            with pytest.raises(ArtifactError):
+                load_artifact(path)
+        assert load_artifact(path).name == "m"  # the file itself is fine
+
+    def test_crashed_publish_keeps_incumbent_serving(self):
+        from repro.faults import FaultPlan, FaultSpec, InjectedCrash, fault_scope
+
+        spn = _small_spn()
+        art1 = build_artifact(spn, name="m", version="1")
+        art2 = build_artifact(spn, name="m", version="2")
+        evidence = golden_evidence(art1.n_vars)
+        want = golden_replay(art1.session(), evidence)["log_likelihood"]
+        plan = FaultPlan(seed=0, specs=[FaultSpec("lifecycle.publish_crash")])
+        with InferenceServer(models=[art1]) as server:
+            with fault_scope(plan):
+                with pytest.raises(InjectedCrash):
+                    server.publish("m", "2", art2)
+                # Crashed after validation, before the pointer flip: the
+                # incumbent is live, the candidate was never installed,
+                # and requests keep serving bit-identical values.
+                assert server.live_version("m") == "1"
+                assert server.versions("m") == ["1"]
+                got = server.query("m", evidence, kind="log_likelihood")
+                assert np.array_equal(np.asarray(got), want)
+            # Chaos off again: the same publish now succeeds.
+            report = server.publish("m", "2", art2)
+            assert report.validated is True
+            assert server.live_version("m") == "2"

@@ -376,6 +376,74 @@ class TestLint:
         )
         assert lint_source(source) == []
 
+    def test_broad_except_swallowing_flagged(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except BaseException:\n"
+            "        pass\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["broad-except"]
+
+    def test_broad_except_reraise_allowed(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except BaseException:\n"
+            "        cleanup()\n"
+            "        raise\n"
+        )
+        assert lint_source(source) == []
+
+    def test_broad_except_conditional_reraise_allowed(self):
+        """The retry-loop shape: re-raise unless the error is retryable."""
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except BaseException as exc:\n"
+            "        if not retryable(exc):\n"
+            "            raise\n"
+        )
+        assert lint_source(source) == []
+
+    def test_broad_except_forwarding_sink_allowed(self):
+        """The worker shape: the failure is routed into a future the
+        caller is waiting on — caught, not swallowed."""
+        source = (
+            "def f(future):\n"
+            "    try:\n"
+            "        work()\n"
+            "    except BaseException as exc:\n"
+            "        future.set_exception(exc)\n"
+        )
+        assert lint_source(source) == []
+
+    def test_broad_except_raise_in_closure_not_counted(self):
+        """A ``raise`` inside a nested function body executes elsewhere;
+        it does not make the enclosing handler safe."""
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except BaseException:\n"
+            "        def later():\n"
+            "            raise\n"
+        )
+        assert [f.rule for f in lint_source(source)] == ["broad-except"]
+
+    def test_unbounded_result_flagged_in_serving_only(self):
+        source = "def f(future):\n    return future.result()\n"
+        serving = lint_source(source, path="src/repro/serving/x.py")
+        assert [f.rule for f in serving] == ["unbounded-result"]
+        assert lint_source(source, path="src/repro/spn/x.py") == []
+
+    def test_bounded_result_allowed_in_serving(self):
+        source = "def f(future):\n    return future.result(timeout=1.0)\n"
+        assert lint_source(source, path="src/repro/serving/x.py") == []
+
 
 # --------------------------------------------------------------------- #
 # CLI
